@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Printf Staged Test Time Toolkit Weaver_graph Weaver_oracle Weaver_store Weaver_util Weaver_vclock

@@ -1,0 +1,91 @@
+(* Bechamel microbenchmarks of the core data structures: one Test.make per
+   hot path. These complement the experiment harness with per-operation
+   costs of the building blocks. *)
+
+open Bechamel
+open Toolkit
+module Vclock = Weaver_vclock.Vclock
+module Oracle = Weaver_oracle.Oracle
+module Heap = Weaver_util.Heap
+module Store = Weaver_store.Store
+module Mgraph = Weaver_graph.Mgraph
+module Xrand = Weaver_util.Xrand
+
+let vclock_compare =
+  let a = Vclock.make ~epoch:0 ~origin:0 [| 5; 3; 9; 1 |] in
+  let b = Vclock.make ~epoch:0 ~origin:1 [| 5; 4; 9; 2 |] in
+  Test.make ~name:"vclock.compare_hb" (Staged.stage (fun () -> Vclock.compare_hb a b))
+
+let vclock_tick_merge =
+  let a = Vclock.make ~epoch:0 ~origin:0 [| 5; 3; 9; 1 |] in
+  let b = Vclock.make ~epoch:0 ~origin:1 [| 5; 4; 9; 2 |] in
+  Test.make ~name:"vclock.tick+merge"
+    (Staged.stage (fun () -> Vclock.merge (Vclock.tick a ~origin:0) b))
+
+let oracle_order =
+  Test.make ~name:"oracle.order (fresh pair)"
+    (Staged.stage (fun () ->
+         let t = Oracle.create () in
+         let a = Vclock.make ~epoch:0 ~origin:0 [| 1; 0 |] in
+         let b = Vclock.make ~epoch:0 ~origin:1 [| 0; 1 |] in
+         Oracle.order t ~first:a ~second:b))
+
+let heap_churn =
+  Test.make ~name:"heap.push+pop x64"
+    (Staged.stage (fun () ->
+         let h = Heap.create ~cmp:compare in
+         for i = 0 to 63 do
+           Heap.push h ((i * 37) mod 64)
+         done;
+         while not (Heap.is_empty h) do
+           ignore (Heap.pop h)
+         done))
+
+let store_tx =
+  let s = Store.create () in
+  Test.make ~name:"store.tx (2 reads + 2 writes)"
+    (Staged.stage (fun () ->
+         let tx = Store.Tx.begin_ s in
+         ignore (Store.Tx.get tx "a");
+         ignore (Store.Tx.get tx "b");
+         Store.Tx.put tx "a" 1;
+         Store.Tx.put tx "b" 2;
+         ignore (Store.Tx.commit tx)))
+
+let mgraph_snapshot =
+  let at i = Vclock.make ~epoch:0 ~origin:0 [| i |] in
+  let v = ref (Mgraph.create_vertex ~vid:"v" ~at:(at 0)) in
+  for i = 1 to 32 do
+    v := Mgraph.add_edge !v ~eid:(string_of_int i) ~dst:"d" ~at:(at i)
+  done;
+  let v = !v in
+  let before a b = Vclock.precedes a b in
+  Test.make ~name:"mgraph.out_edges (32 versions)"
+    (Staged.stage (fun () -> Mgraph.out_edges before v ~at:(at 16)))
+
+let rng_zipf =
+  let rng = Xrand.create ~seed:1 () in
+  Test.make ~name:"xrand.zipf" (Staged.stage (fun () -> Xrand.zipf rng ~n:100_000 ~theta:0.9))
+
+let tests =
+  Test.make_grouped ~name:"micro"
+    [ vclock_compare; vclock_tick_merge; oracle_order; heap_churn; store_tx; mgraph_snapshot; rng_zipf ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) i raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instances results in
+  Printf.printf "\n==== Microbenchmarks (ns/op) ====\n";
+  Hashtbl.iter
+    (fun _meas tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-36s %12.1f\n" name est
+          | _ -> ())
+        tbl)
+    results

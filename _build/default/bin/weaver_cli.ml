@@ -1,0 +1,223 @@
+(* weaver-cli: poke a simulated Weaver deployment from the command line.
+
+   Subcommands:
+     demo        build a small social graph and run sample queries
+     tao         run the TAO-mix benchmark with chosen parameters
+     coingraph   ingest and query synthetic blocks
+     fault       demonstrate failure detection and recovery *)
+
+open Cmdliner
+open Weaver_core
+module Workloads = Weaver_workloads
+
+let mk_cluster ~gatekeepers ~shards ~tau ~seed =
+  let cfg =
+    {
+      Config.default with
+      Config.n_gatekeepers = gatekeepers;
+      Config.n_shards = shards;
+      Config.tau;
+      Config.seed;
+    }
+  in
+  let c = Cluster.create cfg in
+  Weaver_programs.Std_programs.Std.register_all (Cluster.registry c);
+  c
+
+(* common options *)
+let gatekeepers =
+  Arg.(value & opt int 2 & info [ "g"; "gatekeepers" ] ~docv:"N" ~doc:"Gatekeeper servers.")
+
+let shards =
+  Arg.(value & opt int 4 & info [ "s"; "shards" ] ~docv:"N" ~doc:"Shard servers.")
+
+let tau =
+  Arg.(
+    value
+    & opt float 1000.0
+    & info [ "tau" ] ~docv:"US" ~doc:"Vector-clock announce period in virtual µs.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+
+let demo gatekeepers shards tau seed =
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  let a = Client.Tx.create_vertex tx ~id:"a" () in
+  let b = Client.Tx.create_vertex tx ~id:"b" () in
+  let z = Client.Tx.create_vertex tx ~id:"z" () in
+  ignore (Client.Tx.create_edge tx ~src:a ~dst:b);
+  ignore (Client.Tx.create_edge tx ~src:b ~dst:z);
+  (match Client.commit client tx with
+  | Ok () -> print_endline "committed a -> b -> z"
+  | Error e -> failwith e);
+  (match
+     Client.run_program client ~prog:"hop_distance"
+       ~params:(Progval.Assoc [ ("target", Progval.Str z) ])
+       ~starts:[ a ] ()
+   with
+  | Ok v -> Format.printf "hop_distance(a, z) = %a@." Progval.pp v
+  | Error e -> failwith e);
+  Printf.printf "virtual time: %.0f us\n" (Cluster.now c)
+
+let tao gatekeepers shards tau seed clients duration_ms read_pct =
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let rng = Weaver_util.Xrand.create ~seed () in
+  let g =
+    Workloads.Graphgen.preferential ~rng ~prefix:"u" ~vertices:4_000 ~out_degree:7 ()
+  in
+  Workloads.Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let vertices = Array.of_list (Workloads.Graphgen.vertex_ids g) in
+  let r =
+    Workloads.Tao.Driver.run c ~vertices ~clients
+      ~duration:(duration_ms *. 1000.0)
+      ~read_fraction:(read_pct /. 100.0)
+      ()
+  in
+  Printf.printf "completed %d ops in %.0f ms of virtual time\n" r.Workloads.Tao.Driver.completed
+    (duration_ms);
+  Printf.printf "throughput: %.0f ops/s\n" r.Workloads.Tao.Driver.throughput;
+  Printf.printf "reads : %s\n" (Weaver_util.Stats.summary r.Workloads.Tao.Driver.read_latencies);
+  Printf.printf "writes: %s\n" (Weaver_util.Stats.summary r.Workloads.Tao.Driver.write_latencies);
+  let ctr = Cluster.counters c in
+  Printf.printf "oracle consults: %d (cache hits %d); announces: %d\n"
+    ctr.Runtime.oracle_consults ctr.Runtime.oracle_cache_hits ctr.Runtime.announce_msgs;
+  print_newline ();
+  print_string (Cluster.report c)
+
+let coingraph gatekeepers shards tau seed height =
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let cg = Weaver_apps.Coingraph.create c in
+  ignore (Weaver_apps.Coingraph.preload_block cg ~height);
+  Cluster.run_for c 5_000.0;
+  let t0 = Cluster.now c in
+  (match Weaver_apps.Coingraph.block_tx_count cg ~height with
+  | Ok n ->
+      Printf.printf "block %d: %d transactions rendered in %.2f virtual ms\n" height n
+        ((Cluster.now c -. t0) /. 1000.0)
+  | Error e -> failwith e)
+
+let fault gatekeepers shards tau seed =
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"survivor" ());
+  (match Client.commit client tx with Ok () -> () | Error e -> failwith e);
+  let victim = Cluster.shard_of_vertex c "survivor" in
+  Printf.printf "killing shard %d (owns 'survivor')...\n" victim;
+  Cluster.kill_shard c victim;
+  Cluster.run_for c 400_000.0;
+  Printf.printf "cluster epoch now %d; recoveries: %d\n" (Cluster.epoch c)
+    (Cluster.counters c).Runtime.recoveries;
+  match
+    Client.run_program client ~prog:"get_node" ~params:Progval.Null ~starts:[ "survivor" ] ()
+  with
+  | Ok (Progval.List [ _ ]) -> print_endline "data recovered from backing store; query ok"
+  | Ok v -> Format.printf "unexpected: %a@." Progval.pp v
+  | Error e -> failwith e
+
+let sweep gatekeepers shards seed =
+  (* Fig. 14 in miniature: announce vs oracle cost across tau *)
+  Printf.printf "%-12s %18s %20s\n" "tau (us)" "announces/query" "oracle msgs/query";
+  List.iter
+    (fun tau ->
+      let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+      let rng = Weaver_util.Xrand.create ~seed () in
+      let g = Workloads.Graphgen.uniform ~rng ~prefix:"s" ~vertices:500 ~edges:3_000 () in
+      Workloads.Loader.fast_install c g;
+      Cluster.run_for c 5_000.0;
+      let vertices = Array.of_list (Workloads.Graphgen.vertex_ids g) in
+      let r =
+        Workloads.Tao.Driver.run c ~vertices ~clients:20 ~duration:200_000.0
+          ~read_fraction:0.9 ()
+      in
+      let ops = max 1 r.Workloads.Tao.Driver.completed in
+      let ctr = Cluster.counters c in
+      Printf.printf "%-12.0f %18.3f %20.3f\n" tau
+        (float_of_int ctr.Runtime.announce_msgs /. float_of_int ops)
+        (float_of_int ctr.Runtime.oracle_consults /. float_of_int ops))
+    [ 10.0; 100.0; 1_000.0; 10_000.0; 100_000.0 ]
+
+let rebalance gatekeepers shards tau seed =
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let client = Cluster.client c in
+  let rng = Weaver_util.Xrand.create ~seed () in
+  let g = Workloads.Graphgen.preferential ~rng ~prefix:"p" ~vertices:1_000 ~out_degree:5 () in
+  Workloads.Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let r = Rebalance.run c client ~max_moves:500 ~rounds:3 () in
+  Printf.printf "examined %d vertices, moved %d\n" r.Rebalance.examined r.Rebalance.moved;
+  Printf.printf "edge-cut: %.3f -> %.3f\n" r.Rebalance.edge_cut_before
+    r.Rebalance.edge_cut_after
+
+let backup_demo gatekeepers shards tau seed =
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let client = Cluster.client c in
+  let rng = Weaver_util.Xrand.create ~seed () in
+  let g = Workloads.Graphgen.uniform ~rng ~prefix:"b" ~vertices:200 ~edges:800 () in
+  Workloads.Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  ignore client;
+  let image = Backup.dump c in
+  Printf.printf "dumped %d vertices into a %d-byte image\n" 200 (String.length image);
+  let c2 = mk_cluster ~gatekeepers ~shards ~tau ~seed:(seed + 1) in
+  Backup.restore c2 image;
+  Cluster.run_for c2 5_000.0;
+  let client2 = Cluster.client c2 in
+  match
+    Client.run_program client2 ~prog:"count_edges" ~params:Progval.Null
+      ~starts:(Workloads.Graphgen.vertex_ids g) ()
+  with
+  | Ok (Progval.Int n) -> Printf.printf "restored cluster reports %d edges\n" n
+  | _ -> failwith "restore verification failed"
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Tiny end-to-end demo")
+    Term.(const demo $ gatekeepers $ shards $ tau $ seed)
+
+let tao_cmd =
+  let clients =
+    Arg.(value & opt int 30 & info [ "c"; "clients" ] ~docv:"N" ~doc:"Concurrent clients.")
+  in
+  let duration =
+    Arg.(value & opt float 300.0 & info [ "d"; "duration" ] ~docv:"MS" ~doc:"Virtual ms.")
+  in
+  let read_pct =
+    Arg.(value & opt float 99.8 & info [ "r"; "reads" ] ~docv:"PCT" ~doc:"Read percentage.")
+  in
+  Cmd.v (Cmd.info "tao" ~doc:"TAO-mix benchmark")
+    Term.(const tao $ gatekeepers $ shards $ tau $ seed $ clients $ duration $ read_pct)
+
+let coingraph_cmd =
+  let height =
+    Arg.(value & opt int 200_000 & info [ "height" ] ~docv:"H" ~doc:"Block height.")
+  in
+  Cmd.v (Cmd.info "coingraph" ~doc:"Blockchain explorer demo")
+    Term.(const coingraph $ gatekeepers $ shards $ tau $ seed $ height)
+
+let fault_cmd =
+  Cmd.v (Cmd.info "fault" ~doc:"Failure detection and recovery demo")
+    Term.(const fault $ gatekeepers $ shards $ tau $ seed)
+
+let sweep_cmd =
+  Cmd.v (Cmd.info "sweep" ~doc:"Announce-period sweep (Fig. 14 in miniature)")
+    Term.(const sweep $ gatekeepers $ shards $ seed)
+
+let rebalance_cmd =
+  Cmd.v (Cmd.info "rebalance" ~doc:"Dynamic re-partitioning demo (par. 4.6)")
+    Term.(const rebalance $ gatekeepers $ shards $ tau $ seed)
+
+let backup_cmd =
+  Cmd.v (Cmd.info "backup" ~doc:"Backup/restore demo")
+    Term.(const backup_demo $ gatekeepers $ shards $ tau $ seed)
+
+let () =
+  let info =
+    Cmd.info "weaver-cli" ~version:"1.0.0"
+      ~doc:"Drive a simulated Weaver graph database deployment"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ demo_cmd; tao_cmd; coingraph_cmd; fault_cmd; sweep_cmd; rebalance_cmd; backup_cmd ]))

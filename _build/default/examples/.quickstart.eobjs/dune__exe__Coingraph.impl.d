@@ -1,0 +1,1 @@
+examples/coingraph.ml: Client Cluster Coingraph Config Format List Printf Progval Runtime Weaver_apps Weaver_core Weaver_programs

@@ -1,0 +1,1 @@
+examples/global_analytics.mli:

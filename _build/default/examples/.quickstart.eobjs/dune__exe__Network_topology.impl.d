@@ -1,0 +1,1 @@
+examples/network_topology.ml: Client Cluster Config Printf Progval Weaver_core Weaver_programs

@@ -1,0 +1,1 @@
+examples/operations.ml: Backup Client Cluster Config List Printf Progval Runtime String Weaver_core Weaver_programs

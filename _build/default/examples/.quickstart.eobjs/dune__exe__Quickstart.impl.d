@@ -1,0 +1,1 @@
+examples/quickstart.ml: Client Cluster Config Format Printf Progval Runtime Weaver_core Weaver_programs

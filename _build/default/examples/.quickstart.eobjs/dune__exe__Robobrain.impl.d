@@ -1,0 +1,1 @@
+examples/robobrain.ml: Cluster Config List Printf Robobrain Weaver_apps Weaver_core Weaver_programs

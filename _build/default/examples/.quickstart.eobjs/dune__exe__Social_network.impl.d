@@ -1,0 +1,1 @@
+examples/social_network.ml: Array Cluster Config Printf Socialnet String Weaver_apps Weaver_core Weaver_programs Weaver_util Weaver_workloads

@@ -1,0 +1,1 @@
+examples/time_travel.ml: Client Cluster Config List Printf Progval Weaver_core Weaver_programs

@@ -1,0 +1,47 @@
+(* RoboBrain: a knowledge graph that merges noisy concepts transactionally
+   (paper §5.3) and answers subgraph questions with node programs.
+
+     dune exec examples/robobrain.exe *)
+
+open Weaver_core
+open Weaver_apps
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let () =
+  let cluster = Cluster.create Config.default in
+  Weaver_programs.Std_programs.Std.register_all (Cluster.registry cluster);
+  let rb = Robobrain.create cluster in
+
+  (* knowledge arrives from robots and the web; "mug" and "cup" are noisy
+     duplicates of the same concept *)
+  let mug = ok (Robobrain.add_concept rb ~name:"mug" ~attrs:[ ("kind", "object") ] ()) in
+  let cup = ok (Robobrain.add_concept rb ~name:"cup" ~attrs:[ ("kind", "object") ] ()) in
+  let kitchen =
+    ok (Robobrain.add_concept rb ~name:"kitchen" ~attrs:[ ("kind", "place") ] ())
+  in
+  let coffee =
+    ok (Robobrain.add_concept rb ~name:"coffee" ~attrs:[ ("kind", "substance") ] ())
+  in
+  ok (Robobrain.relate rb ~src:mug ~label:"found_in" ~dst:kitchen);
+  ok (Robobrain.relate rb ~src:cup ~label:"holds" ~dst:coffee);
+
+  (* an ML pipeline decides they are the same concept: the merge moves all
+     relations and retires the duplicate in ONE transaction, so queries
+     never see a half-merged brain *)
+  ok (Robobrain.merge_concepts rb ~keep:mug ~absorb:cup);
+  let rels = ok (Robobrain.relations rb ~concept:mug) in
+  print_endline "after merge, 'mug' knows:";
+  List.iter (fun (label, dst) -> Printf.printf "  mug -%s-> %s\n" label dst) rels;
+
+  (* subgraph question: which objects are found in places? *)
+  let matches =
+    ok
+      (Robobrain.concepts_related_to rb
+         ~centers:[ mug; kitchen; coffee ]
+         ~center_attr:("kind", "object")
+         ~nbr_attr:("kind", "place"))
+  in
+  List.iter
+    (fun (center, nbr) -> Printf.printf "subgraph match: %s is related to place %s\n" center nbr)
+    matches

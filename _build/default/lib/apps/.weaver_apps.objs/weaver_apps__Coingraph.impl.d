@@ -1,0 +1,1 @@
+lib/apps/coingraph.ml: Client Cluster Config List Progval Result Weaver_core Weaver_util Weaver_workloads

@@ -1,0 +1,1 @@
+lib/apps/coingraph.mli: Weaver_core

@@ -1,0 +1,1 @@
+lib/apps/robobrain.ml: Client Cluster List Progval Result Weaver_core

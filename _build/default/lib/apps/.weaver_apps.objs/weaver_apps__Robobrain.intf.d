@@ -1,0 +1,1 @@
+lib/apps/robobrain.mli: Weaver_core

@@ -1,0 +1,1 @@
+lib/apps/socialnet.mli: Weaver_core

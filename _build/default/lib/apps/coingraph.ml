@@ -1,0 +1,39 @@
+open Weaver_core
+module Blockchain = Weaver_workloads.Blockchain
+module Xrand = Weaver_util.Xrand
+
+type t = { cluster : Cluster.t; client : Client.t; rng : Xrand.t }
+
+let create cluster =
+  {
+    cluster;
+    client = Cluster.client cluster;
+    rng = Xrand.create ~seed:(Cluster.config cluster).Config.seed ();
+  }
+
+let ingest_block t ~height ?txs () =
+  let txs = match txs with Some n -> n | None -> Blockchain.txs_in_block height in
+  Blockchain.add_block_tx t.client ~rng:t.rng ~height ~txs
+
+let preload_block t ~height =
+  Blockchain.install_block t.cluster ~rng:t.rng ~height ()
+
+let block_query t ~height =
+  Client.run_program t.client ~prog:"block_render" ~params:Progval.Null
+    ~starts:[ Blockchain.block_vid height ] ()
+
+let block_tx_count t ~height =
+  Result.map
+    (fun r ->
+      List.length
+        (List.filter
+           (fun entry -> Progval.assoc_opt "tx" entry <> None)
+           (Progval.to_list r)))
+    (block_query t ~height)
+
+let taint t ~from ~depth =
+  Result.map
+    (fun r -> List.map Progval.to_str (Progval.to_list r))
+    (Client.run_program t.client ~prog:"taint"
+       ~params:(Progval.Assoc [ ("depth", Progval.Int depth) ])
+       ~starts:[ from ] ())

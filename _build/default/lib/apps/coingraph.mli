@@ -1,0 +1,30 @@
+(** CoinGraph — the blockchain explorer built on Weaver (paper §5.2, §6.1).
+
+    Stores the (synthetic, see DESIGN.md) blockchain as a directed graph:
+    block vertices link to their transactions, transactions to their output
+    addresses. Block queries are node programs that traverse block → tx
+    edges — the workload of Figs. 7 and 8. Taint tracking follows output
+    edges, the flow analysis §5.2 mentions. *)
+
+type t
+
+val create : Weaver_core.Cluster.t -> t
+
+val ingest_block :
+  t -> height:int -> ?txs:int -> unit -> (string, string) result
+(** Online ingestion through a real transaction (new blocks arriving in
+    real time). [txs] defaults to the calibrated
+    {!Weaver_workloads.Blockchain.txs_in_block}. *)
+
+val preload_block : t -> height:int -> string
+(** Offline bulk install of one block (fast path, for benchmarks). *)
+
+val block_query : t -> height:int -> (Weaver_core.Progval.t, string) result
+(** The Fig. 7 block query: render block [height] and all its
+    transactions via the ["block_render"] node program. *)
+
+val block_tx_count : t -> height:int -> (int, string) result
+(** Number of transactions the block query reports. *)
+
+val taint : t -> from:string -> depth:int -> (string list, string) result
+(** Forward taint/flow analysis from a transaction or address vertex. *)

@@ -1,0 +1,76 @@
+open Weaver_core
+
+type t = { client : Client.t }
+
+let create cluster = { client = Cluster.client cluster }
+
+let add_concept t ~name ?(attrs = []) () =
+  let tx = Client.Tx.begin_ t.client in
+  let vid = Client.Tx.create_vertex tx () in
+  Client.Tx.set_vertex_prop tx ~vid ~key:"concept" ~value:name;
+  List.iter
+    (fun (key, value) -> Client.Tx.set_vertex_prop tx ~vid ~key ~value)
+    attrs;
+  Result.map (fun () -> vid) (Client.commit t.client tx)
+
+let relate t ~src ~label ~dst =
+  let tx = Client.Tx.begin_ t.client in
+  let eid = Client.Tx.create_edge tx ~src ~dst in
+  Client.Tx.set_edge_prop tx ~src ~eid ~key:"label" ~value:label;
+  Client.commit t.client tx
+
+let edges_of t vid =
+  Client.run_program t.client ~prog:"get_edges" ~params:Progval.Null ~starts:[ vid ] ()
+
+let relations t ~concept =
+  Result.map
+    (fun edges ->
+      List.map
+        (fun e ->
+          let label =
+            match Progval.assoc_opt "label" (Progval.assoc "props" e) with
+            | Some (Progval.Str l) -> l
+            | _ -> ""
+          in
+          (label, Progval.to_str (Progval.assoc "dst" e)))
+        (Progval.to_list edges))
+    (edges_of t concept)
+
+let merge_concepts t ~keep ~absorb =
+  (* read the duplicate's relations, then retarget and retire atomically;
+     the Read_vertex dependency aborts the merge if [absorb] changes
+     concurrently, so no relation can be lost *)
+  match relations t ~concept:absorb with
+  | Error e -> Error e
+  | Ok rels ->
+      let tx = Client.Tx.begin_ t.client in
+      Client.Tx.read_vertex tx absorb;
+      List.iter
+        (fun (label, dst) ->
+          if dst <> keep then begin
+            let eid = Client.Tx.create_edge tx ~src:keep ~dst in
+            Client.Tx.set_edge_prop tx ~src:keep ~eid ~key:"label" ~value:label
+          end)
+        rels;
+      Client.Tx.delete_vertex tx absorb;
+      Client.commit t.client tx
+
+let concepts_related_to t ~centers ~center_attr ~nbr_attr =
+  let ckey, cval = center_attr and nkey, nval = nbr_attr in
+  Result.map
+    (fun r ->
+      List.map
+        (fun m ->
+          ( Progval.to_str (Progval.assoc "center" m),
+            Progval.to_str (Progval.assoc "nbr" m) ))
+        (Progval.to_list r))
+    (Client.run_program t.client ~prog:"star_match"
+       ~params:
+         (Progval.Assoc
+            [
+              ("ckey", Progval.Str ckey);
+              ("cval", Progval.Str cval);
+              ("nkey", Progval.Str nkey);
+              ("nval", Progval.Str nval);
+            ])
+       ~starts:centers ())

@@ -1,0 +1,34 @@
+(** RoboBrain-style knowledge graph on Weaver (paper §5.3).
+
+    Concepts are vertices with a ["concept"] label; relationships are
+    labelled edges. Noisy incoming data is merged into existing concepts
+    {e transactionally} — the merge below moves all of one concept's
+    relations onto another and retires the duplicate in a single atomic
+    transaction, so analysts never observe half-merged knowledge. Subgraph
+    questions ("which X relates to a Y?") run as node programs. *)
+
+type t
+
+val create : Weaver_core.Cluster.t -> t
+
+val add_concept :
+  t -> name:string -> ?attrs:(string * string) list -> unit -> (string, string) result
+
+val relate : t -> src:string -> label:string -> dst:string -> (unit, string) result
+
+val merge_concepts : t -> keep:string -> absorb:string -> (unit, string) result
+(** Atomically retarget: every out-relation of [absorb] is recreated on
+    [keep], then [absorb] is deleted — one transaction (§5.3). *)
+
+val relations : t -> concept:string -> ((string * string) list, string) result
+(** [(label, dst)] pairs of a concept's visible out-edges. *)
+
+val concepts_related_to :
+  t ->
+  centers:string list ->
+  center_attr:string * string ->
+  nbr_attr:string * string ->
+  ((string * string) list, string) result
+(** Star-pattern subgraph query over candidate centers: match centers with
+    [center_attr] adjacent to a vertex with [nbr_attr]; returns
+    [(center, neighbour)] pairs. *)

@@ -1,0 +1,62 @@
+open Weaver_core
+
+type t = { client : Client.t }
+
+let create cluster = { client = Cluster.client cluster }
+
+let add_user t ~name =
+  let tx = Client.Tx.begin_ t.client in
+  let vid = Client.Tx.create_vertex tx () in
+  Client.Tx.set_vertex_prop tx ~vid ~key:"name" ~value:name;
+  Client.Tx.set_vertex_prop tx ~vid ~key:"type" ~value:"user";
+  Result.map (fun () -> vid) (Client.commit t.client tx)
+
+let befriend t ~user ~friend_ =
+  let tx = Client.Tx.begin_ t.client in
+  let eid = Client.Tx.create_edge tx ~src:user ~dst:friend_ in
+  Client.Tx.set_edge_prop tx ~src:user ~eid ~key:"rel" ~value:"friend";
+  Client.commit t.client tx
+
+let post_photo t ~owner ~visible_to =
+  let tx = Client.Tx.begin_ t.client in
+  let photo = Client.Tx.create_vertex tx () in
+  Client.Tx.set_vertex_prop tx ~vid:photo ~key:"type" ~value:"photo";
+  let own = Client.Tx.create_edge tx ~src:owner ~dst:photo in
+  Client.Tx.set_edge_prop tx ~src:owner ~eid:own ~key:"rel" ~value:"OWNS";
+  List.iter
+    (fun nbr ->
+      let e = Client.Tx.create_edge tx ~src:photo ~dst:nbr in
+      Client.Tx.set_edge_prop tx ~src:photo ~eid:e ~key:"rel" ~value:"VISIBLE")
+    visible_to;
+  Result.map (fun () -> photo) (Client.commit t.client tx)
+
+let get_edges t vid =
+  Client.run_program t.client ~prog:"get_edges" ~params:Progval.Null ~starts:[ vid ] ()
+
+let friends t ~user =
+  Result.map
+    (fun edges ->
+      List.filter_map
+        (fun e ->
+          let props = Progval.assoc "props" e in
+          if Progval.assoc_opt "rel" props = Some (Progval.Str "friend") then
+            Some (Progval.to_str (Progval.assoc "dst" e))
+          else None)
+        (Progval.to_list edges))
+    (get_edges t user)
+
+let can_see t ~viewer ~photo =
+  Result.map
+    (fun edges ->
+      List.exists
+        (fun e ->
+          Progval.to_str (Progval.assoc "dst" e) = viewer
+          && Progval.assoc_opt "rel" (Progval.assoc "props" e)
+             = Some (Progval.Str "VISIBLE"))
+        (Progval.to_list edges))
+    (get_edges t photo)
+
+let feed_degree t ~user =
+  Result.map Progval.to_int
+    (Client.run_program t.client ~prog:"count_edges" ~params:Progval.Null
+       ~starts:[ user ] ())

@@ -1,0 +1,32 @@
+(** Social-network backend in the style of Facebook TAO (paper §5.1).
+
+    A thin, typed layer over Weaver transactions and node programs: users,
+    friendships, posts with per-friend access control — the paper's Fig. 2
+    example — plus the reads TAO serves. Every update is one strictly
+    serializable transaction, which is precisely what rules out the
+    access-control anomalies §5.4 describes. *)
+
+type t
+
+val create : Weaver_core.Cluster.t -> t
+
+val add_user : t -> name:string -> (string, string) result
+(** Create a user vertex; returns its id. *)
+
+val befriend : t -> user:string -> friend_:string -> (unit, string) result
+(** Directed "friend" edge. *)
+
+val post_photo :
+  t -> owner:string -> visible_to:string list -> (string, string) result
+(** The paper's Fig. 2 transaction: create the photo vertex, the OWNS edge,
+    and one VISIBLE edge per permitted friend — atomically. Returns the
+    photo id. *)
+
+val friends : t -> user:string -> (string list, string) result
+(** Destinations of the user's "friend" edges. *)
+
+val can_see : t -> viewer:string -> photo:string -> (bool, string) result
+(** Access-control check: does a VISIBLE edge (photo → viewer) exist? *)
+
+val feed_degree : t -> user:string -> (int, string) result
+(** Out-degree of the user (TAO's count_edges). *)

@@ -1,0 +1,1 @@
+lib/baselines/blockchain_info.ml: Weaver_util

@@ -1,0 +1,1 @@
+lib/baselines/blockchain_info.mli: Weaver_util

@@ -1,0 +1,1 @@
+lib/baselines/graphlab_like.ml: Hashtbl List Option Weaver_workloads

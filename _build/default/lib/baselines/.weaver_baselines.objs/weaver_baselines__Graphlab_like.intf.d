@@ -1,0 +1,1 @@
+lib/baselines/graphlab_like.mli: Weaver_workloads

@@ -1,0 +1,1 @@
+lib/baselines/kineograph_like.ml: Hashtbl Weaver_sim

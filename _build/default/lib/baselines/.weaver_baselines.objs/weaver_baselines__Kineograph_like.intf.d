@@ -1,0 +1,1 @@
+lib/baselines/kineograph_like.mli: Weaver_sim

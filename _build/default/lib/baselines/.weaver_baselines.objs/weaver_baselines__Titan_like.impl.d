@@ -1,0 +1,1 @@
+lib/baselines/titan_like.ml: Hashtbl List Queue Weaver_sim Weaver_util Weaver_workloads

@@ -1,0 +1,1 @@
+lib/baselines/titan_like.mli: Weaver_sim Weaver_util

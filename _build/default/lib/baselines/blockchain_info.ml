@@ -1,0 +1,13 @@
+let wan_latency = 13_000.0
+let per_tx_cost_low = 5_000.0
+let per_tx_cost_high = 8_000.0
+
+let block_query_latency ?rng ~n_tx () =
+  let per_tx =
+    match rng with
+    | Some rng ->
+        per_tx_cost_low
+        +. Weaver_util.Xrand.float rng (per_tx_cost_high -. per_tx_cost_low)
+    | None -> (per_tx_cost_low +. per_tx_cost_high) /. 2.0
+  in
+  wan_latency +. (float_of_int n_tx *. per_tx)

@@ -1,0 +1,96 @@
+module Graphgen = Weaver_workloads.Graphgen
+
+type graph = { adj : (string, string list) Hashtbl.t }
+
+let load (g : Graphgen.t) =
+  let adj = Hashtbl.create (g.Graphgen.n_vertices * 2) in
+  List.iter (fun (vid, nbrs) -> Hashtbl.replace adj vid nbrs) (Graphgen.adjacency g);
+  { adj }
+
+type mode = Sync | Async
+
+type cost_model = {
+  machines : int;
+  vertex_cost : float;
+  barrier_cost : float;
+  lock_cost : float;
+  startup_cost : float;
+}
+
+let default_costs =
+  {
+    machines = 6;
+    vertex_cost = 1.0;
+    barrier_cost = 600.0; (* several RTTs of straggler wait per superstep *)
+    lock_cost = 2.5; (* one neighbour lock per scattered edge *)
+    startup_cost = 200.0;
+  }
+
+(* per-level (frontier size, edges scanned), stopping early when [until]
+   is reached *)
+let bfs_frontiers graph ~src ~until =
+  let visited = Hashtbl.create 256 in
+  Hashtbl.replace visited src ();
+  let frontier = ref [ src ] in
+  let levels = ref [] in
+  let found = ref (Some src = until) in
+  while !frontier <> [] && not !found do
+    let next = ref [] in
+    let edges = ref 0 in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun n ->
+            incr edges;
+            if not (Hashtbl.mem visited n) then begin
+              Hashtbl.replace visited n ();
+              if until = Some n then found := true;
+              next := n :: !next
+            end)
+          (Option.value ~default:[] (Hashtbl.find_opt graph.adj v)))
+      !frontier;
+    levels := (List.length !frontier, !edges) :: !levels;
+    frontier := !next
+  done;
+  if !frontier <> [] then levels := (List.length !frontier, 0) :: !levels;
+  List.rev !levels
+
+let bfs_levels graph ~src =
+  List.map fst (bfs_frontiers graph ~src ~until:None)
+
+(* Gather-apply-scatter examines every edge of the frontier, so edge counts
+   dominate the per-superstep work, exactly as in Weaver's traversal. *)
+let reachability_latency graph ~mode ~costs ~src ~dst =
+  (* both engines run the propagation to its fixpoint over the whole
+     reachable component — GraphLab's engines cannot terminate a
+     computation early on "target found", they iterate until no vertex
+     signals; [dst] only names the query *)
+  ignore dst;
+  let levels = bfs_frontiers graph ~src ~until:None in
+  let total_visits = List.fold_left (fun a (v, _) -> a + v) 0 levels in
+  let total_edges = List.fold_left (fun a (_, e) -> a + e) 0 levels in
+  let machines = float_of_int costs.machines in
+  match mode with
+  | Sync ->
+      (* every BFS level is one superstep closed by a global barrier;
+         per-level edge work parallelises across machines, but stragglers
+         (skewed frontiers) inflate the critical path *)
+      let straggler = 1.5 in
+      List.fold_left
+        (fun acc (frontier, edges) ->
+          let work =
+            ceil (float_of_int (frontier + edges) /. machines)
+            *. costs.vertex_cost *. straggler
+          in
+          acc +. work +. costs.barrier_cost)
+        costs.startup_cost levels
+  | Async ->
+      (* no barriers, but each visit locks its neighbourhood before
+         applying; lock traffic does not parallelise away on hot vertices *)
+      let work =
+        float_of_int (total_visits + total_edges) *. costs.vertex_cost /. machines
+      in
+      let locks =
+        float_of_int total_visits *. costs.lock_cost *. (1.0 /. machines +. 0.25)
+      in
+      costs.startup_cost +. work +. locks

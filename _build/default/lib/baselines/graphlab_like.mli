@@ -1,0 +1,47 @@
+(** GraphLab-style offline traversal engines (paper §6.3, Fig. 11).
+
+    The paper compares Weaver's reachability node programs against
+    GraphLab v2.2 in both execution modes and attributes the latency gap to
+    the engines' concurrency control:
+
+    - the {b synchronous} engine runs gather–apply–scatter in supersteps
+      separated by global barriers — every level of a BFS pays a full
+      cluster barrier even when the frontier is tiny;
+    - the {b asynchronous} engine avoids barriers but serializes
+      neighbouring vertex updates with distributed locking, paying a lock
+      acquisition per frontier edge.
+
+    This module reproduces those mechanisms over the generator graphs: a
+    real BFS computes the per-level frontiers, and the engine model charges
+    the corresponding barrier or locking costs on the simulated cluster.
+    Both engines operate on a static graph — GraphLab cannot ingest
+    updates during a computation, which is exactly the capability gap the
+    paper highlights. *)
+
+type graph
+
+val load : Weaver_workloads.Graphgen.t -> graph
+(** Freeze a generator graph into the engine's in-memory format. *)
+
+type mode = Sync | Async
+
+type cost_model = {
+  machines : int;  (** worker machines *)
+  vertex_cost : float;  (** µs to process one vertex visit *)
+  barrier_cost : float;  (** µs per global barrier (sync engine) *)
+  lock_cost : float;  (** µs per neighbour-lock acquisition (async engine) *)
+  startup_cost : float;  (** µs to launch the computation *)
+}
+
+val default_costs : cost_model
+(** Calibrated against the same per-vertex cost the Weaver simulation uses,
+    with barrier and lock costs derived from its network latency. *)
+
+val bfs_levels : graph -> src:string -> int list
+(** Frontier sizes per BFS level from [src] (level 0 = 1). *)
+
+val reachability_latency :
+  graph -> mode:mode -> costs:cost_model -> src:string -> dst:string -> float
+(** Virtual µs to answer one reachability query: the full BFS fixpoint
+    from [src] (GraphLab's engines cannot stop early on "target found"),
+    charged under the given engine model. *)

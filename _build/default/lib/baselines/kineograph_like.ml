@@ -1,0 +1,44 @@
+module Engine = Weaver_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  epoch_length : float;
+  buffered : (string, int * float) Hashtbl.t; (* open epoch: value, update time *)
+  sealed : (string, int * float) Hashtbl.t; (* last sealed snapshot *)
+  mutable epochs : int;
+}
+
+let seal t =
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.sealed k v) t.buffered;
+  Hashtbl.reset t.buffered;
+  t.epochs <- t.epochs + 1
+
+let create engine ~epoch_length =
+  assert (epoch_length > 0.0);
+  let t =
+    {
+      engine;
+      epoch_length;
+      buffered = Hashtbl.create 256;
+      sealed = Hashtbl.create 256;
+      epochs = 0;
+    }
+  in
+  Engine.every engine ~period:epoch_length (fun () ->
+      seal t;
+      true);
+  t
+
+let update t ~key ~value =
+  Hashtbl.replace t.buffered key (value, Engine.now t.engine)
+
+let query t ~key =
+  match Hashtbl.find_opt t.sealed key with Some (v, _) -> Some v | None -> None
+
+let query_staleness t ~key =
+  match Hashtbl.find_opt t.sealed key with
+  | Some (_, at) -> Some (Engine.now t.engine -. at)
+  | None -> None
+
+let epochs_sealed t = t.epochs
+let pending_updates t = Hashtbl.length t.buffered

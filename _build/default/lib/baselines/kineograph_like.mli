@@ -1,0 +1,30 @@
+(** Kineograph-style epoch-snapshot processing (paper §7, Related Work).
+
+    Kineograph "decouples updates from queries and executes queries on a
+    stale snapshot ... new updates are delayed and buffered until the end
+    of 10 second epochs". This baseline reproduces that freshness model:
+    updates buffer in the current epoch and become visible only when the
+    epoch closes, while queries always run against the last sealed
+    snapshot. The interesting metric is {e staleness} — how old the data a
+    query sees is — which the freshness bench compares against Weaver's
+    refinable timestamps (updates visible within a commit round trip). *)
+
+type t
+
+val create : Weaver_sim.Engine.t -> epoch_length:float -> t
+(** [epoch_length] in virtual µs; Kineograph's default is 10 s. Epoch
+    sealing is driven by the engine clock. *)
+
+val update : t -> key:string -> value:int -> unit
+(** Buffer an update into the open epoch. *)
+
+val query : t -> key:string -> int option
+(** Read from the last sealed snapshot ([None] if the key has never been
+    sealed). *)
+
+val query_staleness : t -> key:string -> float option
+(** Age (µs) of the value {!query} returns: now minus the buffered-update
+    time of the visible version. *)
+
+val epochs_sealed : t -> int
+val pending_updates : t -> int

@@ -1,0 +1,125 @@
+module Engine = Weaver_sim.Engine
+module Xrand = Weaver_util.Xrand
+module Stats = Weaver_util.Stats
+
+type lock = { mutable held : bool; waiters : (unit -> unit) Queue.t }
+
+type t = {
+  engine : Engine.t;
+  rtt : float;
+  locks : (string, lock) Hashtbl.t;
+  mutable held_count : int;
+}
+
+let create engine ~rtt = { engine; rtt; locks = Hashtbl.create 1024; held_count = 0 }
+
+let locks_held t = t.held_count
+
+let lock_of t key =
+  match Hashtbl.find_opt t.locks key with
+  | Some l -> l
+  | None ->
+      let l = { held = false; waiters = Queue.create () } in
+      Hashtbl.replace t.locks key l;
+      l
+
+(* Acquire after one round trip to the lock's owner shard; if contended,
+   join the FIFO wait queue. *)
+let acquire t key k =
+  Engine.schedule t.engine ~delay:t.rtt (fun () ->
+      let l = lock_of t key in
+      if l.held then Queue.push k l.waiters
+      else begin
+        l.held <- true;
+        t.held_count <- t.held_count + 1;
+        k ()
+      end)
+
+let release t key =
+  let l = lock_of t key in
+  assert l.held;
+  if Queue.is_empty l.waiters then begin
+    l.held <- false;
+    t.held_count <- t.held_count - 1
+  end
+  else begin
+    (* hand over directly: lock stays held, next waiter runs *)
+    let k = Queue.pop l.waiters in
+    k ()
+  end
+
+(* Lock all objects in canonical order (global deadlock avoidance, as
+   Titan's lock manager does), run the body, then 2PC and release. *)
+let with_locks t keys body k =
+  let keys = List.sort_uniq compare keys in
+  let rec acquire_all = function
+    | [] ->
+        body (fun () ->
+            (* 2PC: prepare + commit round trips, then piggybacked release *)
+            Engine.schedule t.engine ~delay:(2.0 *. t.rtt) (fun () ->
+                List.iter (release t) keys;
+                k ()))
+    | key :: rest -> acquire t key (fun () -> acquire_all rest)
+  in
+  acquire_all keys
+
+module Driver = struct
+  type result = {
+    completed : int;
+    duration : float;
+    throughput : float;
+    read_latencies : Stats.t;
+    write_latencies : Stats.t;
+  }
+
+  let spawn_client t ~rng ~vertices ~read_fraction ~theta ~objects_per_op ~state =
+    let completed, reads, writes, window_start = state in
+    let exec_cost = 5.0 in
+    let rec next () =
+      let t0 = Engine.now t.engine in
+      let op = Weaver_workloads.Tao.gen_op ~rng ~vertices ~read_fraction ~theta () in
+      let is_read, objects =
+        match op with
+        | Weaver_workloads.Tao.Get_edges v
+        | Weaver_workloads.Tao.Count_edges v
+        | Weaver_workloads.Tao.Get_node v ->
+            (true, List.init objects_per_op (fun i -> v ^ "#" ^ string_of_int i))
+        | Weaver_workloads.Tao.Create_edge (s, d) ->
+            (false, [ s ^ "#0"; s ^ "#1"; d ^ "#0" ])
+        | Weaver_workloads.Tao.Delete_edge v ->
+            (false, List.init objects_per_op (fun i -> v ^ "#" ^ string_of_int i))
+      in
+      with_locks t objects
+        (fun k -> Engine.schedule t.engine ~delay:exec_cost k)
+        (fun () ->
+          if Engine.now t.engine >= !window_start then begin
+            incr completed;
+            let lat = Engine.now t.engine -. t0 in
+            Stats.add (if is_read then reads else writes) lat
+          end;
+          next ())
+    in
+    next ()
+
+  let run t ~vertices ~clients ~duration
+      ?(read_fraction = Weaver_workloads.Tao.table1_read_fraction) ?(theta = 0.75)
+      ?(objects_per_op = 2) () =
+    assert (clients > 0 && duration > 0.0);
+    let master = Engine.rng t.engine in
+    let completed = ref 0 in
+    let reads = Stats.create () and writes = Stats.create () in
+    let window_start = ref (Engine.now t.engine) in
+    let state = (completed, reads, writes, window_start) in
+    for _ = 1 to clients do
+      let rng = Xrand.split master in
+      spawn_client t ~rng ~vertices ~read_fraction ~theta ~objects_per_op ~state
+    done;
+    Engine.run ~until:(Engine.now t.engine +. duration) t.engine;
+    {
+      completed = !completed;
+      duration;
+      throughput = float_of_int !completed /. (duration /. 1_000_000.0);
+      read_latencies = reads;
+      write_latencies = writes;
+    }
+end

@@ -1,0 +1,45 @@
+(** Titan-style concurrency control: distributed two-phase locking with a
+    two-phase commit (paper §6.2, citing Titan's locking design [51]).
+
+    The paper attributes Titan's flat ~2,000 tx/s to this mechanism: every
+    transaction — read or write alike — pessimistically locks all objects
+    it touches, then runs two-phase commit across the involved shards.
+    This module reproduces the mechanism, not Titan's code: a lock table
+    with FIFO waiters lives on the same discrete-event engine, every lock
+    acquisition costs a network round trip, and conflicting transactions
+    queue behind each other. Throughput is therefore bounded by fixed
+    coordination cost and hot-vertex serialization, and is largely
+    insensitive to the read/write mix — the Fig. 9 shape. *)
+
+type t
+
+val create : Weaver_sim.Engine.t -> rtt:float -> t
+(** A lock service on the engine; [rtt] is the round-trip cost of one lock
+    or 2PC message in µs. *)
+
+val locks_held : t -> int
+
+(** Closed-loop driver mirroring {!Weaver_workloads.Tao.Driver}. *)
+module Driver : sig
+  type result = {
+    completed : int;
+    duration : float;
+    throughput : float;
+    read_latencies : Weaver_util.Stats.t;
+    write_latencies : Weaver_util.Stats.t;
+  }
+
+  val run :
+    t ->
+    vertices:string array ->
+    clients:int ->
+    duration:float ->
+    ?read_fraction:float ->
+    ?theta:float ->
+    ?objects_per_op:int ->
+    unit ->
+    result
+  (** Run the TAO mix where every operation locks its objects
+      ([objects_per_op] = 2 by default: vertex + adjacency), executes, runs
+      2PC, and unlocks. *)
+end

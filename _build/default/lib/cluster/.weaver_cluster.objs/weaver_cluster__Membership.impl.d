@@ -1,0 +1,1 @@
+lib/cluster/membership.ml: Hashtbl List

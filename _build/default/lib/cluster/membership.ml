@@ -1,0 +1,40 @@
+type role = Gatekeeper | Shard
+
+type server = { role : role; mutable last_heartbeat : float; mutable alive : bool }
+
+type t = { servers : (int, server) Hashtbl.t; mutable epoch : int }
+
+let create () = { servers = Hashtbl.create 16; epoch = 0 }
+
+let register t ~id ~role ~now =
+  Hashtbl.replace t.servers id { role; last_heartbeat = now; alive = true }
+
+let heartbeat t ~id ~now =
+  match Hashtbl.find_opt t.servers id with
+  | Some s when s.alive -> s.last_heartbeat <- now
+  | _ -> ()
+
+let detect_failures t ~now ~timeout =
+  Hashtbl.fold
+    (fun id s acc ->
+      if s.alive && now -. s.last_heartbeat > timeout then begin
+        s.alive <- false;
+        (id, s.role) :: acc
+      end
+      else acc)
+    t.servers []
+
+let is_alive t ~id =
+  match Hashtbl.find_opt t.servers id with Some s -> s.alive | None -> false
+
+let live t ~role =
+  Hashtbl.fold
+    (fun id s acc -> if s.alive && s.role = role then id :: acc else acc)
+    t.servers []
+  |> List.sort compare
+
+let epoch t = t.epoch
+
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  t.epoch

@@ -1,0 +1,38 @@
+(** Cluster membership, heartbeat-based failure detection, and epochs
+    (paper §3.2 "Cluster Manager", §4.3).
+
+    This is the pure state machine behind Weaver's cluster manager: servers
+    register, send periodic heartbeats, and are declared failed when their
+    last heartbeat is older than the timeout. Every failure triggers an
+    {e epoch} bump; the manager actor in [weaver_core] drives the barrier
+    protocol that moves all servers to the new epoch in unison and recovers
+    the failed server's state from the backing store. *)
+
+type role = Gatekeeper | Shard
+
+type t
+
+val create : unit -> t
+
+val register : t -> id:int -> role:role -> now:float -> unit
+(** Add (or re-add, after replacement) a server. Registration counts as a
+    heartbeat. *)
+
+val heartbeat : t -> id:int -> now:float -> unit
+(** Record a heartbeat; ignored for unknown or failed servers (a failed
+    server must re-register). *)
+
+val detect_failures : t -> now:float -> timeout:float -> (int * role) list
+(** Servers whose last heartbeat is older than [timeout] µs. They are
+    marked failed and removed from the live set; each call returns only
+    newly failed servers. *)
+
+val is_alive : t -> id:int -> bool
+val live : t -> role:role -> int list
+(** Live server ids of the given role, ascending. *)
+
+val epoch : t -> int
+
+val bump_epoch : t -> int
+(** Increment and return the new epoch (called by the manager when it
+    initiates reconfiguration). *)

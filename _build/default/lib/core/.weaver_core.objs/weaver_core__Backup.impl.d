@@ -1,0 +1,1 @@
+lib/core/backup.ml: Cluster Config List Printf Runtime String Weaver_graph Weaver_store Weaver_util Weaver_vclock

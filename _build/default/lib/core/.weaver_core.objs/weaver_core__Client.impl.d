@@ -1,0 +1,1 @@
+lib/core/client.ml: Config Hashtbl List Msg Option Printf Progval Result Runtime Txop Weaver_sim Weaver_util Weaver_vclock

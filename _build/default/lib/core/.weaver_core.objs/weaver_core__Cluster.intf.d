@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Client Config Nodeprog Runtime Weaver_graph

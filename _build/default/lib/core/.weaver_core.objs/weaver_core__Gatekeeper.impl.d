@@ -1,0 +1,1 @@
+lib/core/gatekeeper.ml: Array Config Float Hashtbl List Msg Nodeprog Option Progval Runtime String Txop Weaver_graph Weaver_partition Weaver_sim Weaver_store Weaver_vclock

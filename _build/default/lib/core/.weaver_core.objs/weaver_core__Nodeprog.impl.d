@@ -1,0 +1,1 @@
+lib/core/nodeprog.ml: Hashtbl List Progval Weaver_graph Weaver_vclock

@@ -1,0 +1,1 @@
+lib/core/nodeprog.mli: Progval Weaver_graph Weaver_vclock

@@ -1,0 +1,1 @@
+lib/core/progval.ml: Float Format List String

@@ -1,0 +1,1 @@
+lib/core/progval.mli: Format

@@ -1,0 +1,1 @@
+lib/core/rebalance.ml: Client Cluster Config Hashtbl List Runtime String Weaver_graph Weaver_partition Weaver_store

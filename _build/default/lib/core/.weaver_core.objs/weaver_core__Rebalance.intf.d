@@ -1,0 +1,1 @@
+lib/core/rebalance.mli: Client Cluster Weaver_partition

@@ -1,0 +1,1 @@
+lib/core/replica.ml: Config Float Hashtbl List Msg Nodeprog Progval Queue Runtime String Weaver_graph Weaver_sim Weaver_store Weaver_vclock

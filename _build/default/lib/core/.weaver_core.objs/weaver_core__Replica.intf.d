@@ -1,0 +1,1 @@
+lib/core/replica.mli: Runtime Weaver_graph

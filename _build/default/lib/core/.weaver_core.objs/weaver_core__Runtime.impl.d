@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Config Hashtbl Msg Nodeprog String Weaver_graph Weaver_oracle Weaver_partition Weaver_sim Weaver_store Weaver_vclock

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Config Msg Nodeprog Weaver_graph Weaver_oracle Weaver_sim Weaver_store Weaver_vclock

@@ -1,0 +1,1 @@
+lib/core/shard.ml: Array Config Float Hashtbl List Msg Nodeprog Option Progval Queue Runtime String Weaver_graph Weaver_oracle Weaver_sim Weaver_store Weaver_vclock

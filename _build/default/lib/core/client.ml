@@ -1,0 +1,180 @@
+module Engine = Weaver_sim.Engine
+module Net = Weaver_sim.Net
+module Vclock = Weaver_vclock.Vclock
+module Idgen = Weaver_util.Idgen
+
+type t = {
+  rt : Runtime.t;
+  addr : int;
+  ids : Idgen.t;
+  mutable next_req : int;
+  mutable rr : int;
+  mutable timeout : float;
+  pending_tx : (int, ((string * Progval.t) list, string) result -> unit) Hashtbl.t;
+  pending_prog : (int, (Progval.t, string) result -> unit) Hashtbl.t;
+}
+
+let handle t ~src:_ msg =
+  match (msg : Msg.t) with
+  | Msg.Tx_reply { tx_id; result; reads } -> (
+      match Hashtbl.find_opt t.pending_tx tx_id with
+      | Some cb ->
+          Hashtbl.remove t.pending_tx tx_id;
+          cb (Result.map (fun () -> reads) result)
+      | None -> ())
+  | Msg.Prog_reply { prog_id; result } -> (
+      match Hashtbl.find_opt t.pending_prog prog_id with
+      | Some cb ->
+          Hashtbl.remove t.pending_prog prog_id;
+          cb result
+      | None -> ())
+  | _ -> ()
+
+let create rt =
+  let t =
+    {
+      rt;
+      addr = Runtime.fresh_client_addr rt;
+      ids = Idgen.create ();
+      next_req = 0;
+      rr = 0;
+      timeout = 3_000_000.0;
+      pending_tx = Hashtbl.create 16;
+      pending_prog = Hashtbl.create 16;
+    }
+  in
+  Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
+  t
+
+let addr t = t.addr
+let set_timeout t d = t.timeout <- d
+
+let next_gk t =
+  let g = t.rr mod t.rt.Runtime.cfg.Config.n_gatekeepers in
+  t.rr <- t.rr + 1;
+  Runtime.gk_addr t.rt g
+
+let fresh_req t =
+  t.next_req <- t.next_req + 1;
+  (t.addr * 1_000_000) + t.next_req
+
+module Tx = struct
+  type tx = { client : t; mutable ops : Txop.t list (* newest first *) }
+
+  let begin_ client = { client; ops = [] }
+  let add tx op = tx.ops <- op :: tx.ops
+
+  let create_vertex tx ?id () =
+    let vid =
+      match id with
+      | Some id -> id
+      | None -> Printf.sprintf "v%d_%d" tx.client.addr (Idgen.next tx.client.ids)
+    in
+    add tx (Txop.Create_vertex vid);
+    vid
+
+  let delete_vertex tx vid = add tx (Txop.Delete_vertex vid)
+
+  let create_edge tx ~src ~dst =
+    let eid = Printf.sprintf "e%d_%d" tx.client.addr (Idgen.next tx.client.ids) in
+    add tx (Txop.Create_edge { eid; src; dst });
+    eid
+
+  let delete_edge tx ~src ~eid = add tx (Txop.Delete_edge { eid; src })
+
+  let set_vertex_prop tx ~vid ~key ~value = add tx (Txop.Set_vertex_prop { vid; key; value })
+  let del_vertex_prop tx ~vid ~key = add tx (Txop.Del_vertex_prop { vid; key })
+
+  let set_edge_prop tx ~src ~eid ~key ~value =
+    add tx (Txop.Set_edge_prop { src; eid; key; value })
+
+  let del_edge_prop tx ~src ~eid ~key = add tx (Txop.Del_edge_prop { src; eid; key })
+  let read_vertex tx vid = add tx (Txop.Read_vertex vid)
+  let op_count tx = List.length tx.ops
+end
+
+let commit_with_reads_async t (tx : Tx.tx) ~on_result =
+  let tx_id = fresh_req t in
+  Hashtbl.replace t.pending_tx tx_id on_result;
+  Net.send t.rt.Runtime.net ~src:t.addr ~dst:(next_gk t)
+    (Msg.Tx_req { client = t.addr; tx_id; ops = List.rev tx.Tx.ops });
+  Engine.schedule t.rt.Runtime.engine ~delay:t.timeout (fun () ->
+      match Hashtbl.find_opt t.pending_tx tx_id with
+      | Some cb ->
+          Hashtbl.remove t.pending_tx tx_id;
+          cb (Error "timeout")
+      | None -> ())
+
+let commit_async t tx ~on_result =
+  commit_with_reads_async t tx ~on_result:(fun r -> on_result (Result.map ignore r))
+
+let run_program_async t ~prog ~params ~starts ?at ?(consistency = `Strong) ~on_result () =
+  let rec attempt tries =
+    let prog_id = fresh_req t in
+    let finish r =
+      match r with
+      | Error ("timeout" | "epoch-change") when tries < 3 -> attempt (tries + 1)
+      | r -> on_result r
+    in
+    Hashtbl.replace t.pending_prog prog_id finish;
+    Net.send t.rt.Runtime.net ~src:t.addr ~dst:(next_gk t)
+      (Msg.Prog_req
+         { client = t.addr; prog_id; prog; params; starts; at; weak = consistency = `Weak });
+    Engine.schedule t.rt.Runtime.engine ~delay:t.timeout (fun () ->
+        match Hashtbl.find_opt t.pending_prog prog_id with
+        | Some cb ->
+            Hashtbl.remove t.pending_prog prog_id;
+            cb (Error "timeout")
+        | None -> ())
+  in
+  attempt 0
+
+let migrate_async t ~vid ~to_shard ~on_result =
+  let tx_id = fresh_req t in
+  Hashtbl.replace t.pending_tx tx_id (fun r -> on_result (Result.map ignore r));
+  Net.send t.rt.Runtime.net ~src:t.addr ~dst:(next_gk t)
+    (Msg.Migrate_req { client = t.addr; tx_id; vid; to_shard });
+  Engine.schedule t.rt.Runtime.engine ~delay:t.timeout (fun () ->
+      match Hashtbl.find_opt t.pending_tx tx_id with
+      | Some cb ->
+          Hashtbl.remove t.pending_tx tx_id;
+          cb (Error "timeout")
+      | None -> ())
+
+(* Drive the simulation in bounded slices until the callback fires. The
+   engine never idles (periodic server timers), so run in windows. *)
+let sync_wait rt result =
+  let budget = ref 120_000 in
+  while Option.is_none !result && !budget > 0 do
+    decr budget;
+    let target = Engine.now rt.Runtime.engine +. 1_000.0 in
+    Engine.run ~until:target rt.Runtime.engine
+  done;
+  match !result with Some r -> r | None -> Error "simulation stalled"
+
+let commit t tx =
+  let result = ref None in
+  commit_async t tx ~on_result:(fun r -> result := Some r);
+  sync_wait t.rt result
+
+let rec commit_with_retry ?(attempts = 5) t tx =
+  match commit t tx with
+  | Error "conflict" when attempts > 1 -> commit_with_retry ~attempts:(attempts - 1) t tx
+  | r -> r
+
+let commit_with_reads t tx =
+  let result = ref None in
+  commit_with_reads_async t tx ~on_result:(fun r -> result := Some r);
+  sync_wait t.rt result
+
+let migrate t ~vid ~to_shard =
+  let result = ref None in
+  migrate_async t ~vid ~to_shard ~on_result:(fun r -> result := Some r);
+  sync_wait t.rt result
+
+let run_program t ~prog ~params ~starts ?at ?consistency () =
+  let result = ref None in
+  run_program_async t ~prog ~params ~starts ?at ?consistency
+    ~on_result:(fun r -> result := Some r)
+    ();
+  sync_wait t.rt result

@@ -1,0 +1,115 @@
+(** Client sessions — the public face of the database (paper §2.2, §2.3).
+
+    A client buffers graph updates inside a transaction block and submits
+    them as a batch to a gatekeeper ({!Tx}), and invokes node programs over
+    start vertices ({!run_program}). Both come in asynchronous
+    (callback-based, for closed-loop benchmark drivers) and synchronous
+    (engine-driving, for examples and tests) flavours.
+
+    Synchronous calls advance the simulation until the reply arrives, so
+    they must not be nested inside another actor's handler. *)
+
+type t
+
+val create : Runtime.t -> t
+(** New client with its own network address, connecting to gatekeepers
+    round-robin. *)
+
+val addr : t -> int
+
+(** Transaction blocks (paper Fig. 2). *)
+module Tx : sig
+  type tx
+
+  val begin_ : t -> tx
+
+  val create_vertex : tx -> ?id:string -> unit -> string
+  (** Buffer a vertex creation; returns its handle (auto-generated unless
+      [id] is given). *)
+
+  val delete_vertex : tx -> string -> unit
+
+  val create_edge : tx -> src:string -> dst:string -> string
+  (** Buffer an edge creation; returns the edge handle. *)
+
+  val delete_edge : tx -> src:string -> eid:string -> unit
+  val set_vertex_prop : tx -> vid:string -> key:string -> value:string -> unit
+  val del_vertex_prop : tx -> vid:string -> key:string -> unit
+  val set_edge_prop : tx -> src:string -> eid:string -> key:string -> value:string -> unit
+  val del_edge_prop : tx -> src:string -> eid:string -> key:string -> unit
+
+  val read_vertex : tx -> string -> unit
+  (** Declare an optimistic read dependency: commit fails if the vertex is
+      concurrently modified. *)
+
+  val op_count : tx -> int
+end
+
+val commit_async : t -> Tx.tx -> on_result:((unit, string) result -> unit) -> unit
+(** Submit the batch to a gatekeeper. The callback fires exactly once, with
+    [Error "timeout"] if no reply arrives within the client timeout (e.g.
+    the gatekeeper crashed). *)
+
+val commit : t -> Tx.tx -> (unit, string) result
+(** Synchronous {!commit_async}: drives the simulation until the reply. *)
+
+val run_program_async :
+  t ->
+  prog:string ->
+  params:Progval.t ->
+  starts:string list ->
+  ?at:Runtime.Vclock.t ->
+  ?consistency:[ `Strong | `Weak ] ->
+  on_result:((Progval.t, string) result -> unit) ->
+  unit ->
+  unit
+(** Invoke a registered node program. [?at] targets a past snapshot
+    (historical query on the multi-version graph); omit it for "now".
+    [?consistency] defaults to [`Strong] (strictly serializable, on the
+    primaries); [`Weak] routes to read-only shard replicas when the
+    deployment has them (§6.4) — lower load on primaries, but reads may
+    miss recently committed writes. Retries transparently on gatekeeper
+    failure (programs are read-only). *)
+
+val run_program :
+  t ->
+  prog:string ->
+  params:Progval.t ->
+  starts:string list ->
+  ?at:Runtime.Vclock.t ->
+  ?consistency:[ `Strong | `Weak ] ->
+  unit ->
+  (Progval.t, string) result
+(** Synchronous {!run_program_async}. *)
+
+val set_timeout : t -> float -> unit
+(** Reply timeout in virtual µs (default 3 s). *)
+
+val commit_with_reads_async :
+  t ->
+  Tx.tx ->
+  on_result:(((string * Progval.t) list, string) result -> unit) ->
+  unit
+(** Like {!commit_async}, additionally returning one [(vid, summary)] pair
+    per {!Tx.read_vertex} operation, read inside the same atomic store
+    transaction. A summary is [Assoc {vid; degree; out; props}], or [Null]
+    if the vertex does not exist. *)
+
+val commit_with_reads :
+  t -> Tx.tx -> ((string * Progval.t) list, string) result
+(** Synchronous {!commit_with_reads_async}. *)
+
+val migrate_async :
+  t -> vid:string -> to_shard:int -> on_result:((unit, string) result -> unit) -> unit
+(** Relocate a vertex to another shard (dynamic colocation, §4.6). The
+    move is serialized like a transaction: the directory entry changes
+    atomically, and subsequent operations — including ones racing the
+    move — route to the new owner. *)
+
+val migrate : t -> vid:string -> to_shard:int -> (unit, string) result
+(** Synchronous {!migrate_async}. *)
+
+val commit_with_retry : ?attempts:int -> t -> Tx.tx -> (unit, string) result
+(** {!commit} that resubmits on OCC [conflict] aborts (the retry loop §4.2
+    prescribes — a fresh submission gets a fresh, higher timestamp). At
+    most [attempts] tries (default 5); other errors are returned as-is. *)

@@ -1,0 +1,232 @@
+module Engine = Weaver_sim.Engine
+module Net = Weaver_sim.Net
+module Store = Weaver_store.Store
+module Oracle = Weaver_oracle.Oracle
+module Membership = Weaver_cluster.Membership
+module Vclock = Weaver_vclock.Vclock
+
+type manager = {
+  m_rt : Runtime.t;
+  m_addr : int;
+  membership : Membership.t;
+  m_wm : (int, Vclock.t) Hashtbl.t; (* gatekeeper → latest watermark *)
+  mutable acks : int;
+}
+
+type t = {
+  rt : Runtime.t;
+  mutable gks : Gatekeeper.t array;
+  mutable shards : Shard.t array;
+  mutable replicas : Replica.t array array; (* [shard].[replica] *)
+  mgr : manager;
+  trace_ring : (float * int * int * string) Queue.t;
+}
+
+let config t = t.rt.Runtime.cfg
+let runtime t = t.rt
+let registry t = t.rt.Runtime.registry
+let counters t = t.rt.Runtime.counters
+let client t = Client.create t.rt
+let register_program t p = Nodeprog.register t.rt.Runtime.registry p
+let now t = Engine.now t.rt.Runtime.engine
+
+let run_for t dur =
+  let engine = t.rt.Runtime.engine in
+  Engine.run ~until:(Engine.now engine +. dur) engine
+
+let oracle_queries t = Runtime.oracle_queries_served t.rt
+let epoch t = Membership.epoch t.mgr.membership
+
+(* ------------------------------------------------------------------ *)
+(* Cluster manager (§3.2, §4.3): failure detection by heartbeat timeout,
+   replacement spawning, epoch barrier, and oracle GC. *)
+
+let recover cluster failures =
+  let mgr = cluster.mgr in
+  let rt = cluster.rt in
+  let new_epoch = Membership.bump_epoch mgr.membership in
+  let old_epoch = new_epoch - 1 in
+  List.iter
+    (fun (id, role) ->
+      rt.Runtime.counters.Runtime.recoveries <-
+        rt.Runtime.counters.Runtime.recoveries + 1;
+      match (role : Membership.role) with
+      | Membership.Gatekeeper ->
+          let gid = id in
+          Gatekeeper.retire cluster.gks.(gid);
+          (* replacement registers a fresh handler at the same address and
+             re-registers with the manager *)
+          cluster.gks.(gid) <- Gatekeeper.spawn rt ~gid ~epoch:old_epoch;
+          Membership.register mgr.membership ~id ~role
+            ~now:(Engine.now rt.Runtime.engine)
+      | Membership.Shard ->
+          let sid = id - rt.Runtime.cfg.Config.n_gatekeepers in
+          Shard.retire cluster.shards.(sid);
+          cluster.shards.(sid) <- Shard.spawn rt ~sid ~epoch:old_epoch;
+          Membership.register mgr.membership ~id ~role
+            ~now:(Engine.now rt.Runtime.engine))
+    failures;
+  (* the barrier: move every server to the new epoch in unison (§4.3) *)
+  mgr.acks <- 0;
+  for g = 0 to rt.Runtime.cfg.Config.n_gatekeepers - 1 do
+    Net.send rt.Runtime.net ~src:mgr.m_addr ~dst:(Runtime.gk_addr rt g)
+      (Msg.Epoch_change { epoch = new_epoch })
+  done;
+  for s = 0 to rt.Runtime.cfg.Config.n_shards - 1 do
+    Net.send rt.Runtime.net ~src:mgr.m_addr ~dst:(Runtime.shard_addr rt s)
+      (Msg.Epoch_change { epoch = new_epoch })
+  done
+
+let manager_handle cluster ~src:_ msg =
+  let mgr = cluster.mgr in
+  match (msg : Msg.t) with
+  | Msg.Heartbeat { server } ->
+      Membership.heartbeat mgr.membership ~id:server
+        ~now:(Engine.now cluster.rt.Runtime.engine)
+  | Msg.Epoch_ack { server = _; epoch = _ } -> mgr.acks <- mgr.acks + 1
+  | Msg.Watermark { gk; ts } ->
+      Hashtbl.replace mgr.m_wm gk ts;
+      if Hashtbl.length mgr.m_wm = cluster.rt.Runtime.cfg.Config.n_gatekeepers then begin
+        let wm =
+          Hashtbl.fold
+            (fun _ ts acc ->
+              match acc with
+              | None -> Some ts
+              | Some m -> Some (Runtime.stamp_min m ts))
+            mgr.m_wm None
+          |> Option.get
+        in
+        ignore (Runtime.oracle_gc cluster.rt ~watermark:wm)
+      end
+  | _ -> ()
+
+let start_manager cluster =
+  let rt = cluster.rt in
+  let mgr = cluster.mgr in
+  Net.register rt.Runtime.net mgr.m_addr (fun ~src msg ->
+      manager_handle cluster ~src msg);
+  let cfgv = rt.Runtime.cfg in
+  Engine.every rt.Runtime.engine ~period:cfgv.Config.heartbeat_period (fun () ->
+      let failures =
+        Membership.detect_failures mgr.membership
+          ~now:(Engine.now rt.Runtime.engine)
+          ~timeout:cfgv.Config.failure_timeout
+      in
+      if failures <> [] then recover cluster failures;
+      true)
+
+(* ------------------------------------------------------------------ *)
+
+let create cfg =
+  Config.validate cfg;
+  let rt = Runtime.create cfg in
+  let mgr =
+    {
+      m_rt = rt;
+      m_addr = Runtime.manager_addr rt;
+      membership = Membership.create ();
+      m_wm = Hashtbl.create 8;
+      acks = 0;
+    }
+  in
+  let cluster =
+    { rt; gks = [||]; shards = [||]; replicas = [||]; mgr; trace_ring = Queue.create () }
+  in
+  cluster.gks <-
+    Array.init cfg.Config.n_gatekeepers (fun gid -> Gatekeeper.spawn rt ~gid ~epoch:0);
+  cluster.shards <-
+    Array.init cfg.Config.n_shards (fun sid -> Shard.spawn rt ~sid ~epoch:0);
+  cluster.replicas <-
+    Array.init cfg.Config.n_shards (fun sid ->
+        Array.init cfg.Config.read_replicas (fun rid -> Replica.spawn rt ~sid ~rid));
+  Array.iter
+    (fun gk ->
+      Membership.register mgr.membership ~id:(Runtime.gk_addr rt (Gatekeeper.gid gk))
+        ~role:Membership.Gatekeeper ~now:0.0)
+    cluster.gks;
+  Array.iter
+    (fun sh ->
+      Membership.register mgr.membership ~id:(Runtime.shard_addr rt (Shard.sid sh))
+        ~role:Membership.Shard ~now:0.0)
+    cluster.shards;
+  start_manager cluster;
+  cluster
+
+let kill_gatekeeper t gid = Net.set_alive t.rt.Runtime.net (Runtime.gk_addr t.rt gid) false
+let kill_shard t sid = Net.set_alive t.rt.Runtime.net (Runtime.shard_addr t.rt sid) false
+
+let shard_vertex t ~shard vid = Shard.vertex t.shards.(shard) vid
+
+let stored_vertex t vid =
+  match Store.get_now t.rt.Runtime.store (Runtime.vkey vid) with
+  | Some (Runtime.Vrec v) -> Some v
+  | _ -> None
+
+let shard_of_vertex t vid = Runtime.shard_of_vertex t.rt vid
+let gk_clock t gid = Gatekeeper.clock t.gks.(gid)
+let shard_resident t sid = Shard.resident_vertices t.shards.(sid)
+
+let reload_shards t =
+  Array.iter Shard.reload t.shards;
+  Array.iter (Array.iter Replica.reload) t.replicas
+
+let replica_vertex t ~shard ~replica vid = Replica.vertex t.replicas.(shard).(replica) vid
+let replica_applied t ~shard ~replica = Replica.applied t.replicas.(shard).(replica)
+
+let shard_queue_depths t sid = Shard.queue_depths t.shards.(sid)
+
+let gk_tau t gid = Gatekeeper.current_tau t.gks.(gid)
+
+(* per-cluster ring buffer of recent messages, enabled on demand *)
+let enable_trace t ~capacity =
+  Net.set_tracer t.rt.Runtime.net
+    (Some
+       (fun ~time ~src ~dst msg ->
+         if Queue.length t.trace_ring >= capacity then ignore (Queue.pop t.trace_ring);
+         Queue.push (time, src, dst, Format.asprintf "%a" Msg.pp msg) t.trace_ring))
+
+let disable_trace t = Net.set_tracer t.rt.Runtime.net None
+
+let trace t = Queue.fold (fun acc entry -> entry :: acc) [] t.trace_ring |> List.rev
+
+let clear_trace t = Queue.clear t.trace_ring
+
+let report t =
+  let c = t.rt.Runtime.counters in
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "weaver cluster report @ %.0f us (epoch %d)" (now t) (epoch t);
+  line "  gatekeepers %d | shards %d | replicas/shard %d"
+    t.rt.Runtime.cfg.Config.n_gatekeepers t.rt.Runtime.cfg.Config.n_shards
+    t.rt.Runtime.cfg.Config.read_replicas;
+  line "  tx: committed %d, conflict-aborted %d, invalid %d" c.Runtime.tx_committed
+    c.Runtime.tx_aborted c.Runtime.tx_invalid;
+  line "  node programs completed %d (vertices read %d)" c.Runtime.progs_completed
+    c.Runtime.vertices_read;
+  line "  coordination: announces %d, nops %d, shard txs %d, prog batches %d"
+    c.Runtime.announce_msgs c.Runtime.nop_msgs c.Runtime.shard_tx_msgs
+    c.Runtime.prog_batch_msgs;
+  line "  oracle: consults %d, cache hits %d, events %d, edges %d"
+    c.Runtime.oracle_consults c.Runtime.oracle_cache_hits
+    (Oracle.event_count t.rt.Runtime.oracle)
+    (Oracle.edge_count t.rt.Runtime.oracle);
+  line "  store: keys %d, commits %d, aborts %d, journal %d"
+    (Store.length t.rt.Runtime.store)
+    (Store.commits t.rt.Runtime.store)
+    (Store.aborts t.rt.Runtime.store)
+    (Store.journal_length t.rt.Runtime.store);
+  line "  memory: page-ins %d, evictions %d | memo hits %d, invalidations %d"
+    c.Runtime.page_ins c.Runtime.evictions c.Runtime.memo_hits
+    c.Runtime.memo_invalidations;
+  line "  cluster: recoveries %d, migrations %d" c.Runtime.recoveries c.Runtime.migrations;
+  Buffer.contents b
+
+let kill_oracle_replica t i =
+  match t.rt.Runtime.oracle_chain with
+  | Some chain -> Weaver_oracle.Chain.kill chain i
+  | None -> invalid_arg "kill_oracle_replica: oracle is not replicated"
+
+let oracle_live_replicas t =
+  match t.rt.Runtime.oracle_chain with
+  | Some chain -> Weaver_oracle.Chain.live_count chain
+  | None -> 1

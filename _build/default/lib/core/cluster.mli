@@ -1,0 +1,101 @@
+(** A complete simulated Weaver deployment (paper Fig. 4): gatekeepers,
+    shard servers, the timeline oracle, the backing store, and the cluster
+    manager, wired over a FIFO network inside one discrete-event engine.
+
+    Typical use:
+    {[
+      let cluster = Cluster.create config in
+      Weaver_programs.Std.register_all (Cluster.registry cluster);
+      let client = Cluster.client cluster in
+      let tx = Client.Tx.begin_ client in
+      let v = Client.Tx.create_vertex tx () in
+      ...
+      match Client.commit client tx with ...
+    ]} *)
+
+type t
+
+val create : Config.t -> t
+(** Boot the deployment; servers and their periodic timers start
+    immediately at virtual time 0. *)
+
+val config : t -> Config.t
+val runtime : t -> Runtime.t
+val registry : t -> Nodeprog.registry
+val counters : t -> Runtime.counters
+
+val client : t -> Client.t
+(** A new client session. *)
+
+val register_program : t -> (module Nodeprog.PROGRAM) -> unit
+
+val now : t -> float
+(** Current virtual time, µs. *)
+
+val run_for : t -> float -> unit
+(** Advance the simulation by the given virtual duration. *)
+
+val oracle_queries : t -> int
+(** Total ordering requests served by the timeline oracle. *)
+
+val epoch : t -> int
+(** Current configuration epoch at the cluster manager. *)
+
+(** {1 Failure injection (§4.3)} *)
+
+val kill_gatekeeper : t -> int -> unit
+(** Crash-stop a gatekeeper. The manager detects the failure by heartbeat
+    timeout, spawns a replacement at the same address, and drives the
+    epoch barrier. *)
+
+val kill_shard : t -> int -> unit
+
+(** {1 Introspection for tests and tools} *)
+
+val shard_vertex : t -> shard:int -> string -> Weaver_graph.Mgraph.vertex option
+val stored_vertex : t -> string -> Weaver_graph.Mgraph.vertex option
+val shard_of_vertex : t -> string -> int
+val gk_clock : t -> int -> Runtime.Vclock.t
+val shard_resident : t -> int -> int
+
+val reload_shards : t -> unit
+(** Have every shard re-read its partition from the backing store. Used by
+    offline bulk loaders after installing records directly. *)
+
+val shard_queue_depths : t -> int -> int array
+(** Pending transactions per gatekeeper queue at shard [i] (tests). *)
+
+val replica_vertex :
+  t -> shard:int -> replica:int -> string -> Weaver_graph.Mgraph.vertex option
+(** In-memory record at a read-only replica (tests). *)
+
+val replica_applied : t -> shard:int -> replica:int -> int
+(** Replication-stream transactions applied by a replica (tests). *)
+
+val gk_tau : t -> int -> float
+(** Gatekeeper [i]'s current announce period (§3.5 adaptive τ). *)
+
+val report : t -> string
+(** Multi-line operational summary: virtual time, epoch, and every
+    {!Runtime.counters} field — the text a metrics endpoint would serve. *)
+
+(** {1 Message tracing}
+
+    A debugging aid: capture the last N messages crossing the simulated
+    network, with virtual timestamps and rendered payloads. *)
+
+val enable_trace : t -> capacity:int -> unit
+val disable_trace : t -> unit
+
+val trace : t -> (float * int * int * string) list
+(** [(time, src, dst, message)] entries, oldest first. *)
+
+val clear_trace : t -> unit
+
+val kill_oracle_replica : t -> int -> unit
+(** Crash one replica of the chain-replicated timeline oracle (requires
+    [Config.oracle_replicas > 1]; the last live replica is protected).
+    Killing the head promotes its successor (§3.4). *)
+
+val oracle_live_replicas : t -> int
+(** Live replicas of the oracle chain (1 when unreplicated). *)

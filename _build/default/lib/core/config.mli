@@ -1,0 +1,56 @@
+(** Deployment configuration for a simulated Weaver cluster. *)
+
+type t = {
+  n_gatekeepers : int;  (** timeline-coordinator gatekeeper servers (≥1) *)
+  n_shards : int;  (** shard servers holding graph partitions (≥1) *)
+  tau : float;
+      (** vector-clock announce period in µs (paper §3.3); the proactive
+          half of the refinable-timestamp tradeoff, swept in Fig. 14 *)
+  nop_period : float;
+      (** period of NOP transactions from gatekeepers to shards, bounding
+          node-program delay (§4.2); the paper uses 10 µs — the simulation
+          default is 100 µs to keep event counts manageable *)
+  net_base_latency : float;  (** one-way message latency, µs *)
+  net_jitter : float;  (** uniform extra latency, µs *)
+  store_op_cost : float;
+      (** backing-store cost per key accessed in a transaction, µs *)
+  gk_op_cost : float;
+      (** gatekeeper CPU time to admit one client request (timestamping,
+          dispatch), µs; gatekeepers serve requests serially, so this is
+          what makes them the bottleneck for vertex-local reads and lets
+          throughput scale with added gatekeepers (Fig. 12) *)
+  vertex_read_cost : float;
+      (** shard-side cost to read one vertex in a node program, µs *)
+  vertex_write_cost : float;  (** shard-side cost to apply one write, µs *)
+  heartbeat_period : float;  (** µs between server heartbeats *)
+  failure_timeout : float;  (** µs without heartbeat before declared dead *)
+  gc_period : float;  (** µs between GC watermark rounds; 0 disables GC *)
+  enable_memoization : bool;
+      (** node-program result caching with write invalidation (§4.6);
+          disabled in the headline benches, as in the paper *)
+  shard_capacity : int option;
+      (** max vertices resident in shard memory; [Some n] enables demand
+          paging from the backing store (§6.1), [None] = unbounded *)
+  page_in_cost : float;  (** µs to demand-page one vertex from the store *)
+  read_replicas : int;
+      (** read-only replicas per shard (paper §6.4, "similar to TAO"):
+          primaries stream applied transactions to them asynchronously and
+          clients may direct node programs at them with weak consistency —
+          reads can be stale, in exchange for extra read capacity *)
+  adaptive_tau : bool;
+      (** dynamic clock-synchronization period (§3.5): each gatekeeper
+          adjusts its announce period to the observed request rate —
+          quiescent systems announce rarely, busy ones often — seeking the
+          Fig. 14 sweet spot automatically; [tau] is the starting value *)
+  oracle_replicas : int;
+      (** chain-replication factor of the timeline oracle (§3.4: "chain
+          replicated for fault tolerance"); 1 = a single instance *)
+  seed : int;  (** master RNG seed; runs are deterministic per seed *)
+}
+
+val default : t
+(** 2 gatekeepers, 4 shards, τ = 1000 µs, NOPs every 10 µs, datacenter-like
+    latencies, GC every 50 ms, no memoization, no paging. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on nonsensical settings. *)

@@ -1,0 +1,628 @@
+module Vclock = Weaver_vclock.Vclock
+module Engine = Weaver_sim.Engine
+module Net = Weaver_sim.Net
+module Store = Weaver_store.Store
+module Mgraph = Weaver_graph.Mgraph
+
+type prog_run = {
+  pr_client : int;
+  pr_prog : string;
+  pr_params : Progval.t;
+  pr_starts : string list;
+  pr_ts : Vclock.t;
+  mutable pr_outstanding : int;
+  mutable pr_acc : Progval.t;
+  mutable pr_visited : string list;
+}
+
+type memo_entry = { m_result : Progval.t; m_reads : string list }
+
+type t = {
+  rt : Runtime.t;
+  gid : int;
+  addr : int;
+  mutable clock : Vclock.t;
+  mutable epoch : int;
+  seqs : int array; (* next FIFO sequence number per shard *)
+  cache : Runtime.decision_cache;
+  active : (int, prog_run) Hashtbl.t;
+  memo : (string, memo_entry) Hashtbl.t;
+  mutable busy_until : float;
+  mutable next_replica : int; (* round-robin over read replicas (§6.4) *)
+  mutable cur_tau : float; (* current announce period (adaptive, §3.5) *)
+  mutable requests_seen : int; (* client requests since the last window *)
+  mutable retired : bool;
+}
+
+let gid t = t.gid
+let epoch t = t.epoch
+let clock t = t.clock
+
+let tick t =
+  t.clock <- Vclock.tick t.clock ~origin:t.gid;
+  t.clock
+
+let alive t = (not t.retired) && Net.is_alive t.rt.Runtime.net t.addr
+
+let send t ~dst msg = Net.send t.rt.Runtime.net ~src:t.addr ~dst msg
+
+let cfg t = t.rt.Runtime.cfg
+let counters t = t.rt.Runtime.counters
+
+(* ------------------------------------------------------------------ *)
+(* Transactions (§4.2): validate and execute on the backing store, then
+   forward committed write effects to the owning shards. *)
+
+let get_vrec stx vid =
+  match Store.Tx.get stx (Runtime.vkey vid) with
+  | Some (Runtime.Vrec v) -> Some v
+  | _ -> None
+
+let vertex_live_latest (v : Mgraph.vertex) = v.Mgraph.v_life.Mgraph.deleted = None
+
+let edge_live_latest (v : Mgraph.vertex) eid =
+  List.exists
+    (fun (e : Mgraph.edge) ->
+      String.equal e.Mgraph.eid eid && e.Mgraph.e_life.Mgraph.deleted = None)
+    v.Mgraph.out
+
+(* Run the buffered operations against the backing store inside one OCC
+   transaction. Returns the shard-bound effects on success. *)
+let exec_on_store t ts (ops : Txop.t list) =
+  let rt = t.rt in
+  let stx = Store.Tx.begin_ rt.Runtime.store in
+  let before a b = Runtime.before t.cache rt a b ~prefer_first_on_tie:true in
+  let shard_ops : (string * Msg.shard_op) list ref = ref [] in
+  let written : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let reads : (string * Progval.t) list ref = ref [] in
+  (* summary of a vertex as of this transaction's snapshot: the data a
+     Read_vertex hands back to the client *)
+  let summarize vid = function
+    | None -> Progval.Null
+    | Some (v : Mgraph.vertex) ->
+        if not (vertex_live_latest v) then Progval.Null
+        else
+          let live_edges =
+            List.filter (fun (e : Mgraph.edge) -> e.Mgraph.e_life.Mgraph.deleted = None) v.Mgraph.out
+          in
+          let props =
+            List.filter_map
+              (fun (p : Mgraph.prop) ->
+                if p.Mgraph.p_life.Mgraph.deleted = None then
+                  Some (p.Mgraph.pkey, Progval.Str p.Mgraph.pval)
+                else None)
+              v.Mgraph.v_props
+          in
+          Progval.Assoc
+            [
+              ("vid", Progval.Str vid);
+              ("degree", Progval.Int (List.length live_edges));
+              ("out", Progval.List (List.map (fun (e : Mgraph.edge) -> Progval.Str e.Mgraph.dst) live_edges));
+              ("props", Progval.Assoc props);
+            ]
+  in
+  (* effects carry the vertex id; the owning shard is resolved only after
+     the commit, so transactions racing a migration follow the directory
+     entry their serialization point sees (§4.6) *)
+  let emit vid op =
+    Hashtbl.replace written vid ();
+    shard_ops := (vid, op) :: !shard_ops
+  in
+  let put_vrec vid v = Store.Tx.put stx (Runtime.vkey vid) (Runtime.Vrec v) in
+  let invalid what = Error (`Invalid what) in
+  let rec go = function
+    | [] -> Ok ()
+    | op :: rest -> (
+        let step =
+          match (op : Txop.t) with
+          | Create_vertex vid -> (
+              match get_vrec stx vid with
+              | Some v when vertex_live_latest v -> invalid ("vertex exists: " ^ vid)
+              | _ ->
+                  let v = Mgraph.create_vertex ~vid ~at:ts in
+                  put_vrec vid v;
+                  let shard =
+                    Weaver_partition.Partition.hash_vertex
+                      ~shards:(cfg t).Config.n_shards vid
+                  in
+                  Store.Tx.put stx (Runtime.dirkey vid) (Runtime.Dir shard);
+                  emit vid (Msg.S_create_vertex vid);
+                  Ok ())
+          | Delete_vertex vid -> (
+              match get_vrec stx vid with
+              | Some v when vertex_live_latest v ->
+                  put_vrec vid (Mgraph.delete_vertex v ~at:ts);
+                  emit vid (Msg.S_delete_vertex vid);
+                  Ok ()
+              | _ -> invalid ("no such vertex: " ^ vid))
+          | Create_edge { eid; src; dst } -> (
+              match (get_vrec stx src, get_vrec stx dst) with
+              | Some sv, Some dv when vertex_live_latest sv && vertex_live_latest dv ->
+                  put_vrec src (Mgraph.add_edge sv ~eid ~dst ~at:ts);
+                  emit src (Msg.S_add_edge { src; eid; dst });
+                  Ok ()
+              | _ -> invalid ("create_edge endpoints missing: " ^ src ^ "->" ^ dst))
+          | Delete_edge { eid; src } -> (
+              match get_vrec stx src with
+              | Some sv when vertex_live_latest sv && edge_live_latest sv eid ->
+                  put_vrec src (Mgraph.delete_edge sv ~eid ~at:ts);
+                  emit src (Msg.S_del_edge { src; eid });
+                  Ok ()
+              | _ -> invalid ("no such edge: " ^ eid))
+          | Set_vertex_prop { vid; key; value } -> (
+              match get_vrec stx vid with
+              | Some v when vertex_live_latest v ->
+                  put_vrec vid (Mgraph.set_vertex_prop before v ~key ~value ~at:ts);
+                  emit vid (Msg.S_set_vprop { vid; key; value });
+                  Ok ()
+              | _ -> invalid ("no such vertex: " ^ vid))
+          | Del_vertex_prop { vid; key } -> (
+              match get_vrec stx vid with
+              | Some v when vertex_live_latest v ->
+                  put_vrec vid (Mgraph.del_vertex_prop before v ~key ~at:ts);
+                  emit vid (Msg.S_del_vprop { vid; key });
+                  Ok ()
+              | _ -> invalid ("no such vertex: " ^ vid))
+          | Set_edge_prop { src; eid; key; value } -> (
+              match get_vrec stx src with
+              | Some v when vertex_live_latest v && edge_live_latest v eid ->
+                  put_vrec src (Mgraph.set_edge_prop before v ~eid ~key ~value ~at:ts);
+                  emit src (Msg.S_set_eprop { src; eid; key; value });
+                  Ok ()
+              | _ -> invalid ("no such edge: " ^ eid))
+          | Del_edge_prop { src; eid; key } -> (
+              match get_vrec stx src with
+              | Some v when vertex_live_latest v && edge_live_latest v eid ->
+                  put_vrec src (Mgraph.del_edge_prop before v ~eid ~key ~at:ts);
+                  emit src (Msg.S_del_eprop { src; eid; key });
+                  Ok ()
+              | _ -> invalid ("no such edge: " ^ eid))
+          | Read_vertex vid ->
+              reads := (vid, summarize vid (get_vrec stx vid)) :: !reads;
+              Ok ()
+        in
+        match step with Ok () -> go rest | Error _ as e -> e)
+  in
+  match go ops with
+  | Error (`Invalid what) ->
+      Store.Tx.abort stx;
+      Error (`Invalid what)
+  | Ok () ->
+      (* last-update timestamp checks (§4.2): the new stamp must follow the
+         stamp of the latest committed write on every written vertex;
+         otherwise abort and let the client retry with a fresher stamp. *)
+      let lu_ok =
+        Hashtbl.fold
+          (fun vid () acc ->
+            acc
+            &&
+            match Store.Tx.get stx (Runtime.lukey vid) with
+            | Some (Runtime.Stamp lu) ->
+                Runtime.before t.cache t.rt lu ts ~prefer_first_on_tie:true
+            | _ -> true)
+          written true
+      in
+      if not lu_ok then begin
+        Store.Tx.abort stx;
+        Error `Stale_timestamp
+      end
+      else begin
+        Hashtbl.iter
+          (fun vid () -> Store.Tx.put stx (Runtime.lukey vid) (Runtime.Stamp ts))
+          written;
+        (* hand the open transaction back: the commit happens after the
+           store round trip, during which other gatekeepers' transactions
+           may invalidate our read set (real OCC interleaving) *)
+        Ok (stx, !shard_ops, written, List.rev !reads)
+      end
+
+let invalidate_memo t written =
+  if (cfg t).Config.enable_memoization then begin
+    let doomed =
+      Hashtbl.fold
+        (fun key entry acc ->
+          if List.exists (fun vid -> Hashtbl.mem written vid) entry.m_reads then
+            key :: acc
+          else acc)
+        t.memo []
+    in
+    List.iter
+      (fun k ->
+        Hashtbl.remove t.memo k;
+        (counters t).Runtime.memo_invalidations <-
+          (counters t).Runtime.memo_invalidations + 1)
+      doomed
+  end
+
+let handle_tx_req t ~client ~tx_id ops =
+  let ts = tick t in
+  let epoch_at_start = t.epoch in
+  (* one store round trip to read and buffer, one to validate and commit;
+     the gatekeeper keeps serving other requests meanwhile, and other
+     transactions may commit between the two phases (OCC) *)
+  let phase_cost =
+    (cfg t).Config.store_op_cost *. float_of_int (1 + List.length ops)
+  in
+  let reply ?(reads = []) result =
+    send t ~dst:client (Msg.Tx_reply { tx_id; result; reads })
+  in
+  let abort_counted () =
+    (counters t).Runtime.tx_aborted <- (counters t).Runtime.tx_aborted + 1;
+    reply (Error "conflict")
+  in
+  Engine.schedule t.rt.Runtime.engine ~delay:phase_cost (fun () ->
+      if alive t then
+        if t.epoch <> epoch_at_start then reply (Error "epoch-change")
+        else begin
+          match exec_on_store t ts ops with
+          | Ok (stx, shard_ops, written, reads) ->
+              Engine.schedule t.rt.Runtime.engine ~delay:phase_cost (fun () ->
+                  if not (alive t) then Store.Tx.abort stx
+                  else if t.epoch <> epoch_at_start then begin
+                    Store.Tx.abort stx;
+                    reply (Error "epoch-change")
+                  end
+                  else begin
+                    match Store.Tx.commit stx with
+                    | Error (`Conflict _) -> abort_counted ()
+                    | Ok () ->
+                        (counters t).Runtime.tx_committed <-
+                          (counters t).Runtime.tx_committed + 1;
+                        (* group effects by owning shard (directory read
+                           post-commit); forward over FIFO channels *)
+                        let by_shard = Hashtbl.create 4 in
+                        List.iter
+                          (fun (vid, op) ->
+                            let shard = Runtime.shard_of_vertex t.rt vid in
+                            let l =
+                              try Hashtbl.find by_shard shard with Not_found -> []
+                            in
+                            Hashtbl.replace by_shard shard (op :: l))
+                          (List.rev shard_ops);
+                        Hashtbl.iter
+                          (fun shard rev_ops ->
+                            let ops = List.rev rev_ops in
+                            t.seqs.(shard) <- t.seqs.(shard) + 1;
+                            (counters t).Runtime.shard_tx_msgs <-
+                              (counters t).Runtime.shard_tx_msgs + 1;
+                            send t
+                              ~dst:(Runtime.shard_addr t.rt shard)
+                              (Msg.Shard_tx { gk = t.gid; seq = t.seqs.(shard); ts; ops }))
+                          by_shard;
+                        invalidate_memo t written;
+                        reply ~reads (Ok ())
+                  end)
+          | Error `Stale_timestamp -> abort_counted ()
+          | Error (`Invalid what) ->
+              (counters t).Runtime.tx_invalid <- (counters t).Runtime.tx_invalid + 1;
+              reply (Error ("invalid: " ^ what))
+        end)
+
+(* Relocate a vertex to another shard (dynamic colocation, §4.6): a store
+   transaction moves the directory entry (OCC against concurrent writers),
+   then timestamp-ordered migrate ops tell the old owner to drop its copy
+   and the new owner to adopt from the backing store. *)
+let handle_migrate_req t ~client ~tx_id ~vid ~to_shard =
+  let ts = tick t in
+  let reply result = send t ~dst:client (Msg.Tx_reply { tx_id; result; reads = [] }) in
+  if to_shard < 0 || to_shard >= (cfg t).Config.n_shards then
+    reply (Error "invalid: no such shard")
+  else begin
+    let cost = (cfg t).Config.store_op_cost *. 3.0 in
+    Engine.schedule t.rt.Runtime.engine ~delay:cost (fun () ->
+        if alive t then begin
+          let from_shard = Runtime.shard_of_vertex t.rt vid in
+          let stx = Store.Tx.begin_ t.rt.Runtime.store in
+          match get_vrec stx vid with
+          | Some v when vertex_live_latest v ->
+              if from_shard = to_shard then begin
+                Store.Tx.abort stx;
+                reply (Ok ())
+              end
+              else begin
+                Store.Tx.put stx (Runtime.dirkey vid) (Runtime.Dir to_shard);
+                (match Store.Tx.get stx (Runtime.lukey vid) with
+                | Some (Runtime.Stamp _) | None | Some _ ->
+                    Store.Tx.put stx (Runtime.lukey vid) (Runtime.Stamp ts));
+                match Store.Tx.commit stx with
+                | Error (`Conflict _) ->
+                    (counters t).Runtime.tx_aborted <- (counters t).Runtime.tx_aborted + 1;
+                    reply (Error "conflict")
+                | Ok () ->
+                    t.seqs.(from_shard) <- t.seqs.(from_shard) + 1;
+                    send t
+                      ~dst:(Runtime.shard_addr t.rt from_shard)
+                      (Msg.Shard_tx
+                         {
+                           gk = t.gid;
+                           seq = t.seqs.(from_shard);
+                           ts;
+                           ops = [ Msg.S_migrate_out vid ];
+                         });
+                    t.seqs.(to_shard) <- t.seqs.(to_shard) + 1;
+                    send t
+                      ~dst:(Runtime.shard_addr t.rt to_shard)
+                      (Msg.Shard_tx
+                         {
+                           gk = t.gid;
+                           seq = t.seqs.(to_shard);
+                           ts;
+                           ops = [ Msg.S_migrate_in vid ];
+                         });
+                    (counters t).Runtime.shard_tx_msgs <-
+                      (counters t).Runtime.shard_tx_msgs + 2;
+                    (counters t).Runtime.migrations <- (counters t).Runtime.migrations + 1;
+                    reply (Ok ())
+              end
+          | _ ->
+              Store.Tx.abort stx;
+              reply (Error ("invalid: no such vertex: " ^ vid))
+        end)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Node programs (§4.1): stamp, fan out to the shards owning the start
+   vertices, count outstanding batches for termination detection. *)
+
+let memo_key prog params starts =
+  prog ^ "?" ^ Progval.key params ^ "@" ^ String.concat "," starts
+
+let handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak =
+  match Nodeprog.find t.rt.Runtime.registry prog with
+  | None ->
+      send t ~dst:client
+        (Msg.Prog_reply { prog_id; result = Error ("unknown program: " ^ prog) })
+  | Some (module P : Nodeprog.PROGRAM) -> (
+      let mkey = memo_key prog params starts in
+      match
+        if (cfg t).Config.enable_memoization then Hashtbl.find_opt t.memo mkey
+        else None
+      with
+      | Some entry ->
+          (counters t).Runtime.memo_hits <- (counters t).Runtime.memo_hits + 1;
+          (counters t).Runtime.progs_completed <-
+            (counters t).Runtime.progs_completed + 1;
+          send t ~dst:client (Msg.Prog_reply { prog_id; result = Ok entry.m_result })
+      | None ->
+          let historical = Option.is_some at in
+          let ts = match at with Some ts -> ts | None -> tick t in
+          let run =
+            {
+              pr_client = client;
+              pr_prog = prog;
+              pr_params = params;
+              pr_starts = starts;
+              pr_ts = ts;
+              pr_outstanding = 0;
+              pr_acc = P.empty;
+              pr_visited = [];
+            }
+          in
+          Hashtbl.replace t.active prog_id run;
+          let by_shard = Hashtbl.create 4 in
+          List.iter
+            (fun vid ->
+              let shard = Runtime.shard_of_vertex t.rt vid in
+              let l = try Hashtbl.find by_shard shard with Not_found -> [] in
+              Hashtbl.replace by_shard shard ((vid, params) :: l))
+            starts;
+          (* weak reads rotate across the primary and its read replicas,
+             so every replica adds read capacity (§6.4) *)
+          let n_replicas = (cfg t).Config.read_replicas in
+          let slot =
+            if weak && n_replicas > 0 then begin
+              t.next_replica <- (t.next_replica + 1) mod (n_replicas + 1);
+              t.next_replica
+            end
+            else n_replicas (* the primary *)
+          in
+          Hashtbl.iter
+            (fun shard items ->
+              run.pr_outstanding <- run.pr_outstanding + 1;
+              (counters t).Runtime.prog_batch_msgs <-
+                (counters t).Runtime.prog_batch_msgs + 1;
+              let dst =
+                if slot < n_replicas then Runtime.replica_addr t.rt ~shard ~replica:slot
+                else Runtime.shard_addr t.rt shard
+              in
+              send t ~dst
+                (Msg.Prog_batch { coord = t.addr; prog_id; ts; prog; historical; items }))
+            by_shard;
+          if run.pr_outstanding = 0 then begin
+            (* no live start vertices: answer immediately *)
+            Hashtbl.remove t.active prog_id;
+            (counters t).Runtime.progs_completed <-
+              (counters t).Runtime.progs_completed + 1;
+            send t ~dst:client (Msg.Prog_reply { prog_id; result = Ok P.empty })
+          end)
+
+let handle_prog_partial t ~prog_id ~sent ~acc ~visited =
+  match Hashtbl.find_opt t.active prog_id with
+  | None -> () (* stale partial from a pre-epoch run *)
+  | Some run -> (
+      match Nodeprog.find t.rt.Runtime.registry run.pr_prog with
+      | None -> ()
+      | Some (module P : Nodeprog.PROGRAM) ->
+          run.pr_outstanding <- run.pr_outstanding + sent - 1;
+          run.pr_acc <- P.merge run.pr_acc acc;
+          run.pr_visited <- List.rev_append visited run.pr_visited;
+          if run.pr_outstanding = 0 then begin
+            Hashtbl.remove t.active prog_id;
+            (counters t).Runtime.progs_completed <-
+              (counters t).Runtime.progs_completed + 1;
+            send t ~dst:run.pr_client
+              (Msg.Prog_reply { prog_id; result = Ok run.pr_acc });
+            (* release per-vertex program state on every shard (§4.5) *)
+            for s = 0 to (cfg t).Config.n_shards - 1 do
+              send t ~dst:(Runtime.shard_addr t.rt s) (Msg.Prog_gc { prog_id });
+              for r = 0 to (cfg t).Config.read_replicas - 1 do
+                send t
+                  ~dst:(Runtime.replica_addr t.rt ~shard:s ~replica:r)
+                  (Msg.Prog_gc { prog_id })
+              done
+            done;
+            if (cfg t).Config.enable_memoization then
+              Hashtbl.replace t.memo
+                (memo_key run.pr_prog run.pr_params run.pr_starts)
+                { m_result = run.pr_acc; m_reads = run.pr_visited }
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Epochs and failure handling (§4.3). *)
+
+let handle_epoch_change t new_epoch =
+  if new_epoch > t.epoch then begin
+    t.epoch <- new_epoch;
+    t.clock <-
+      Vclock.make ~epoch:new_epoch ~origin:t.gid
+        (Array.make (cfg t).Config.n_gatekeepers 0);
+    Array.fill t.seqs 0 (Array.length t.seqs) 0;
+    (* in-flight programs are lost; clients re-submit (§4.3) *)
+    Hashtbl.iter
+      (fun prog_id run ->
+        send t ~dst:run.pr_client
+          (Msg.Prog_reply { prog_id; result = Error "epoch-change" }))
+      t.active;
+    Hashtbl.reset t.active;
+    send t ~dst:(Runtime.manager_addr t.rt)
+      (Msg.Epoch_ack { server = t.addr; epoch = new_epoch })
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let oldest_active_stamp t =
+  Hashtbl.fold
+    (fun _ run acc ->
+      match acc with
+      | None -> Some run.pr_ts
+      | Some m -> Some (Runtime.stamp_min m run.pr_ts))
+    t.active None
+  |> Option.value ~default:t.clock
+
+(* Client requests occupy the gatekeeper for [gk_op_cost] µs each
+   (timestamping and dispatch are serialized on its CPU); control-plane
+   traffic (announces, partials, epochs) is handled by separate threads in
+   the real system and is not charged. This serial admission is what makes
+   gatekeepers the bottleneck for vertex-local reads (Fig. 12). *)
+let admit t work =
+  t.requests_seen <- t.requests_seen + 1;
+  let now = Engine.now t.rt.Runtime.engine in
+  let start = Float.max now t.busy_until in
+  t.busy_until <- start +. (cfg t).Config.gk_op_cost;
+  Engine.schedule_at t.rt.Runtime.engine ~time:t.busy_until (fun () ->
+      if not t.retired then work ())
+
+let handle t ~src:_ msg =
+  if not t.retired then
+    match (msg : Msg.t) with
+    | Msg.Tx_req { client; tx_id; ops } ->
+        admit t (fun () -> handle_tx_req t ~client ~tx_id ops)
+    | Msg.Prog_req { client; prog_id; prog; params; starts; at; weak } ->
+        admit t (fun () ->
+            handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak)
+    | Msg.Migrate_req { client; tx_id; vid; to_shard } ->
+        admit t (fun () -> handle_migrate_req t ~client ~tx_id ~vid ~to_shard)
+    | Msg.Announce { gk = _; clock } ->
+        if clock.Vclock.epoch = t.epoch then t.clock <- Vclock.merge t.clock clock
+    | Msg.Prog_partial { prog_id; sent; acc; visited } ->
+        handle_prog_partial t ~prog_id ~sent ~acc ~visited
+    | Msg.Epoch_change { epoch } -> handle_epoch_change t epoch
+    | _ -> ()
+
+let start_timers t =
+  let rt = t.rt in
+  let engine = rt.Runtime.engine in
+  let n_g = (cfg t).Config.n_gatekeepers in
+  (* τ-periodic vector clock announcements (§3.3); with adaptive_tau the
+     period tracks the request rate (§3.5): a gatekeeper seeing r requests
+     per window aims for about one announce round per few requests, within
+     [10 µs, 100 ms] — quiescent systems barely announce, busy ones often *)
+  let rec announce_round () =
+    if not t.retired then begin
+      if alive t then
+        for g = 0 to n_g - 1 do
+          if g <> t.gid then begin
+            (counters t).Runtime.announce_msgs <-
+              (counters t).Runtime.announce_msgs + 1;
+            send t ~dst:(Runtime.gk_addr rt g)
+              (Msg.Announce { gk = t.gid; clock = t.clock })
+          end
+        done;
+      if (cfg t).Config.adaptive_tau then begin
+        let seen = t.requests_seen in
+        t.requests_seen <- 0;
+        let target =
+          if seen = 0 then t.cur_tau *. 2.0 (* quiescent: back off *)
+          else t.cur_tau *. (4.0 /. float_of_int seen)
+        in
+        (* smooth and clamp *)
+        t.cur_tau <- Float.max 10.0 (Float.min 100_000.0 ((t.cur_tau +. target) /. 2.0))
+      end;
+      Engine.schedule engine ~delay:t.cur_tau announce_round
+    end
+  in
+  Engine.schedule engine ~delay:t.cur_tau announce_round;
+  (* NOP transactions keep every shard queue non-empty (§4.2) *)
+  Engine.every engine ~period:(cfg t).Config.nop_period (fun () ->
+      if t.retired then false
+      else begin
+        if alive t then begin
+          let ts = tick t in
+          for s = 0 to (cfg t).Config.n_shards - 1 do
+            t.seqs.(s) <- t.seqs.(s) + 1;
+            (counters t).Runtime.nop_msgs <- (counters t).Runtime.nop_msgs + 1;
+            send t ~dst:(Runtime.shard_addr rt s)
+              (Msg.Shard_tx { gk = t.gid; seq = t.seqs.(s); ts; ops = [] })
+          done
+        end;
+        true
+      end);
+  (* heartbeats to the cluster manager *)
+  Engine.every engine ~period:(cfg t).Config.heartbeat_period (fun () ->
+      if t.retired then false
+      else begin
+        if alive t then
+          send t ~dst:(Runtime.manager_addr rt) (Msg.Heartbeat { server = t.addr });
+        true
+      end);
+  (* GC watermark gossip (§4.5) *)
+  if (cfg t).Config.gc_period > 0.0 then
+    Engine.every engine ~period:(cfg t).Config.gc_period (fun () ->
+        if t.retired then false
+        else begin
+          if alive t then begin
+            let wm = oldest_active_stamp t in
+            for s = 0 to (cfg t).Config.n_shards - 1 do
+              send t ~dst:(Runtime.shard_addr rt s) (Msg.Watermark { gk = t.gid; ts = wm })
+            done;
+            send t ~dst:(Runtime.manager_addr rt) (Msg.Watermark { gk = t.gid; ts = wm })
+          end;
+          true
+        end)
+
+let spawn rt ~gid ~epoch =
+  let t =
+    {
+      rt;
+      gid;
+      addr = Runtime.gk_addr rt gid;
+      clock = Vclock.make ~epoch ~origin:gid (Array.make rt.Runtime.cfg.Config.n_gatekeepers 0);
+      epoch;
+      seqs = Array.make rt.Runtime.cfg.Config.n_shards 0;
+      cache = Runtime.create_cache ();
+      active = Hashtbl.create 16;
+      memo = Hashtbl.create 64;
+      busy_until = 0.0;
+      next_replica = 0;
+      cur_tau = rt.Runtime.cfg.Config.tau;
+      requests_seen = 0;
+      retired = false;
+    }
+  in
+  Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
+  start_timers t;
+  t
+
+let retire t = t.retired <- true
+
+let current_tau t = t.cur_tau

@@ -1,0 +1,31 @@
+(** Gatekeeper server — the proactive half of the timeline coordinator
+    (paper §3.3, §4.2).
+
+    A gatekeeper owns one component of the cluster vector clock. It assigns
+    a refinable timestamp to every client request, executes read-write
+    transactions against the backing store (validating them and checking
+    per-vertex last-update stamps), forwards committed effects to shard
+    servers over FIFO channels, coordinates node-program execution and
+    termination detection, announces its clock to peers every τ µs, keeps
+    shard queues fresh with NOP transactions, and gossips GC watermarks. *)
+
+type t
+
+val spawn : Runtime.t -> gid:int -> epoch:int -> t
+(** Create a gatekeeper with index [gid], register its network handler at
+    {!Runtime.gk_addr}, and start its periodic announce / NOP / heartbeat /
+    watermark timers. [epoch] is the configuration epoch it starts in
+    (0 at deployment; the current epoch for a replacement, §4.3). *)
+
+val retire : t -> unit
+(** Permanently stop this instance's timers and message processing; used
+    when a replacement takes over its address. *)
+
+val gid : t -> int
+val epoch : t -> int
+val clock : t -> Runtime.Vclock.t
+(** Current vector clock (for tests and introspection). *)
+
+val current_tau : t -> float
+(** The announce period currently in effect (equals the configured τ
+    unless [adaptive_tau] is on, §3.5). *)

@@ -1,0 +1,76 @@
+module Vclock = Weaver_vclock.Vclock
+
+type shard_op =
+  | S_create_vertex of string
+  | S_delete_vertex of string
+  | S_add_edge of { src : string; eid : string; dst : string }
+  | S_del_edge of { src : string; eid : string }
+  | S_set_vprop of { vid : string; key : string; value : string }
+  | S_del_vprop of { vid : string; key : string }
+  | S_set_eprop of { src : string; eid : string; key : string; value : string }
+  | S_del_eprop of { src : string; eid : string; key : string }
+  | S_migrate_in of string
+  | S_migrate_out of string
+
+type t =
+  | Tx_req of { client : int; tx_id : int; ops : Txop.t list }
+  | Tx_reply of {
+      tx_id : int;
+      result : (unit, string) result;
+      reads : (string * Progval.t) list;
+    }
+  | Prog_req of {
+      client : int;
+      prog_id : int;
+      prog : string;
+      params : Progval.t;
+      starts : string list;
+      at : Weaver_vclock.Vclock.t option;
+      weak : bool;
+    }
+  | Prog_reply of { prog_id : int; result : (Progval.t, string) result }
+  | Announce of { gk : int; clock : Vclock.t }
+  | Shard_tx of { gk : int; seq : int; ts : Vclock.t; ops : shard_op list }
+  | Prog_batch of {
+      coord : int;
+      prog_id : int;
+      ts : Vclock.t;
+      prog : string;
+      historical : bool;
+      items : (string * Progval.t) list;
+    }
+  | Prog_partial of { prog_id : int; sent : int; acc : Progval.t; visited : string list }
+  | Prog_gc of { prog_id : int }
+  | Migrate_req of { client : int; tx_id : int; vid : string; to_shard : int }
+  | Heartbeat of { server : int }
+  | Epoch_change of { epoch : int }
+  | Epoch_ack of { server : int; epoch : int }
+  | Watermark of { gk : int; ts : Vclock.t }
+
+let pp fmt = function
+  | Tx_req { client; tx_id; ops } ->
+      Format.fprintf fmt "Tx_req(c%d,#%d,%d ops)" client tx_id (List.length ops)
+  | Tx_reply { tx_id; result; reads } ->
+      Format.fprintf fmt "Tx_reply(#%d,%s,%d reads)" tx_id
+        (match result with Ok () -> "ok" | Error e -> e)
+        (List.length reads)
+  | Prog_req { prog_id; prog; starts; _ } ->
+      Format.fprintf fmt "Prog_req(#%d,%s,%d starts)" prog_id prog (List.length starts)
+  | Prog_reply { prog_id; result } ->
+      Format.fprintf fmt "Prog_reply(#%d,%s)" prog_id
+        (match result with Ok _ -> "ok" | Error e -> e)
+  | Announce { gk; clock } -> Format.fprintf fmt "Announce(gk%d,%a)" gk Vclock.pp clock
+  | Shard_tx { gk; seq; ts; ops } ->
+      Format.fprintf fmt "Shard_tx(gk%d,seq%d,%a,%d ops)" gk seq Vclock.pp ts
+        (List.length ops)
+  | Prog_batch { prog_id; prog; items; ts; _ } ->
+      Format.fprintf fmt "Prog_batch(#%d,%s,%a,%d items)" prog_id prog Vclock.pp ts
+        (List.length items)
+  | Prog_partial { prog_id; sent; _ } ->
+      Format.fprintf fmt "Prog_partial(#%d,sent %d)" prog_id sent
+  | Prog_gc { prog_id } -> Format.fprintf fmt "Prog_gc(#%d)" prog_id
+  | Migrate_req { vid; to_shard; _ } -> Format.fprintf fmt "Migrate_req(%s->s%d)" vid to_shard
+  | Heartbeat { server } -> Format.fprintf fmt "Heartbeat(%d)" server
+  | Epoch_change { epoch } -> Format.fprintf fmt "Epoch_change(%d)" epoch
+  | Epoch_ack { server; epoch } -> Format.fprintf fmt "Epoch_ack(%d,e%d)" server epoch
+  | Watermark { gk; ts } -> Format.fprintf fmt "Watermark(gk%d,%a)" gk Vclock.pp ts

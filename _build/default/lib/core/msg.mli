@@ -1,0 +1,92 @@
+(** Wire protocol between clients, gatekeepers, shard servers, and the
+    cluster manager. Every message in the deployment travels through the
+    simulated FIFO network as one of these constructors. *)
+
+type shard_op =
+  | S_create_vertex of string
+  | S_delete_vertex of string
+  | S_add_edge of { src : string; eid : string; dst : string }
+  | S_del_edge of { src : string; eid : string }
+  | S_set_vprop of { vid : string; key : string; value : string }
+  | S_del_vprop of { vid : string; key : string }
+  | S_set_eprop of { src : string; eid : string; key : string; value : string }
+  | S_del_eprop of { src : string; eid : string; key : string }
+  | S_migrate_in of string
+  | S_migrate_out of string
+(** Post-validation write effects forwarded from a gatekeeper to the shard
+    that owns the touched vertex (paper §4.2). [S_migrate_in]/[S_migrate_out]
+    move a vertex between shards (dynamic colocation, §4.6): the new owner
+    pulls the record from the backing store when the op is applied, the old
+    owner drops its copy. *)
+
+type t =
+  | Tx_req of { client : int; tx_id : int; ops : Txop.t list }
+      (** client → gatekeeper: commit this buffered transaction *)
+  | Tx_reply of {
+      tx_id : int;
+      result : (unit, string) result;
+      reads : (string * Progval.t) list;
+    }
+      (** gatekeeper → client: sent after the backing-store commit (§4.4);
+          [reads] carries one summary per [Read_vertex] operation, taken
+          inside the same atomic store transaction *)
+  | Prog_req of {
+      client : int;
+      prog_id : int;
+      prog : string;
+      params : Progval.t;
+      starts : string list;
+      at : Weaver_vclock.Vclock.t option;
+      weak : bool;
+    }
+      (** client → gatekeeper: run a node program; [weak] requests routing
+          to read-only shard replicas (stale reads allowed, §6.4) *)
+  | Prog_reply of { prog_id : int; result : (Progval.t, string) result }
+  | Announce of { gk : int; clock : Weaver_vclock.Vclock.t }
+      (** gatekeeper → gatekeeper: τ-periodic vector-clock exchange (§3.3) *)
+  | Shard_tx of {
+      gk : int;
+      seq : int;
+      ts : Weaver_vclock.Vclock.t;
+      ops : shard_op list;
+    }
+      (** gatekeeper → shard: committed transaction ([ops = []] is a NOP
+          keeping the queue head fresh, §4.2); [seq] implements the FIFO
+          channel check *)
+  | Prog_batch of {
+      coord : int;  (** gatekeeper address coordinating the program *)
+      prog_id : int;
+      ts : Weaver_vclock.Vclock.t;
+      prog : string;
+      historical : bool;
+      items : (string * Progval.t) list;  (** (vertex, params) to visit *)
+    }
+      (** gatekeeper → shard (start) or shard → shard (hop propagation);
+          [historical] marks a query pinned to a past snapshot: reads
+          prefer ordering concurrent version stamps *after* the snapshot
+          instead of before it (both are serializable; this matches the
+          intuition that a time-travel query excludes later writes) *)
+  | Prog_partial of {
+      prog_id : int;
+      sent : int;  (** further [Prog_batch] messages this batch spawned *)
+      acc : Progval.t;
+      visited : string list;
+    }
+      (** shard → coordinating gatekeeper: batch finished; drives
+          termination detection by message counting *)
+  | Prog_gc of { prog_id : int }
+      (** gatekeeper → shards: program done, drop its per-vertex state
+          (§4.5) *)
+  | Migrate_req of { client : int; tx_id : int; vid : string; to_shard : int }
+      (** client → gatekeeper: relocate a vertex (§4.6); acknowledged with
+          a [Tx_reply] *)
+  | Heartbeat of { server : int }  (** any server → cluster manager *)
+  | Epoch_change of { epoch : int }
+      (** manager → all servers: move to a new configuration epoch (§4.3) *)
+  | Epoch_ack of { server : int; epoch : int }
+  | Watermark of { gk : int; ts : Weaver_vclock.Vclock.t }
+      (** gatekeeper → shards and manager: oldest timestamp still in use,
+          for multi-version GC (§4.5) *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering for traces and test failures. *)

@@ -1,0 +1,44 @@
+module Mgraph = Weaver_graph.Mgraph
+
+type ctx = {
+  vid : string;
+  at : Weaver_vclock.Vclock.t;
+  before : Mgraph.before;
+  vertex : Mgraph.vertex;
+}
+
+let out_edges c = Mgraph.out_edges c.before c.vertex ~at:c.at
+let props c = Mgraph.vertex_props c.before c.vertex ~at:c.at
+let prop c key = List.assoc_opt key (props c)
+let edge_props c e = Mgraph.edge_props c.before e ~at:c.at
+
+let edge_has_prop c e ~key ?value () =
+  Mgraph.edge_has_prop c.before e ~key ?value ~at:c.at ()
+
+let degree c = Mgraph.degree c.before c.vertex ~at:c.at
+
+module type PROGRAM = sig
+  val name : string
+  val empty : Progval.t
+
+  val run :
+    ctx ->
+    params:Progval.t ->
+    state:Progval.t option ->
+    Progval.t option * (string * Progval.t) list * Progval.t
+
+  val merge : Progval.t -> Progval.t -> Progval.t
+end
+
+type registry = (string, (module PROGRAM)) Hashtbl.t
+
+let create_registry () = Hashtbl.create 16
+
+let register reg (module P : PROGRAM) =
+  if Hashtbl.mem reg P.name then
+    invalid_arg ("Nodeprog.register: duplicate program " ^ P.name);
+  Hashtbl.replace reg P.name (module P : PROGRAM)
+
+let find reg name = Hashtbl.find_opt reg name
+
+let names reg = Hashtbl.fold (fun k _ acc -> k :: acc) reg [] |> List.sort compare

@@ -1,0 +1,57 @@
+(** Node programs — Weaver's stored procedures for graph analyses
+    (paper §2.3).
+
+    A node program runs vertex-by-vertex over a consistent snapshot of the
+    graph defined by its refinable timestamp. At each vertex the program
+    receives parameters from the previous hop (gather), may read the vertex
+    through {!ctx}, updates its per-vertex [prog_state], and returns the
+    next vertices to visit (scatter) plus a partial result. Partial results
+    are merged at the coordinating gatekeeper; when no hops remain, the
+    merged value is returned to the client. *)
+
+type ctx = {
+  vid : string;  (** vertex being visited *)
+  at : Weaver_vclock.Vclock.t;  (** snapshot timestamp [Tprog] *)
+  before : Weaver_graph.Mgraph.before;
+      (** timestamp decision procedure (vclock + timeline oracle) *)
+  vertex : Weaver_graph.Mgraph.vertex;  (** raw multi-version record *)
+}
+
+(** Snapshot accessors: the vertex as of [ctx.at]. *)
+
+val out_edges : ctx -> Weaver_graph.Mgraph.edge list
+val props : ctx -> (string * string) list
+val prop : ctx -> string -> string option
+val edge_props : ctx -> Weaver_graph.Mgraph.edge -> (string * string) list
+val edge_has_prop : ctx -> Weaver_graph.Mgraph.edge -> key:string -> ?value:string -> unit -> bool
+val degree : ctx -> int
+
+module type PROGRAM = sig
+  val name : string
+  (** Registry key; must be unique per cluster. *)
+
+  val empty : Progval.t
+  (** Identity element of [merge]; also the result when a program visits no
+      vertices (e.g. all start vertices were deleted at [Tprog]). *)
+
+  val run :
+    ctx ->
+    params:Progval.t ->
+    state:Progval.t option ->
+    Progval.t option * (string * Progval.t) list * Progval.t
+  (** [run ctx ~params ~state] returns [(state', hops, partial)]: the new
+      per-vertex state (kept until the program terminates, §4.5), the next
+      [(vertex, params)] hops, and a partial result to merge. *)
+
+  val merge : Progval.t -> Progval.t -> Progval.t
+  (** Associative and commutative merge of partial results. *)
+end
+
+type registry
+
+val create_registry : unit -> registry
+val register : registry -> (module PROGRAM) -> unit
+(** @raise Invalid_argument on duplicate name. *)
+
+val find : registry -> string -> (module PROGRAM) option
+val names : registry -> string list

@@ -1,0 +1,37 @@
+(** Universal values exchanged by node programs.
+
+    Node-program parameters, per-vertex state, and results travel between
+    shard servers "over the network"; representing them in one serializable
+    variant keeps the program interface honest about that boundary (no
+    closures ship between servers) while avoiding GADT plumbing in the
+    engine. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val equal : t -> t -> bool
+
+val key : t -> string
+(** Canonical string form usable as a cache key. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Accessors} — raise [Invalid_argument] on shape mismatch, which in a
+    node program indicates a bug in the program itself. *)
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_float : t -> float
+val to_str : t -> string
+val to_list : t -> t list
+val assoc : string -> t -> t
+(** Field of an [Assoc]; [Null] if absent. *)
+
+val assoc_opt : string -> t -> t option

@@ -1,0 +1,31 @@
+(** Dynamic graph re-partitioning (paper §4.6).
+
+    "Weaver leverages [locality] by dynamically colocating a vertex with
+    the majority of its neighbors, using streaming graph partitioning
+    algorithms [58, 48], to reduce communication overhead during query
+    processing."
+
+    {!run} snapshots the current adjacency from the backing store, computes
+    a locality-aware assignment with the restreaming LDG partitioner seeded
+    by the {e current} placement, and migrates the worst-placed vertices
+    through the ordinary migration path (each move is an ordered,
+    OCC-validated operation — queries racing the rebalance stay correct).
+
+    As in the paper's evaluation, the headline benches run with this
+    disabled; the partitioning ablation exercises it. *)
+
+type report = {
+  examined : int;  (** vertices considered *)
+  moved : int;  (** migrations performed *)
+  edge_cut_before : float;
+  edge_cut_after : float;  (** against the new directory *)
+}
+
+val run :
+  Cluster.t -> Client.t -> ?max_moves:int -> ?rounds:int -> unit -> report
+(** One rebalancing pass ([rounds] restreaming iterations, default 3;
+    at most [max_moves] migrations, default 128). Drives the simulation
+    while migrations are in flight. *)
+
+val current_assignment : Cluster.t -> Weaver_partition.Partition.assignment
+(** The live vertex → shard directory, for inspection. *)

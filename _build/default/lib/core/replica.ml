@@ -1,0 +1,172 @@
+module Vclock = Weaver_vclock.Vclock
+module Engine = Weaver_sim.Engine
+module Net = Weaver_sim.Net
+module Store = Weaver_store.Store
+module Mgraph = Weaver_graph.Mgraph
+
+type t = {
+  rt : Runtime.t;
+  sid : int;
+  rid : int;
+  addr : int;
+  graph : (string, Mgraph.vertex) Hashtbl.t;
+  cache : Runtime.decision_cache;
+  prog_state : (int, (string, Progval.t) Hashtbl.t) Hashtbl.t;
+  mutable busy_until : float;
+  mutable applied : int;
+  mutable retired : bool;
+}
+
+let vertex t vid = Hashtbl.find_opt t.graph vid
+let resident_vertices t = Hashtbl.length t.graph
+let applied t = t.applied
+
+let cfg t = t.rt.Runtime.cfg
+let counters t = t.rt.Runtime.counters
+let send t ~dst msg = Net.send t.rt.Runtime.net ~src:t.addr ~dst msg
+
+let before t a b = Runtime.before t.cache t.rt a b ~prefer_first_on_tie:true
+
+(* The primary streams transactions in its own execution order over one
+   FIFO channel, so plain in-order application converges to the primary's
+   multi-version state. *)
+let apply_op t ts (op : Msg.shard_op) =
+  let bf = before t in
+  let update vid f =
+    match Hashtbl.find_opt t.graph vid with
+    | Some v -> Hashtbl.replace t.graph vid (f v)
+    | None -> ()
+  in
+  match op with
+  | Msg.S_create_vertex vid -> Hashtbl.replace t.graph vid (Mgraph.create_vertex ~vid ~at:ts)
+  | Msg.S_delete_vertex vid -> update vid (fun v -> Mgraph.delete_vertex v ~at:ts)
+  | Msg.S_add_edge { src; eid; dst } -> update src (fun v -> Mgraph.add_edge v ~eid ~dst ~at:ts)
+  | Msg.S_del_edge { src; eid } -> update src (fun v -> Mgraph.delete_edge v ~eid ~at:ts)
+  | Msg.S_set_vprop { vid; key; value } ->
+      update vid (fun v -> Mgraph.set_vertex_prop bf v ~key ~value ~at:ts)
+  | Msg.S_del_vprop { vid; key } -> update vid (fun v -> Mgraph.del_vertex_prop bf v ~key ~at:ts)
+  | Msg.S_set_eprop { src; eid; key; value } ->
+      update src (fun v -> Mgraph.set_edge_prop bf v ~eid ~key ~value ~at:ts)
+  | Msg.S_del_eprop { src; eid; key } ->
+      update src (fun v -> Mgraph.del_edge_prop bf v ~eid ~key ~at:ts)
+  | Msg.S_migrate_in vid -> (
+      match Store.get_now t.rt.Runtime.store (Runtime.vkey vid) with
+      | Some (Runtime.Vrec v) -> Hashtbl.replace t.graph vid v
+      | _ -> ())
+  | Msg.S_migrate_out vid -> Hashtbl.remove t.graph vid
+
+let prog_states t prog_id =
+  match Hashtbl.find_opt t.prog_state prog_id with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 32 in
+      Hashtbl.replace t.prog_state prog_id tbl;
+      tbl
+
+(* Weak-consistency execution: no refinable-timestamp gating — run on the
+   replica's current state immediately. Hops route to the same replica
+   index of the owning shard so a whole traversal stays on replicas. *)
+let execute_batch t ~coord ~prog_id ~ts ~prog ~historical ~items =
+  match Nodeprog.find t.rt.Runtime.registry prog with
+  | None ->
+      send t ~dst:coord
+        (Msg.Prog_partial { prog_id; sent = 0; acc = Progval.Null; visited = [] })
+  | Some (module P : Nodeprog.PROGRAM) ->
+      let states = prog_states t prog_id in
+      let bf = before t in
+      let work = Queue.create () in
+      List.iter (fun item -> Queue.push item work) items;
+      let remote : (int, (string * Progval.t) list) Hashtbl.t = Hashtbl.create 4 in
+      let acc = ref P.empty in
+      let visited = ref [] in
+      let cost_units = ref 0.0 in
+      while not (Queue.is_empty work) do
+        let vid, params = Queue.pop work in
+        match Hashtbl.find_opt t.graph vid with
+        | None -> ()
+        | Some vertex ->
+            if Mgraph.vertex_alive bf vertex ~at:ts then begin
+              visited := vid :: !visited;
+              (counters t).Runtime.vertices_read <- (counters t).Runtime.vertices_read + 1;
+              let ctx = { Nodeprog.vid; at = ts; before = bf; vertex } in
+              let state = Hashtbl.find_opt states vid in
+              cost_units := !cost_units +. (if state = None then 1.0 else 0.1);
+              let state', hops, partial = P.run ctx ~params ~state in
+              (match state' with
+              | Some s -> Hashtbl.replace states vid s
+              | None -> Hashtbl.remove states vid);
+              acc := P.merge !acc partial;
+              List.iter
+                (fun (hvid, hparams) ->
+                  let hshard = Runtime.shard_of_vertex t.rt hvid in
+                  if hshard = t.sid then Queue.push (hvid, hparams) work
+                  else
+                    let l = try Hashtbl.find remote hshard with Not_found -> [] in
+                    Hashtbl.replace remote hshard ((hvid, hparams) :: l))
+                hops
+            end
+      done;
+      let cost = (cfg t).Config.vertex_read_cost *. !cost_units in
+      let start = Float.max (Engine.now t.rt.Runtime.engine) t.busy_until in
+      t.busy_until <- start +. cost;
+      let acc = !acc and visited = !visited in
+      ignore historical;
+      Engine.schedule_at t.rt.Runtime.engine ~time:t.busy_until (fun () ->
+          if not t.retired then begin
+            let sent = Hashtbl.length remote in
+            Hashtbl.iter
+              (fun hshard items ->
+                (counters t).Runtime.prog_batch_msgs <-
+                  (counters t).Runtime.prog_batch_msgs + 1;
+                send t
+                  ~dst:(Runtime.replica_addr t.rt ~shard:hshard ~replica:t.rid)
+                  (Msg.Prog_batch { coord; prog_id; ts; prog; historical; items }))
+              remote;
+            send t ~dst:coord (Msg.Prog_partial { prog_id; sent; acc; visited })
+          end)
+
+let handle t ~src:_ msg =
+  if not t.retired then
+    match (msg : Msg.t) with
+    | Msg.Shard_tx { ts; ops; _ } ->
+        if ops <> [] then begin
+          t.applied <- t.applied + 1;
+          List.iter (apply_op t ts) ops
+        end
+    | Msg.Prog_batch { coord; prog_id; ts; prog; historical; items } ->
+        execute_batch t ~coord ~prog_id ~ts ~prog ~historical ~items
+    | Msg.Prog_gc { prog_id } -> Hashtbl.remove t.prog_state prog_id
+    | _ -> ()
+
+let reload_from_store t =
+  Hashtbl.reset t.graph;
+  List.iter
+    (fun (key, value) ->
+      match value with
+      | Runtime.Vrec v ->
+          let vid = String.sub key 2 (String.length key - 2) in
+          if Runtime.shard_of_vertex t.rt vid = t.sid then Hashtbl.replace t.graph vid v
+      | _ -> ())
+    (Store.scan_prefix t.rt.Runtime.store ~prefix:"v/")
+
+let spawn rt ~sid ~rid =
+  let t =
+    {
+      rt;
+      sid;
+      rid;
+      addr = Runtime.replica_addr rt ~shard:sid ~replica:rid;
+      graph = Hashtbl.create 1024;
+      cache = Runtime.create_cache ();
+      prog_state = Hashtbl.create 16;
+      busy_until = 0.0;
+      applied = 0;
+      retired = false;
+    }
+  in
+  Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
+  reload_from_store t;
+  t
+
+let retire t = t.retired <- true
+let reload = reload_from_store

@@ -1,0 +1,27 @@
+(** Read-only shard replicas (paper §6.4).
+
+    The paper notes that applications can gain "additional, arbitrary
+    scalability ... by configuring read-only replicas of shard servers if
+    weaker consistency is acceptable, similar to TAO". A replica holds a
+    copy of its primary's partition, fed asynchronously: the primary
+    streams every transaction it applies, in its own execution order, over
+    a FIFO channel. Node programs flagged weak are routed here and execute
+    {e without} the refinable-timestamp gating a primary performs — they
+    read whatever state has arrived, so results can be stale (bounded by
+    the replication lag), which is precisely the TAO-style consistency
+    relaxation §5.4 warns about and §6.4 offers as an opt-in. *)
+
+type t
+
+val spawn : Runtime.t -> sid:int -> rid:int -> t
+(** Replica [rid] of shard [sid]; registers at {!Runtime.replica_addr} and
+    initializes from the backing store. *)
+
+val retire : t -> unit
+val vertex : t -> string -> Weaver_graph.Mgraph.vertex option
+val resident_vertices : t -> int
+val applied : t -> int
+(** Updates received from the primary so far. *)
+
+val reload : t -> unit
+(** Re-read the partition from the backing store (bulk preloading). *)

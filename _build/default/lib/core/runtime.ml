@@ -1,0 +1,213 @@
+module Vclock = Weaver_vclock.Vclock
+module Engine = Weaver_sim.Engine
+module Net = Weaver_sim.Net
+module Store = Weaver_store.Store
+module Oracle = Weaver_oracle.Oracle
+module Chain = Weaver_oracle.Chain
+module Mgraph = Weaver_graph.Mgraph
+module Partition = Weaver_partition.Partition
+
+type stored = Vrec of Mgraph.vertex | Stamp of Vclock.t | Dir of int
+
+type counters = {
+  mutable tx_committed : int;
+  mutable tx_aborted : int;
+  mutable tx_invalid : int;
+  mutable progs_completed : int;
+  mutable announce_msgs : int;
+  mutable nop_msgs : int;
+  mutable shard_tx_msgs : int;
+  mutable prog_batch_msgs : int;
+  mutable oracle_consults : int;
+  mutable oracle_cache_hits : int;
+  mutable vertices_read : int;
+  mutable page_ins : int;
+  mutable evictions : int;
+  mutable recoveries : int;
+  mutable memo_hits : int;
+  mutable memo_invalidations : int;
+  mutable migrations : int;
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  net : Msg.t Net.t;
+  store : stored Store.t;
+  oracle : Oracle.t;  (* direct instance when [oracle_chain] is [None] *)
+  oracle_chain : Chain.t option;  (* chain replication (§3.4) when > 1 *)
+  registry : Nodeprog.registry;
+  counters : counters;
+  mutable next_client : int;
+}
+
+(* the ordering service facade: a chain when configured, else the single
+   instance; answers and commitments are identical either way *)
+let oracle_order t ~first ~second =
+  match t.oracle_chain with
+  | Some chain -> Chain.order chain ~first ~second
+  | None -> Oracle.order t.oracle ~first ~second
+
+let oracle_query t a b =
+  match t.oracle_chain with
+  | Some chain -> Chain.query chain a b
+  | None -> Oracle.query t.oracle a b
+
+let oracle_serialize t events =
+  match t.oracle_chain with
+  | Some chain -> Chain.serialize chain events
+  | None -> Oracle.serialize t.oracle events
+
+let oracle_gc t ~watermark =
+  match t.oracle_chain with
+  | Some chain -> Chain.gc chain ~watermark
+  | None -> Oracle.gc t.oracle ~watermark
+
+let oracle_queries_served t =
+  match t.oracle_chain with
+  | Some chain -> Chain.queries_served chain
+  | None -> Oracle.queries_served t.oracle
+
+let create cfg =
+  Config.validate cfg;
+  let engine = Engine.create ~seed:cfg.Config.seed () in
+  let latency =
+    Net.uniform_latency ~base:cfg.Config.net_base_latency ~jitter:cfg.Config.net_jitter
+  in
+  {
+    cfg;
+    engine;
+    net = Net.create engine ~latency;
+    store = Store.create ();
+    oracle = Oracle.create ();
+    oracle_chain =
+      (if cfg.Config.oracle_replicas > 1 then
+         Some (Chain.create ~replicas:cfg.Config.oracle_replicas ())
+       else None);
+    registry = Nodeprog.create_registry ();
+    counters =
+      {
+        tx_committed = 0;
+        tx_aborted = 0;
+        tx_invalid = 0;
+        progs_completed = 0;
+        announce_msgs = 0;
+        nop_msgs = 0;
+        shard_tx_msgs = 0;
+        prog_batch_msgs = 0;
+        oracle_consults = 0;
+        oracle_cache_hits = 0;
+        vertices_read = 0;
+        page_ins = 0;
+        evictions = 0;
+        recoveries = 0;
+        memo_hits = 0;
+        memo_invalidations = 0;
+        migrations = 0;
+      };
+    next_client = 0;
+  }
+
+let gk_addr _t i = i
+let shard_addr t j = t.cfg.Config.n_gatekeepers + j
+
+let replica_addr t ~shard ~replica =
+  t.cfg.Config.n_gatekeepers + t.cfg.Config.n_shards
+  + (shard * t.cfg.Config.read_replicas)
+  + replica
+
+let manager_addr t =
+  t.cfg.Config.n_gatekeepers + t.cfg.Config.n_shards
+  + (t.cfg.Config.n_shards * t.cfg.Config.read_replicas)
+
+let fresh_client_addr t =
+  t.next_client <- t.next_client + 1;
+  manager_addr t + t.next_client
+
+let is_gk_addr t a = a >= 0 && a < t.cfg.Config.n_gatekeepers
+
+let vkey vid = "v/" ^ vid
+let lukey vid = "lu/" ^ vid
+let dirkey vid = "dir/" ^ vid
+
+let shard_of_vertex t vid =
+  match Store.get_now t.store (dirkey vid) with
+  | Some (Dir s) -> s
+  | _ -> Partition.hash_vertex ~shards:t.cfg.Config.n_shards vid
+
+type decision_cache = (string, bool) Hashtbl.t
+
+let create_cache () : decision_cache = Hashtbl.create 256
+
+let cache_key a b = Vclock.key a ^ "|" ^ Vclock.key b
+
+let cache_put cache a b first_before =
+  Hashtbl.replace cache (cache_key a b) first_before;
+  Hashtbl.replace cache (cache_key b a) (not first_before)
+
+(* Decide a ≺ b. Vector clocks answer most pairs for free (the proactive
+   stage); concurrent pairs go to the server-local cache of irreversible
+   oracle decisions and, on a miss, to the timeline oracle itself (the
+   reactive stage, counted as a consult). *)
+let before cache t a b ~prefer_first_on_tie =
+  match Vclock.compare_hb a b with
+  | Vclock.Before -> true
+  | Vclock.After -> false
+  | Vclock.Equal when String.equal (Vclock.key a) (Vclock.key b) -> false
+  | Vclock.Equal | Vclock.Concurrent -> (
+      match Hashtbl.find_opt cache (cache_key a b) with
+      | Some d ->
+          t.counters.oracle_cache_hits <- t.counters.oracle_cache_hits + 1;
+          d
+      | None ->
+          t.counters.oracle_consults <- t.counters.oracle_consults + 1;
+          let first, second = if prefer_first_on_tie then (a, b) else (b, a) in
+          let d =
+            match oracle_order t ~first ~second with
+            | Oracle.First_first -> prefer_first_on_tie
+            | Oracle.Second_first -> not prefer_first_on_tie
+          in
+          cache_put cache a b d;
+          d)
+
+let before_established cache t a b =
+  match Vclock.compare_hb a b with
+  | Vclock.Before -> Some true
+  | Vclock.After -> Some false
+  | Vclock.Equal when String.equal (Vclock.key a) (Vclock.key b) -> Some false
+  | Vclock.Equal | Vclock.Concurrent -> (
+      match Hashtbl.find_opt cache (cache_key a b) with
+      | Some d ->
+          t.counters.oracle_cache_hits <- t.counters.oracle_cache_hits + 1;
+          Some d
+      | None -> (
+          t.counters.oracle_consults <- t.counters.oracle_consults + 1;
+          match oracle_query t a b with
+          | Some Oracle.First_first ->
+              cache_put cache a b true;
+              Some true
+          | Some Oracle.Second_first ->
+              cache_put cache a b false;
+              Some false
+          | None -> None))
+
+let stamp_min a b =
+  let open Vclock in
+  if a.epoch <> b.epoch then if a.epoch < b.epoch then a else b
+  else begin
+    let n = Array.length a.clocks in
+    let clocks = Array.init n (fun i -> min a.clocks.(i) b.clocks.(i)) in
+    make ~epoch:a.epoch ~origin:a.origin clocks
+  end
+
+let before_cached cache t a b =
+  match Vclock.compare_hb a b with
+  | Vclock.Before -> Some true
+  | Vclock.After -> Some false
+  | Vclock.Equal when String.equal (Vclock.key a) (Vclock.key b) -> Some false
+  | Vclock.Equal | Vclock.Concurrent -> (
+      match Hashtbl.find_opt cache (cache_key a b) with
+      | Some d ->
+          t.counters.oracle_cache_hits <- t.counters.oracle_cache_hits + 1;
+          Some d
+      | None -> None)

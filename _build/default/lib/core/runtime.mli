@@ -1,0 +1,127 @@
+(** Shared infrastructure of one simulated Weaver deployment: the event
+    engine, the message network, the backing store, the timeline oracle,
+    the program registry, and the cluster-wide counters that the benchmarks
+    report. Gatekeeper and shard actors all hold a reference to one
+    [Runtime.t]. *)
+
+module Vclock = Weaver_vclock.Vclock
+
+type stored =
+  | Vrec of Weaver_graph.Mgraph.vertex  (** durable vertex record *)
+  | Stamp of Vclock.t  (** last-update timestamp of a vertex (§4.2) *)
+  | Dir of int  (** vertex → shard directory entry (§3.2) *)
+
+type counters = {
+  mutable tx_committed : int;
+  mutable tx_aborted : int;  (** backing-store conflicts (client may retry) *)
+  mutable tx_invalid : int;  (** semantic validation failures *)
+  mutable progs_completed : int;
+  mutable announce_msgs : int;  (** proactive coordination cost (Fig. 14) *)
+  mutable nop_msgs : int;
+  mutable shard_tx_msgs : int;
+  mutable prog_batch_msgs : int;
+  mutable oracle_consults : int;
+      (** ordering requests that actually reached the timeline oracle —
+          the reactive coordination cost (Fig. 14) *)
+  mutable oracle_cache_hits : int;  (** answered from a server-local cache *)
+  mutable vertices_read : int;  (** node-program vertex visits (Fig. 8) *)
+  mutable page_ins : int;
+  mutable evictions : int;
+  mutable recoveries : int;
+  mutable memo_hits : int;
+  mutable memo_invalidations : int;
+  mutable migrations : int;  (** vertex relocations (§4.6) *)
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Weaver_sim.Engine.t;
+  net : Msg.t Weaver_sim.Net.t;
+  store : stored Weaver_store.Store.t;
+  oracle : Weaver_oracle.Oracle.t;
+      (** the direct instance; when [oracle_chain] is set, go through the
+          [oracle_*] facade functions instead *)
+  oracle_chain : Weaver_oracle.Chain.t option;
+      (** chain replication of the oracle (§3.4) when
+          [Config.oracle_replicas > 1] *)
+  registry : Nodeprog.registry;
+  counters : counters;
+  mutable next_client : int;  (** bump via {!fresh_client_addr} only *)
+}
+
+(** Ordering-service facade: chain when configured, single instance
+    otherwise. *)
+
+val oracle_order :
+  t -> first:Vclock.t -> second:Vclock.t -> Weaver_oracle.Oracle.decision
+
+val oracle_query :
+  t -> Vclock.t -> Vclock.t -> Weaver_oracle.Oracle.decision option
+
+val oracle_serialize : t -> Vclock.t list -> Vclock.t list
+val oracle_gc : t -> watermark:Vclock.t -> int
+val oracle_queries_served : t -> int
+
+val create : Config.t -> t
+
+(** {1 Address plan} — gatekeepers first, then shards, the manager, and
+    finally dynamically allocated clients. *)
+
+val gk_addr : t -> int -> int
+val shard_addr : t -> int -> int
+
+val replica_addr : t -> shard:int -> replica:int -> int
+(** Address of read-only replica [replica] of [shard] (§6.4). *)
+
+val manager_addr : t -> int
+val fresh_client_addr : t -> int
+val is_gk_addr : t -> int -> bool
+
+(** {1 Vertex placement} *)
+
+val shard_of_vertex : t -> string -> int
+(** Shard index owning a vertex: the directory entry if present, hashed
+    placement otherwise (the mapping every server can compute for
+    yet-unknown vertices). *)
+
+(** {1 Store keys} *)
+
+val vkey : string -> string
+(** Key of a vertex record. *)
+
+val lukey : string -> string
+(** Key of a last-update stamp. *)
+
+val dirkey : string -> string
+(** Key of a directory entry. *)
+
+(** {1 Ordering decisions}
+
+    [before cache t a b ~prefer_first_on_tie] decides whether [a] happened
+    strictly before [b]: vector clocks first; then the server-local cache
+    of oracle decisions; then the timeline oracle itself, establishing
+    [a ≺ b] when unordered iff [prefer_first_on_tie] (otherwise [b ≺ a]).
+    Counts cache hits and oracle consultations. *)
+
+type decision_cache
+
+val create_cache : unit -> decision_cache
+
+val before :
+  decision_cache -> t -> Vclock.t -> Vclock.t -> prefer_first_on_tie:bool -> bool
+
+val before_established :
+  decision_cache -> t -> Vclock.t -> Vclock.t -> bool option
+(** Like {!before} but never establishes a new order: [None] when the pair
+    is still unordered. *)
+
+val stamp_min : Vclock.t -> Vclock.t -> Vclock.t
+(** Pointwise lower bound of two timestamps (min epoch wins outright):
+    anything strictly before the result is strictly before both inputs.
+    Used to build GC watermarks (§4.5). *)
+
+val before_cached : decision_cache -> t -> Vclock.t -> Vclock.t -> bool option
+(** Cache-and-vclock-only variant of {!before_established}: never contacts
+    the oracle. Used where waiting is always safe (e.g. gating a node
+    program on a NOP queue head) so that effect-free traffic generates no
+    reactive-coordination cost. *)

@@ -1,0 +1,541 @@
+module Vclock = Weaver_vclock.Vclock
+module Engine = Weaver_sim.Engine
+module Net = Weaver_sim.Net
+module Store = Weaver_store.Store
+module Oracle = Weaver_oracle.Oracle
+module Mgraph = Weaver_graph.Mgraph
+
+type queued_tx = { q_seq : int; q_ts : Vclock.t; q_ops : Msg.shard_op list }
+
+type parked_prog = {
+  p_coord : int;
+  p_id : int;
+  p_ts : Vclock.t;
+  p_prog : string;
+  p_historical : bool;
+  p_items : (string * Progval.t) list;
+  p_since : float;  (* when this batch was parked *)
+}
+
+type t = {
+  rt : Runtime.t;
+  sid : int;
+  addr : int;
+  graph : (string, Mgraph.vertex) Hashtbl.t;
+  lru : string Queue.t; (* approximate recency for demand paging *)
+  queues : queued_tx Queue.t array; (* one FIFO per gatekeeper *)
+  last_seq : int array;
+  seq_epoch : int array; (* epoch in which last_seq was recorded *)
+  cache : Runtime.decision_cache;
+  last_applied : Vclock.t option array; (* newest executed stamp per gk *)
+  prog_state : (int, (string, Progval.t) Hashtbl.t) Hashtbl.t;
+  mutable parked : parked_prog list;
+  mutable waiting_oracle : bool;
+  mutable busy_until : float;
+  mutable epoch : int;
+  wm : Vclock.t option array; (* latest watermark per gatekeeper *)
+  mutable retired : bool;
+}
+
+let sid t = t.sid
+let epoch t = t.epoch
+let vertex t vid = Hashtbl.find_opt t.graph vid
+let resident_vertices t = Hashtbl.length t.graph
+let queue_depths t = Array.map Queue.length t.queues
+
+let cfg t = t.rt.Runtime.cfg
+let counters t = t.rt.Runtime.counters
+let send t ~dst msg = Net.send t.rt.Runtime.net ~src:t.addr ~dst msg
+
+(* the decision procedure for version stamps: vector clocks, then cached or
+   fresh oracle decisions; ties prefer the first argument (transactions
+   before node programs, earlier writers before later ones) *)
+let before t a b = Runtime.before t.cache t.rt a b ~prefer_first_on_tie:true
+
+(* ------------------------------------------------------------------ *)
+(* Demand paging (§6.1): vertices are fetched from the backing store on a
+   miss and evicted in approximate LRU order when over capacity. *)
+
+let touch t vid =
+  if (cfg t).Config.shard_capacity <> None then Queue.push vid t.lru
+
+let evict_to_capacity t ~keep =
+  match (cfg t).Config.shard_capacity with
+  | None -> ()
+  | Some cap ->
+      while Hashtbl.length t.graph > cap && not (Queue.is_empty t.lru) do
+        let victim = Queue.pop t.lru in
+        if
+          (not (String.equal victim keep))
+          && Hashtbl.mem t.graph victim
+          && not (Queue.fold (fun acc v -> acc || String.equal v victim) false t.lru)
+        then begin
+          Hashtbl.remove t.graph victim;
+          (counters t).Runtime.evictions <- (counters t).Runtime.evictions + 1
+        end
+      done
+
+(* Look up a vertex, demand-paging from the backing store when it is not
+   resident. Returns the record and the paging cost incurred. *)
+let lookup_vertex t vid =
+  match Hashtbl.find_opt t.graph vid with
+  | Some v ->
+      touch t vid;
+      (Some v, 0.0)
+  | None -> (
+      match (cfg t).Config.shard_capacity with
+      | None -> (None, 0.0)
+      | Some _ -> (
+          match Store.get_now t.rt.Runtime.store (Runtime.vkey vid) with
+          | Some (Runtime.Vrec v) ->
+              Hashtbl.replace t.graph vid v;
+              touch t vid;
+              evict_to_capacity t ~keep:vid;
+              (counters t).Runtime.page_ins <- (counters t).Runtime.page_ins + 1;
+              (Some v, (cfg t).Config.page_in_cost)
+          | _ -> (None, 0.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Transaction application: mark the in-memory multi-version graph with the
+   transaction's timestamp (§4.2). *)
+
+let apply_op t ts (op : Msg.shard_op) =
+  let bf = before t in
+  let update vid f =
+    match lookup_vertex t vid with
+    | Some v, _ -> Hashtbl.replace t.graph vid (f v)
+    | None, _ -> ()
+  in
+  match op with
+  | Msg.S_create_vertex vid ->
+      Hashtbl.replace t.graph vid (Mgraph.create_vertex ~vid ~at:ts);
+      touch t vid;
+      evict_to_capacity t ~keep:vid
+  | Msg.S_delete_vertex vid -> update vid (fun v -> Mgraph.delete_vertex v ~at:ts)
+  | Msg.S_add_edge { src; eid; dst } ->
+      update src (fun v -> Mgraph.add_edge v ~eid ~dst ~at:ts)
+  | Msg.S_del_edge { src; eid } -> update src (fun v -> Mgraph.delete_edge v ~eid ~at:ts)
+  | Msg.S_set_vprop { vid; key; value } ->
+      update vid (fun v -> Mgraph.set_vertex_prop bf v ~key ~value ~at:ts)
+  | Msg.S_del_vprop { vid; key } ->
+      update vid (fun v -> Mgraph.del_vertex_prop bf v ~key ~at:ts)
+  | Msg.S_set_eprop { src; eid; key; value } ->
+      update src (fun v -> Mgraph.set_edge_prop bf v ~eid ~key ~value ~at:ts)
+  | Msg.S_del_eprop { src; eid; key } ->
+      update src (fun v -> Mgraph.del_edge_prop bf v ~eid ~key ~at:ts)
+  | Msg.S_migrate_in vid -> (
+      (* adopt: pull the current durable record (it includes every write
+         committed before this op's store transaction, §4.6) *)
+      match Store.get_now t.rt.Runtime.store (Runtime.vkey vid) with
+      | Some (Runtime.Vrec v) ->
+          Hashtbl.replace t.graph vid v;
+          touch t vid;
+          evict_to_capacity t ~keep:vid
+      | _ -> ())
+  | Msg.S_migrate_out vid -> Hashtbl.remove t.graph vid
+
+let apply_tx t (qt : queued_tx) =
+  List.iter (apply_op t qt.q_ts) qt.q_ops;
+  t.busy_until <-
+    Float.max t.busy_until (Engine.now t.rt.Runtime.engine)
+    +. ((cfg t).Config.vertex_write_cost *. float_of_int (List.length qt.q_ops));
+  (* stream the applied transaction to read-only replicas, in this
+     primary's execution order (asynchronous fan-out, §6.4) *)
+  if qt.q_ops <> [] then
+    for r = 0 to (cfg t).Config.read_replicas - 1 do
+      send t
+        ~dst:(Runtime.replica_addr t.rt ~shard:t.sid ~replica:r)
+        (Msg.Shard_tx { gk = 0; seq = qt.q_seq; ts = qt.q_ts; ops = qt.q_ops })
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Node program execution (§4.1). *)
+
+let prog_states t prog_id =
+  match Hashtbl.find_opt t.prog_state prog_id with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 64 in
+      Hashtbl.replace t.prog_state prog_id tbl;
+      tbl
+
+(* Run a batch of (vertex, params) visits locally; hops to vertices on this
+   shard are processed in the same batch, hops elsewhere are grouped into
+   per-shard messages. Results are delivered after the modelled CPU cost. *)
+let execute_prog_batch t (p : parked_prog) =
+  match Nodeprog.find t.rt.Runtime.registry p.p_prog with
+  | None ->
+      (* unknown program: report an empty batch so termination detection
+         still converges (the coordinator validated the name already) *)
+      send t ~dst:p.p_coord
+        (Msg.Prog_partial { prog_id = p.p_id; sent = 0; acc = Progval.Null; visited = [] })
+  | Some (module P : Nodeprog.PROGRAM) ->
+      let states = prog_states t p.p_id in
+      (* historical queries pin the snapshot: a version stamp concurrent
+         with the snapshot is ordered after it (unless already committed
+         before), so time travel excludes later writes *)
+      let bf =
+        if p.p_historical then fun a b ->
+          Runtime.before t.cache t.rt a b ~prefer_first_on_tie:(not (Vclock.equal b p.p_ts))
+        else before t
+      in
+      let work = Queue.create () in
+      List.iter (fun item -> Queue.push item work) p.p_items;
+      let remote : (int, (string * Progval.t) list) Hashtbl.t = Hashtbl.create 4 in
+      let acc = ref P.empty in
+      let visited = ref [] in
+      let read_cost_units = ref 0.0 in
+      let page_cost = ref 0.0 in
+      let forward_item hshard item =
+        let l = try Hashtbl.find remote hshard with Not_found -> [] in
+        Hashtbl.replace remote hshard (item :: l)
+      in
+      while not (Queue.is_empty work) do
+        let vid, params = Queue.pop work in
+        let vrec, pc = lookup_vertex t vid in
+        page_cost := !page_cost +. pc;
+        match vrec with
+        | None ->
+            (* not resident: if the directory says another shard owns it
+               (it migrated, §4.6), chase the vertex there *)
+            let owner = Runtime.shard_of_vertex t.rt vid in
+            if owner <> t.sid then forward_item owner (vid, params)
+        | Some vertex ->
+            if Mgraph.vertex_alive bf vertex ~at:p.p_ts then begin
+              visited := vid :: !visited;
+              (counters t).Runtime.vertices_read <-
+                (counters t).Runtime.vertices_read + 1;
+              let ctx = { Nodeprog.vid; at = p.p_ts; before = bf; vertex } in
+              let state = Hashtbl.find_opt states vid in
+              (* a repeat visit only touches the per-program state, not the
+                 full vertex record: charge a tenth of a read *)
+              read_cost_units :=
+                !read_cost_units +. (if state = None then 1.0 else 0.1);
+              let state', hops, partial = P.run ctx ~params ~state in
+              (match state' with
+              | Some s -> Hashtbl.replace states vid s
+              | None -> Hashtbl.remove states vid);
+              acc := P.merge !acc partial;
+              List.iter
+                (fun (hvid, hparams) ->
+                  let hshard = Runtime.shard_of_vertex t.rt hvid in
+                  if hshard = t.sid then Queue.push (hvid, hparams) work
+                  else forward_item hshard (hvid, hparams))
+                hops
+            end
+      done;
+      let cost = ((cfg t).Config.vertex_read_cost *. !read_cost_units) +. !page_cost in
+      let start = Float.max (Engine.now t.rt.Runtime.engine) t.busy_until in
+      t.busy_until <- start +. cost;
+      let acc = !acc and visited = !visited in
+      Engine.schedule_at t.rt.Runtime.engine ~time:t.busy_until (fun () ->
+          if not t.retired then begin
+            let sent = Hashtbl.length remote in
+            Hashtbl.iter
+              (fun hshard items ->
+                (counters t).Runtime.prog_batch_msgs <-
+                  (counters t).Runtime.prog_batch_msgs + 1;
+                send t
+                  ~dst:(Runtime.shard_addr t.rt hshard)
+                  (Msg.Prog_batch
+                     {
+                       coord = p.p_coord;
+                       prog_id = p.p_id;
+                       ts = p.p_ts;
+                       prog = p.p_prog;
+                       historical = p.p_historical;
+                       items;
+                     }))
+              remote;
+            send t ~dst:p.p_coord
+              (Msg.Prog_partial { prog_id = p.p_id; sent; acc; visited })
+          end)
+
+(* A node program may run once, for every gatekeeper, the next transaction
+   is known to come after it — i.e. all preceding and concurrent
+   transactions have executed (§4.1). The queue head decides when one is
+   pending; when the queue is drained, the last applied stamp does (FIFO
+   channels and monotone per-gatekeeper stamps guarantee nothing earlier
+   can still arrive).
+
+   Crucially, waiting is always safe, so gating never *establishes* new
+   oracle orders: a queue clears only when the program precedes the
+   reference stamp by vector clock or by an already-committed chain. That
+   pins the program before every future stamp of that gatekeeper (later
+   stamps dominate the cleared one), while concurrent transactions the
+   program actually overlaps with get ordered transaction-first by the
+   visibility decisions at read time (§4.4) — the genuinely reactive
+   cost. Effect-free NOP heads are checked against the local cache only;
+   real transaction heads may additionally consult pre-established oracle
+   state. *)
+let prog_runnable t (p : parked_prog) =
+  (* patience before falling back to the oracle: roughly two announce
+     rounds (vector clocks will have resolved the pair by then if they
+     ever will), capped so enormous tau still makes progress reactively *)
+  let patience =
+    Float.min (2.0 *. ((cfg t).Config.tau +. (cfg t).Config.nop_period)) 10_000.0
+  in
+  let overdue = Engine.now t.rt.Runtime.engine -. p.p_since > patience in
+  let clears_stamp ~is_nop ts =
+    let decision =
+      if is_nop then Runtime.before_cached t.cache t.rt p.p_ts ts
+      else Runtime.before_established t.cache t.rt p.p_ts ts
+    in
+    match decision with
+    | Some d -> d
+    | None ->
+        (* unordered: normally wait for clock propagation; past the
+           patience window, refine reactively — a NOP head may be ordered
+           after the program (it carries no effects), while a real
+           transaction is ordered before it (par. 4.4), which blocks until
+           that transaction is applied *)
+        overdue
+        && Runtime.before t.cache t.rt p.p_ts ts ~prefer_first_on_tie:is_nop
+  in
+  let clears gk q =
+    match Queue.peek_opt q with
+    | Some head -> clears_stamp ~is_nop:(head.q_ops = []) head.q_ts
+    | None -> (
+        match t.last_applied.(gk) with
+        | Some last -> clears_stamp ~is_nop:true last
+        | None -> false)
+  in
+  let ok = ref true in
+  Array.iteri (fun gk q -> if not (clears gk q) then ok := false) t.queues;
+  !ok
+
+let try_run_parked t =
+  let runnable, still = List.partition (prog_runnable t) t.parked in
+  t.parked <- still;
+  List.iter (execute_prog_batch t) runnable
+
+(* ------------------------------------------------------------------ *)
+(* The event loop over gatekeeper queues (§4.2, Fig. 6). *)
+
+let rec try_advance t =
+  if (not t.waiting_oracle) && not t.retired then begin
+    let continue = ref true in
+    while !continue do
+      continue := false;
+      if Array.for_all (fun q -> not (Queue.is_empty q)) t.queues then begin
+        let heads =
+          Array.to_list (Array.mapi (fun g q -> (g, Queue.peek q)) t.queues)
+        in
+        (* [le h h'] — may this head execute no later than that one? A NOP
+           carries no effects, so a pair involving one needs no globally
+           consistent answer: break the tie deterministically without the
+           oracle. Two concurrent *real* transactions sharing this shard
+           are exactly the pairs the paper orders reactively (§3.4). *)
+        let need_oracle = ref false in
+        let le (h : queued_tx) (h' : queued_tx) =
+          match Runtime.before_cached t.cache t.rt h.q_ts h'.q_ts with
+          | Some d -> d
+          | None ->
+              if h.q_ops = [] || h'.q_ops = [] then
+                Vclock.total_compare h.q_ts h'.q_ts < 0
+              else begin
+                match Runtime.before_established t.cache t.rt h.q_ts h'.q_ts with
+                | Some d -> d
+                | None ->
+                    need_oracle := true;
+                    false
+              end
+        in
+        let minimal =
+          List.find_opt
+            (fun (g, h) ->
+              List.for_all (fun (g', h') -> g = g' || le h h') heads)
+            heads
+        in
+        match minimal with
+        | Some (g, _) ->
+            let qt = Queue.pop t.queues.(g) in
+            t.last_applied.(g) <- Some qt.q_ts;
+            apply_tx t qt;
+            continue := true
+        | None when !need_oracle ->
+            (* concurrent conflicting transactions: ask the timeline oracle
+               to serialize them (one round trip; decisions are cached) *)
+            t.waiting_oracle <- true;
+            (counters t).Runtime.oracle_consults <-
+              (counters t).Runtime.oracle_consults + 1;
+            let ts_list =
+              List.filter_map
+                (fun (_, h) -> if h.q_ops = [] then None else Some h.q_ts)
+                heads
+            in
+            Engine.schedule t.rt.Runtime.engine
+              ~delay:(2.0 *. (cfg t).Config.net_base_latency)
+              (fun () ->
+                ignore (Runtime.oracle_serialize t.rt ts_list);
+                t.waiting_oracle <- false;
+                try_advance t)
+        | None ->
+            (* no definite minimum and no real conflict: a total_compare
+               cycle across mixed pairs cannot happen (it is a total
+               order), so this means a real head is blocked behind
+               undecided state; pop the deterministically smallest NOP *)
+            let nops =
+              List.filter (fun (_, h) -> h.q_ops = []) heads
+            in
+            let cmp (_, a) (_, b) = Vclock.total_compare a.q_ts b.q_ts in
+            (match List.sort cmp nops with
+            | (g, _) :: _ ->
+                let qt = Queue.pop t.queues.(g) in
+                t.last_applied.(g) <- Some qt.q_ts;
+                apply_tx t qt;
+                continue := true
+            | [] -> assert false)
+      end
+    done;
+    try_run_parked t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery (§4.3): restore this shard's partition from the backing store. *)
+
+let reload_from_store t =
+  Hashtbl.reset t.graph;
+  Queue.clear t.lru;
+  let records = Store.scan_prefix t.rt.Runtime.store ~prefix:"v/" in
+  let cap = (cfg t).Config.shard_capacity in
+  List.iter
+    (fun (key, value) ->
+      match value with
+      | Runtime.Vrec v ->
+          let vid = String.sub key 2 (String.length key - 2) in
+          if Runtime.shard_of_vertex t.rt vid = t.sid then begin
+            let under_cap =
+              match cap with None -> true | Some c -> Hashtbl.length t.graph < c
+            in
+            if under_cap then begin
+              Hashtbl.replace t.graph vid v;
+              touch t vid
+            end
+          end
+      | _ -> ())
+    records
+
+let handle_epoch_change t new_epoch =
+  if new_epoch > t.epoch then begin
+    t.epoch <- new_epoch;
+    Array.iter Queue.clear t.queues;
+    Array.fill t.last_seq 0 (Array.length t.last_seq) 0;
+    Array.fill t.seq_epoch 0 (Array.length t.seq_epoch) (-1);
+    Array.fill t.last_applied 0 (Array.length t.last_applied) None;
+    t.parked <- [];
+    t.waiting_oracle <- false;
+    reload_from_store t;
+    send t ~dst:(Runtime.manager_addr t.rt)
+      (Msg.Epoch_ack { server = t.addr; epoch = new_epoch })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Multi-version GC (§4.5): compact below the pointwise-min watermark. *)
+
+let handle_watermark t gk ts =
+  t.wm.(gk) <- Some ts;
+  if Array.for_all Option.is_some t.wm then begin
+    let wm =
+      Array.fold_left
+        (fun acc o ->
+          match (acc, o) with
+          | None, Some w -> Some w
+          | Some a, Some w -> Some (Runtime.stamp_min a w)
+          | _, None -> acc)
+        None t.wm
+      |> Option.get
+    in
+    (* vclock-only comparison: a version strictly below the watermark by
+       vector clock alone is unreachable by any current or future read *)
+    let vb a b = Vclock.precedes a b in
+    let doomed = ref [] in
+    Hashtbl.iter
+      (fun vid v ->
+        match Mgraph.compact vb v ~watermark:wm with
+        | Some v' -> Hashtbl.replace t.graph vid v'
+        | None -> doomed := vid :: !doomed)
+      t.graph;
+    List.iter (Hashtbl.remove t.graph) !doomed
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let handle t ~src:_ msg =
+  if not t.retired then
+    match (msg : Msg.t) with
+    | Msg.Shard_tx { gk; seq; ts; ops } ->
+        if ts.Vclock.epoch = t.epoch then begin
+          (* FIFO channel check (§4.2): sequence numbers must be contiguous
+             within an epoch *)
+          if t.seq_epoch.(gk) <> t.epoch then begin
+            t.seq_epoch.(gk) <- t.epoch;
+            t.last_seq.(gk) <- seq
+          end
+          else begin
+            assert (seq = t.last_seq.(gk) + 1);
+            t.last_seq.(gk) <- seq
+          end;
+          Queue.push { q_seq = seq; q_ts = ts; q_ops = ops } t.queues.(gk);
+          try_advance t
+        end
+        (* other epochs: stale or not-yet-adopted traffic; the store reload
+           at the epoch barrier covers the effects (§4.3) *)
+    | Msg.Prog_batch { coord; prog_id; ts; prog; historical; items } ->
+        t.parked <-
+          {
+            p_coord = coord;
+            p_id = prog_id;
+            p_ts = ts;
+            p_prog = prog;
+            p_historical = historical;
+            p_items = items;
+            p_since = Engine.now t.rt.Runtime.engine;
+          }
+          :: t.parked;
+        try_run_parked t
+    | Msg.Prog_gc { prog_id } -> Hashtbl.remove t.prog_state prog_id
+    | Msg.Watermark { gk; ts } -> handle_watermark t gk ts
+    | Msg.Epoch_change { epoch } -> handle_epoch_change t epoch
+    | _ -> ()
+
+let start_timers t =
+  Engine.every t.rt.Runtime.engine ~period:(cfg t).Config.heartbeat_period (fun () ->
+      if t.retired then false
+      else begin
+        if Net.is_alive t.rt.Runtime.net t.addr then
+          send t ~dst:(Runtime.manager_addr t.rt) (Msg.Heartbeat { server = t.addr });
+        true
+      end)
+
+let spawn rt ~sid ~epoch =
+  let n_g = rt.Runtime.cfg.Config.n_gatekeepers in
+  let t =
+    {
+      rt;
+      sid;
+      addr = Runtime.shard_addr rt sid;
+      graph = Hashtbl.create 4096;
+      lru = Queue.create ();
+      queues = Array.init n_g (fun _ -> Queue.create ());
+      last_seq = Array.make n_g 0;
+      seq_epoch = Array.make n_g (-1); (* sentinel: re-baseline per channel *)
+      cache = Runtime.create_cache ();
+      last_applied = Array.make n_g None;
+      prog_state = Hashtbl.create 32;
+      parked = [];
+      waiting_oracle = false;
+      busy_until = 0.0;
+      epoch;
+      wm = Array.make n_g None;
+      retired = false;
+    }
+  in
+  Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
+  start_timers t;
+  if epoch > 0 then reload_from_store t;
+  t
+
+let retire t = t.retired <- true
+
+let reload = reload_from_store

@@ -1,0 +1,35 @@
+(** Shard server — holds one in-memory partition of the multi-version graph
+    and obeys the refinable-timestamp order (paper §3.2, §4.1–§4.2).
+
+    The shard keeps one FIFO queue of incoming transactions per gatekeeper,
+    prioritized by timestamp, and its event loop executes the globally
+    earliest transaction whenever every queue is non-empty (NOPs guarantee
+    liveness). Mutually concurrent queue heads are serialized by the
+    timeline oracle, whose irrevocable decisions are cached locally. Node
+    programs are delayed until every preceding or concurrent transaction
+    has executed, then run against the snapshot at their timestamp,
+    propagating hops to peer shards. *)
+
+type t
+
+val spawn : Runtime.t -> sid:int -> epoch:int -> t
+(** Create shard [sid], register its handler at {!Runtime.shard_addr}, and
+    start its heartbeat timer. A replacement spawned after a failure
+    (with the current [epoch]) restores its partition from the backing
+    store. *)
+
+val retire : t -> unit
+
+val sid : t -> int
+val epoch : t -> int
+
+val vertex : t -> string -> Weaver_graph.Mgraph.vertex option
+(** In-memory record of a vertex on this shard (tests/introspection). *)
+
+val resident_vertices : t -> int
+val queue_depths : t -> int array
+(** Pending transactions per gatekeeper queue (tests). *)
+
+val reload : t -> unit
+(** Re-read this shard's partition from the backing store (recovery path;
+    also used by bulk preloading). *)

@@ -1,0 +1,36 @@
+type t =
+  | Create_vertex of string
+  | Delete_vertex of string
+  | Create_edge of { eid : string; src : string; dst : string }
+  | Delete_edge of { eid : string; src : string }
+  | Set_vertex_prop of { vid : string; key : string; value : string }
+  | Del_vertex_prop of { vid : string; key : string }
+  | Set_edge_prop of { src : string; eid : string; key : string; value : string }
+  | Del_edge_prop of { src : string; eid : string; key : string }
+  | Read_vertex of string
+
+let written_vertex = function
+  | Create_vertex v | Delete_vertex v -> Some v
+  | Create_edge { src; _ }
+  | Delete_edge { src; _ }
+  | Set_edge_prop { src; _ }
+  | Del_edge_prop { src; _ } -> Some src
+  | Set_vertex_prop { vid; _ } | Del_vertex_prop { vid; _ } -> Some vid
+  | Read_vertex _ -> None
+
+let read_vertex = function
+  | Read_vertex v -> Some v
+  | Create_edge { dst; _ } -> Some dst
+  | _ -> None
+
+let pp fmt = function
+  | Create_vertex v -> Format.fprintf fmt "create_vertex(%s)" v
+  | Delete_vertex v -> Format.fprintf fmt "delete_vertex(%s)" v
+  | Create_edge { eid; src; dst } -> Format.fprintf fmt "create_edge(%s,%s->%s)" eid src dst
+  | Delete_edge { eid; src } -> Format.fprintf fmt "delete_edge(%s@%s)" eid src
+  | Set_vertex_prop { vid; key; value } -> Format.fprintf fmt "set_vprop(%s,%s=%s)" vid key value
+  | Del_vertex_prop { vid; key } -> Format.fprintf fmt "del_vprop(%s,%s)" vid key
+  | Set_edge_prop { src; eid; key; value } ->
+      Format.fprintf fmt "set_eprop(%s@%s,%s=%s)" eid src key value
+  | Del_edge_prop { src; eid; key } -> Format.fprintf fmt "del_eprop(%s@%s,%s)" eid src key
+  | Read_vertex v -> Format.fprintf fmt "read_vertex(%s)" v

@@ -1,0 +1,29 @@
+(** Operations inside a Weaver transaction (paper §2.2).
+
+    Clients buffer these in a transaction block and submit the batch to a
+    gatekeeper at commit (paper §4.2). Edge handles are chosen by the
+    client library (cluster-unique strings), matching the paper's API where
+    [create_edge] returns a handle usable later in the same transaction. *)
+
+type t =
+  | Create_vertex of string
+  | Delete_vertex of string
+  | Create_edge of { eid : string; src : string; dst : string }
+  | Delete_edge of { eid : string; src : string }
+  | Set_vertex_prop of { vid : string; key : string; value : string }
+  | Del_vertex_prop of { vid : string; key : string }
+  | Set_edge_prop of { src : string; eid : string; key : string; value : string }
+  | Del_edge_prop of { src : string; eid : string; key : string }
+  | Read_vertex of string
+      (** Declares a read-set dependency on a vertex: the transaction
+          commits only if the vertex is not concurrently modified. *)
+
+val written_vertex : t -> string option
+(** The vertex whose stored record this operation modifies, if any ([src]
+    for edge operations, since out-edges live with their source). *)
+
+val read_vertex : t -> string option
+(** The vertex this operation only reads ([Read_vertex] and the [dst]
+    existence check of [Create_edge]). *)
+
+val pp : Format.formatter -> t -> unit

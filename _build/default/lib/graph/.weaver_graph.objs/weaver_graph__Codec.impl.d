@@ -1,0 +1,1 @@
+lib/graph/codec.ml: Array Mgraph Weaver_util Weaver_vclock

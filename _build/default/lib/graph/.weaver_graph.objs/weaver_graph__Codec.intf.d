@@ -1,0 +1,1 @@
+lib/graph/codec.mli: Mgraph Weaver_util Weaver_vclock

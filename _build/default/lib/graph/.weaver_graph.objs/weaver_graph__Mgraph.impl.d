@@ -1,0 +1,1 @@
+lib/graph/mgraph.ml: Format List String Weaver_vclock

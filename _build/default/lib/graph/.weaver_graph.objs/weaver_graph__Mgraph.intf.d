@@ -1,0 +1,1 @@
+lib/graph/mgraph.mli: Format Weaver_vclock

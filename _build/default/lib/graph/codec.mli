@@ -1,0 +1,17 @@
+(** Binary serialization of multi-version graph records and timestamps —
+    the durable on-disk format of the backing store's contents (used by
+    {!Weaver_core} backups and disaster recovery).
+
+    Encodings are self-contained (no external schema) and versioned with a
+    one-byte tag so the format can evolve. Round-tripping is exact:
+    [decode_vertex (encode_vertex v) = v]. *)
+
+val encode_stamp : Weaver_util.Wire.Writer.t -> Weaver_vclock.Vclock.t -> unit
+val decode_stamp : Weaver_util.Wire.Reader.t -> Weaver_vclock.Vclock.t
+
+val encode_vertex : Mgraph.vertex -> string
+(** Serialize a full multi-version vertex record: lifespan, property
+    versions, and every edge version with its properties. *)
+
+val decode_vertex : string -> Mgraph.vertex
+(** @raise Weaver_util.Wire.Reader.Corrupt on malformed input. *)

@@ -1,0 +1,124 @@
+module Vclock = Weaver_vclock.Vclock
+
+type stamp = Vclock.t
+type before = stamp -> stamp -> bool
+type lifespan = { created : stamp; deleted : stamp option }
+type prop = { pkey : string; pval : string; p_life : lifespan }
+
+type edge = {
+  eid : string;
+  dst : string;
+  e_life : lifespan;
+  e_props : prop list;
+}
+
+type vertex = {
+  vid : string;
+  v_life : lifespan;
+  v_props : prop list;
+  out : edge list;
+}
+
+let at_or_before (before : before) a b = Vclock.equal a b || before a b
+
+let alive before life ~at =
+  at_or_before before life.created at
+  &&
+  match life.deleted with
+  | None -> true
+  | Some d -> not (at_or_before before d at)
+
+let span at = { created = at; deleted = None }
+
+let create_vertex ~vid ~at =
+  { vid; v_life = span at; v_props = []; out = [] }
+
+let delete_vertex v ~at = { v with v_life = { v.v_life with deleted = Some at } }
+
+let add_edge v ~eid ~dst ~at =
+  { v with out = { eid; dst; e_life = span at; e_props = [] } :: v.out }
+
+let kill_life life ~at =
+  match life.deleted with None -> { life with deleted = Some at } | Some _ -> life
+
+let delete_edge v ~eid ~at =
+  let out =
+    List.map
+      (fun e ->
+        if String.equal e.eid eid && e.e_life.deleted = None then
+          { e with e_life = kill_life e.e_life ~at }
+        else e)
+      v.out
+  in
+  { v with out }
+
+let close_prop before props ~key ~at =
+  List.map
+    (fun p ->
+      if String.equal p.pkey key && alive before p.p_life ~at then
+        { p with p_life = kill_life p.p_life ~at }
+      else p)
+    props
+
+let set_vertex_prop before v ~key ~value ~at =
+  let closed = close_prop before v.v_props ~key ~at in
+  { v with v_props = { pkey = key; pval = value; p_life = span at } :: closed }
+
+let del_vertex_prop before v ~key ~at =
+  { v with v_props = close_prop before v.v_props ~key ~at }
+
+let map_edge v ~eid f =
+  { v with out = List.map (fun e -> if String.equal e.eid eid then f e else e) v.out }
+
+let set_edge_prop before v ~eid ~key ~value ~at =
+  map_edge v ~eid (fun e ->
+      if e.e_life.deleted = None then
+        let closed = close_prop before e.e_props ~key ~at in
+        { e with e_props = { pkey = key; pval = value; p_life = span at } :: closed }
+      else e)
+
+let del_edge_prop before v ~eid ~key ~at =
+  map_edge v ~eid (fun e -> { e with e_props = close_prop before e.e_props ~key ~at })
+
+let vertex_alive before v ~at = alive before v.v_life ~at
+
+let out_edges before v ~at = List.filter (fun e -> alive before e.e_life ~at) v.out
+
+let props_at before props ~at =
+  List.filter_map
+    (fun p -> if alive before p.p_life ~at then Some (p.pkey, p.pval) else None)
+    props
+
+let vertex_props before v ~at = props_at before v.v_props ~at
+let edge_props before e ~at = props_at before e.e_props ~at
+
+let edge_has_prop before e ~key ?value ~at () =
+  List.exists
+    (fun p ->
+      alive before p.p_life ~at
+      && String.equal p.pkey key
+      && match value with None -> true | Some v -> String.equal p.pval v)
+    e.e_props
+
+let degree before v ~at = List.length (out_edges before v ~at)
+
+let dead_before before life ~watermark =
+  match life.deleted with Some d -> before d watermark | None -> false
+
+let compact before v ~watermark =
+  if dead_before before v.v_life ~watermark then None
+  else
+    let keep_prop p = not (dead_before before p.p_life ~watermark) in
+    let out =
+      List.filter_map
+        (fun e ->
+          if dead_before before e.e_life ~watermark then None
+          else Some { e with e_props = List.filter keep_prop e.e_props })
+        v.out
+    in
+    Some { v with v_props = List.filter keep_prop v.v_props; out }
+
+let pp_vertex fmt v =
+  let dead = match v.v_life.deleted with Some _ -> " (deleted)" | None -> "" in
+  Format.fprintf fmt "@[<v 2>vertex %s%s@ props:%d edge-versions:%d@]" v.vid dead
+    (List.length v.v_props) (List.length v.out)

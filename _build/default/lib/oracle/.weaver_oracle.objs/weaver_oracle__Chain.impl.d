@@ -1,0 +1,1 @@
+lib/oracle/chain.ml: Array Option Oracle Weaver_vclock

@@ -1,0 +1,1 @@
+lib/oracle/chain.mli: Oracle Weaver_vclock

@@ -1,0 +1,1 @@
+lib/oracle/oracle.ml: Array Hashtbl List String Weaver_vclock

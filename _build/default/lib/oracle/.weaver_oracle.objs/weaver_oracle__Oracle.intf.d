@@ -1,0 +1,1 @@
+lib/oracle/oracle.mli: Weaver_vclock

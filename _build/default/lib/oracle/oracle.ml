@@ -1,0 +1,223 @@
+module Vclock = Weaver_vclock.Vclock
+
+type decision = First_first | Second_first
+
+type node = {
+  vc : Vclock.t;
+  succs : (string, unit) Hashtbl.t; (* explicit happens-before edges *)
+}
+
+type t = {
+  events : (string, node) Hashtbl.t;
+  edge_sources : (string, unit) Hashtbl.t;
+      (* events with ≥1 explicit out-edge: the only useful targets of a
+         vclock-implied hop, which keeps reachability searches linear in
+         the number of *ordered* events rather than all events *)
+  reach_memo : (string, bool) Hashtbl.t; (* positive reachability only *)
+  mutable edges : int;
+  mutable queries : int;
+}
+
+let create () =
+  {
+    events = Hashtbl.create 256;
+    edge_sources = Hashtbl.create 64;
+    reach_memo = Hashtbl.create 1024;
+    edges = 0;
+    queries = 0;
+  }
+
+let add_event t vc =
+  let k = Vclock.key vc in
+  if not (Hashtbl.mem t.events k) then
+    Hashtbl.replace t.events k { vc; succs = Hashtbl.create 4 }
+
+let event_count t = Hashtbl.length t.events
+let edge_count t = t.edges
+let queries_served t = t.queries
+
+let node_exn t k = Hashtbl.find t.events k
+
+(* Is there a happens-before chain from [a] to [b]? Chains mix explicit
+   commitments with vector-clock-implied edges: from a visited node [x] we
+   may hop to any registered event [y] with [x ≺ y] by vector clock. The
+   search succeeds as soon as it reaches [b] itself or any node that
+   vclock-precedes (or equals) [b]. Positive answers are memoised; they stay
+   valid because the commitment graph only grows. *)
+let reaches t a b =
+  let ka = Vclock.key a and kb = Vclock.key b in
+  let memo_key = ka ^ "|" ^ kb in
+  match Hashtbl.find_opt t.reach_memo memo_key with
+  | Some true -> true
+  | _ ->
+      let visited = Hashtbl.create 32 in
+      let rec dfs k =
+        if Hashtbl.mem visited k then false
+        else begin
+          Hashtbl.replace visited k ();
+          match Hashtbl.find_opt t.events k with
+          | None -> false
+          | Some node ->
+              let hits_target =
+                String.equal k kb || Vclock.precedes node.vc b
+              in
+              if hits_target && not (String.equal k ka) then true
+              else
+                explicit_step node || implied_step node
+        end
+      and explicit_step node =
+        Hashtbl.fold (fun k' () acc -> acc || dfs k') node.succs false
+      and implied_step node =
+        (* a vclock-implied hop is only useful onto an event that itself
+           has explicit commitments: a hop to an edge-free event could only
+           reach [b] by pure vclock order, which the target test on this
+           node already covers via transitivity of ≺ *)
+        Hashtbl.fold
+          (fun k' () acc ->
+            acc
+            ||
+            match Hashtbl.find_opt t.events k' with
+            | Some n' ->
+                (not (String.equal k' (Vclock.key node.vc)))
+                && Vclock.precedes node.vc n'.vc
+                && dfs k'
+            | None -> false)
+          t.edge_sources false
+      in
+      (* seed: target test must not fire on the start node itself *)
+      let found =
+        match Hashtbl.find_opt t.events ka with
+        | None -> false
+        | Some node -> explicit_step node || implied_step node
+      in
+      let found =
+        found
+        ||
+        (* direct vclock order counts as reachability too *)
+        match Vclock.compare_hb a b with Vclock.Before -> true | _ -> false
+      in
+      if found then Hashtbl.replace t.reach_memo memo_key true;
+      found
+
+let query t a b =
+  t.queries <- t.queries + 1;
+  add_event t a;
+  add_event t b;
+  match Vclock.compare_hb a b with
+  | Vclock.Before -> Some First_first
+  | Vclock.After -> Some Second_first
+  | Vclock.Equal when String.equal (Vclock.key a) (Vclock.key b) -> Some First_first
+  | Vclock.Equal | Vclock.Concurrent ->
+      if reaches t a b then Some First_first
+      else if reaches t b a then Some Second_first
+      else None
+
+let assign t ~before ~after =
+  add_event t before;
+  add_event t after;
+  match query t before after with
+  | Some First_first -> Ok () (* already holds *)
+  | Some Second_first -> Error `Cycle
+  | None ->
+      let kb = Vclock.key before and ka = Vclock.key after in
+      let n = node_exn t kb in
+      if not (Hashtbl.mem n.succs ka) then begin
+        Hashtbl.replace n.succs ka ();
+        Hashtbl.replace t.edge_sources kb ();
+        t.edges <- t.edges + 1
+      end;
+      Ok ()
+
+(* atomic batch: tentatively add, rolling back every new edge on failure *)
+let assign_all t pairs =
+  let added = ref [] in
+  let rollback () =
+    List.iter
+      (fun (kb, ka) ->
+        match Hashtbl.find_opt t.events kb with
+        | Some n when Hashtbl.mem n.succs ka ->
+            Hashtbl.remove n.succs ka;
+            t.edges <- t.edges - 1;
+            if Hashtbl.length n.succs = 0 then Hashtbl.remove t.edge_sources kb
+        | _ -> ())
+      !added;
+    (* conservatively drop memoised reachability that may rest on the
+       rolled-back edges *)
+    Hashtbl.reset t.reach_memo
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | (before, after) :: rest -> (
+        let kb = Vclock.key before and ka = Vclock.key after in
+        let fresh =
+          match Hashtbl.find_opt t.events kb with
+          | Some n -> not (Hashtbl.mem n.succs ka)
+          | None -> true
+        in
+        match assign t ~before ~after with
+        | Ok () ->
+            if fresh then added := (kb, ka) :: !added;
+            go rest
+        | Error `Cycle ->
+            rollback ();
+            Error `Cycle)
+  in
+  go pairs
+
+let order t ~first ~second =
+  match query t first second with
+  | Some d -> d
+  | None -> (
+      match assign t ~before:first ~after:second with
+      | Ok () -> First_first
+      | Error `Cycle ->
+          (* cannot happen: query found no order, so no reverse path exists *)
+          assert false)
+
+let serialize t events =
+  let arr = Array.of_list events in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      ignore (order t ~first:arr.(i) ~second:arr.(j))
+    done
+  done;
+  let cmp a b =
+    if String.equal (Vclock.key a) (Vclock.key b) then 0
+    else
+      match query t a b with
+      | Some First_first -> -1
+      | Some Second_first -> 1
+      | None -> assert false (* all pairs were just ordered *)
+  in
+  List.stable_sort cmp events
+
+let gc t ~watermark =
+  let doomed =
+    Hashtbl.fold
+      (fun k node acc ->
+        if Vclock.precedes node.vc watermark then k :: acc else acc)
+      t.events []
+  in
+  List.iter
+    (fun k ->
+      (match Hashtbl.find_opt t.events k with
+      | Some node -> t.edges <- t.edges - Hashtbl.length node.succs
+      | None -> ());
+      Hashtbl.remove t.events k;
+      Hashtbl.remove t.edge_sources k)
+    doomed;
+  (* drop dangling explicit edges and all memoised reachability *)
+  Hashtbl.iter
+    (fun src node ->
+      List.iter
+        (fun k ->
+          if Hashtbl.mem node.succs k then begin
+            Hashtbl.remove node.succs k;
+            t.edges <- t.edges - 1
+          end)
+        doomed;
+      if Hashtbl.length node.succs = 0 then Hashtbl.remove t.edge_sources src)
+    t.events;
+  Hashtbl.reset t.reach_memo;
+  List.length doomed

@@ -1,0 +1,72 @@
+(** Timeline oracle — the reactive, fine-grained stage of refinable
+    timestamps (paper §3.4), modelled on Kronos (Escriva et al., EuroSys'14).
+
+    The oracle maintains a dependency graph over outstanding transactions,
+    entirely separate from the property graph stored by Weaver. Vertices are
+    events identified by their vector timestamps; a directed edge is a
+    happens-before commitment. The oracle guarantees:
+
+    - {b acyclicity}: an assignment that would create a cycle is refused;
+    - {b irrevocability}: once [a ≺ b] is decided, every later query gives
+      an answer consistent with it;
+    - {b transitivity}: if [a ≺ b] and [b ≺ c] are known, a query on
+      [(a, c)] answers [a ≺ c];
+    - {b vclock inference}: dependencies implied by the vector clocks
+      themselves are honoured — if [a ≺ b] was decided and [b ≼ c] holds by
+      vector-clock comparison, then [a ≺ c] (paper §4.1's
+      [⟨0,1⟩ ≺ ⟨1,0⟩ ⟹ ⟨0,1⟩ ≺ ⟨2,0⟩] example). *)
+
+type t
+
+type decision = First_first | Second_first
+(** Answer to an ordering request on an (a, b) pair. *)
+
+val create : unit -> t
+
+val add_event : t -> Weaver_vclock.Vclock.t -> unit
+(** Register an event. Idempotent; ordering requests register their
+    arguments implicitly, so calling this is optional. *)
+
+val event_count : t -> int
+val edge_count : t -> int
+
+val query : t -> Weaver_vclock.Vclock.t -> Weaver_vclock.Vclock.t -> decision option
+(** Pre-established order between two events, if any: by vector clock, by
+    explicit commitment, or by any transitive chain mixing the two. [None]
+    means the pair is still unordered. *)
+
+val assign : t -> before:Weaver_vclock.Vclock.t -> after:Weaver_vclock.Vclock.t ->
+  (unit, [ `Cycle ]) result
+(** Commit [before ≺ after]. Refused with [`Cycle] if the opposite order is
+    already implied. Idempotent when the order already holds. *)
+
+val assign_all :
+  t ->
+  (Weaver_vclock.Vclock.t * Weaver_vclock.Vclock.t) list ->
+  (unit, [ `Cycle ]) result
+(** Atomically commit a set of [(before, after)] happens-before pairs
+    (Kronos's "atomically assign a happens-before relationship between
+    sets of events"): either every pair is committed or none is — if any
+    pair would close a cycle (including cycles created by earlier pairs in
+    the same batch), the whole batch is refused and the graph is left
+    untouched. *)
+
+val order : t -> first:Weaver_vclock.Vclock.t -> second:Weaver_vclock.Vclock.t -> decision
+(** Query-or-establish, the oracle's main entry point (paper §3.4): returns
+    the existing order if one exists, otherwise commits the {e arrival}
+    preference [first ≺ second] and returns [First_first]. *)
+
+val serialize : t -> Weaver_vclock.Vclock.t list -> Weaver_vclock.Vclock.t list
+(** Put a set of (typically mutually concurrent) events into a total order
+    consistent with every existing commitment, establishing the missing
+    pairwise orders. List position breaks remaining ties (arrival order).
+    Used by shard servers on concurrent queue heads (paper Fig. 6). *)
+
+val gc : t -> watermark:Weaver_vclock.Vclock.t -> int
+(** Drop every event strictly happens-before the watermark (paper §4.5);
+    returns how many were removed. Decisions among the survivors are
+    preserved. *)
+
+val queries_served : t -> int
+(** Ordering requests answered ({!query}, {!order}, and pairwise work done
+    by {!serialize}); the reactive-cost metric of Fig. 14. *)

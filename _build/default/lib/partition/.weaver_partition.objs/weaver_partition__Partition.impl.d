@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array Char Hashtbl List String

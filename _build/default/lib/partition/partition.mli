@@ -1,0 +1,44 @@
+(** Graph partitioning across shard servers (paper §4.6).
+
+    Weaver places each vertex (with its out-edges) on one shard. The default
+    placement is hashed; the streaming partitioners below implement the
+    locality-aware schemes the paper cites — LDG (Stanton & Kliot, KDD'12)
+    and restreaming refinement (Nishimura & Ugander, KDD'13) — which
+    colocate vertices with the majority of their neighbours to cut
+    cross-shard traffic during traversals.
+
+    As in the paper's evaluation, the headline benches use hash placement;
+    the smarter partitioners are exercised by the partitioning ablation. *)
+
+type assignment = (string, int) Hashtbl.t
+(** vertex id → shard index. *)
+
+val hash_vertex : shards:int -> string -> int
+(** Stateless hashed placement (FNV-1a over the id). *)
+
+val ldg :
+  shards:int ->
+  ?slack:float ->
+  (string * string list) list ->
+  assignment
+(** Linear deterministic greedy streaming partitioner. Vertices arrive in
+    list order with their neighbour lists; each goes to the shard holding
+    most of its already-placed neighbours, weighted by a capacity penalty
+    [(1 - load/capacity)] where capacity is [(1 + slack) · |V| / shards]
+    (default slack 0.1). *)
+
+val restream :
+  shards:int ->
+  rounds:int ->
+  ?slack:float ->
+  (string * string list) list ->
+  assignment
+(** Restreaming refinement: run LDG [rounds] times, each pass scoring
+    against the {e previous} pass's full assignment rather than only the
+    prefix seen so far. [rounds = 1] equals {!ldg}. *)
+
+val edge_cut : assignment -> (string * string list) list -> float
+(** Fraction of edges whose endpoints land on different shards, in [0,1]. *)
+
+val balance : assignment -> shards:int -> float
+(** Max shard load divided by the ideal (even) load; 1.0 is perfect. *)

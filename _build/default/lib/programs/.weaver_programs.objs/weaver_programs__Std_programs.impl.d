@@ -1,0 +1,1 @@
+lib/programs/std_programs.ml: List Nodeprog Progval String Weaver_core Weaver_graph Weaver_vclock

@@ -1,0 +1,1 @@
+lib/programs/std_programs.mli: Weaver_core

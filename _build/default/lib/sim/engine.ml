@@ -1,0 +1,66 @@
+module Heap = Weaver_util.Heap
+
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable processed : int;
+  queue : event Heap.t;
+  rng : Weaver_util.Xrand.t;
+}
+
+let cmp_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 1) () =
+  {
+    clock = 0.0;
+    seq = 0;
+    processed = 0;
+    queue = Heap.create ~cmp:cmp_event;
+    rng = Weaver_util.Xrand.create ~seed ();
+  }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t ~time action =
+  let time = Float.max time t.clock in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { time; seq = t.seq; action }
+
+let schedule t ~delay action =
+  let delay = Float.max 0.0 delay in
+  schedule_at t ~time:(t.clock +. delay) action
+
+let every t ~period f =
+  assert (period > 0.0);
+  let rec tick () = if f () then schedule t ~delay:period tick in
+  schedule t ~delay:period tick
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      t.processed <- t.processed + 1;
+      ev.action ();
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.queue with
+        | Some ev when ev.time <= limit -> ignore (step t)
+        | _ ->
+            t.clock <- Float.max t.clock limit;
+            continue := false
+      done
+
+let pending t = Heap.length t.queue
+let events_processed t = t.processed

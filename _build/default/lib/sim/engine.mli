@@ -1,0 +1,44 @@
+(** Deterministic discrete-event simulation engine.
+
+    The whole Weaver deployment — gatekeepers, shards, the timeline oracle,
+    the backing store, the cluster manager, and clients — runs as callbacks
+    scheduled on one of these engines. Virtual time is a [float] in
+    microseconds. Events scheduled for the same instant fire in scheduling
+    order (a global sequence number breaks ties), which together with the
+    seeded RNG makes every run reproducible. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine at time 0 with an empty event queue. *)
+
+val now : t -> float
+(** Current virtual time in microseconds. *)
+
+val rng : t -> Weaver_util.Xrand.t
+(** The engine's master RNG; derive sub-streams with {!Weaver_util.Xrand.split}. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the callback [delay] µs from now. Negative delays are clamped to 0. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Run the callback at absolute virtual [time] (clamped to [now] if past). *)
+
+val every : t -> period:float -> (unit -> bool) -> unit
+(** [every t ~period f] calls [f] each [period] µs for as long as [f]
+    returns [true]. The first call happens one period from now. *)
+
+val step : t -> bool
+(** Execute the single earliest pending event. [false] if the queue was
+    empty. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the queue drains, or until virtual time would
+    exceed [until] (remaining events stay queued and [now] advances to
+    [until]). *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val events_processed : t -> int
+(** Total events executed since creation. *)

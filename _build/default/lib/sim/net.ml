@@ -1,0 +1,87 @@
+type addr = int
+type latency = Weaver_util.Xrand.t -> src:addr -> dst:addr -> float
+
+type 'm endpoint = {
+  mutable handler : src:addr -> 'm -> unit;
+  mutable alive : bool;
+}
+
+type 'm t = {
+  engine : Engine.t;
+  latency : latency;
+  rng : Weaver_util.Xrand.t;
+  endpoints : (addr, 'm endpoint) Hashtbl.t;
+  (* last scheduled delivery time per (src,dst), to enforce FIFO *)
+  last_delivery : (addr * addr, float) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable tracer : (time:float -> src:addr -> dst:addr -> 'm -> unit) option;
+}
+
+let uniform_latency ~base ~jitter rng ~src:_ ~dst:_ =
+  base +. if jitter > 0.0 then Weaver_util.Xrand.float rng jitter else 0.0
+
+let local_latency : latency = fun rng -> uniform_latency ~base:50.0 ~jitter:20.0 rng
+
+let create engine ~latency =
+  {
+    engine;
+    latency;
+    rng = Weaver_util.Xrand.split (Engine.rng engine);
+    endpoints = Hashtbl.create 64;
+    last_delivery = Hashtbl.create 256;
+    sent = 0;
+    delivered = 0;
+    tracer = None;
+  }
+
+let register t addr handler =
+  match Hashtbl.find_opt t.endpoints addr with
+  | Some ep ->
+      ep.handler <- handler;
+      ep.alive <- true
+  | None -> Hashtbl.replace t.endpoints addr { handler; alive = true }
+
+let set_alive t addr alive =
+  match Hashtbl.find_opt t.endpoints addr with
+  | Some ep -> ep.alive <- alive
+  | None -> ()
+
+let is_alive t addr =
+  match Hashtbl.find_opt t.endpoints addr with
+  | Some ep -> ep.alive
+  | None -> false
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let send t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  (match t.tracer with
+  | Some f -> f ~time:(Engine.now t.engine) ~src ~dst msg
+  | None -> ());
+  let src_alive =
+    match Hashtbl.find_opt t.endpoints src with
+    | Some ep -> ep.alive
+    | None -> true (* unregistered senders (e.g. external clients) are fine *)
+  in
+  if src_alive then begin
+    let lat = t.latency t.rng ~src ~dst in
+    let arrival = Engine.now t.engine +. Float.max 0.0 lat in
+    (* FIFO per channel: never deliver before the previous message *)
+    let key = (src, dst) in
+    let floor_time =
+      match Hashtbl.find_opt t.last_delivery key with
+      | Some prev -> Float.max arrival prev
+      | None -> arrival
+    in
+    Hashtbl.replace t.last_delivery key floor_time;
+    Engine.schedule_at t.engine ~time:floor_time (fun () ->
+        match Hashtbl.find_opt t.endpoints dst with
+        | Some ep when ep.alive ->
+            t.delivered <- t.delivered + 1;
+            ep.handler ~src msg
+        | _ -> ())
+  end
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered

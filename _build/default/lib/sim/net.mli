@@ -1,0 +1,54 @@
+(** Simulated message-passing network with per-channel FIFO delivery.
+
+    Weaver's correctness argument (§4.2 of the paper) relies on FIFO
+    channels between each gatekeeper–shard pair; this module provides that
+    guarantee for every (src, dst) pair: even when per-message latency
+    jitters, a message is never delivered before an earlier message on the
+    same channel.
+
+    A network instance carries one message type ['m]; each protocol in the
+    repository instantiates its own network. Endpoints are small integer
+    addresses registered with a handler. Endpoints can be marked dead
+    (crash-stop): messages to a dead endpoint are silently dropped, as are
+    messages sent by it. *)
+
+type 'm t
+
+type addr = int
+(** Endpoint address. *)
+
+type latency = Weaver_util.Xrand.t -> src:addr -> dst:addr -> float
+(** Latency model: virtual µs for one message on the given channel. *)
+
+val uniform_latency : base:float -> jitter:float -> latency
+(** [base + U(0, jitter)] µs, independent of the channel. *)
+
+val local_latency : latency
+(** Datacenter-like default: 50 µs base + 20 µs jitter. *)
+
+val create : Engine.t -> latency:latency -> 'm t
+(** New network on the given engine. *)
+
+val register : 'm t -> addr -> (src:addr -> 'm -> unit) -> unit
+(** Install the delivery handler for [addr]; replaces any previous one and
+    (re)marks the endpoint alive. *)
+
+val send : 'm t -> src:addr -> dst:addr -> 'm -> unit
+(** Enqueue a message. Delivered via [dst]'s handler after the modelled
+    latency, in FIFO order per (src, dst). Dropped if either endpoint is
+    dead, or if [dst] was never registered. *)
+
+val set_alive : 'm t -> addr -> bool -> unit
+(** Crash or revive an endpoint. Messages already in flight towards a
+    crashed endpoint are dropped at delivery time. *)
+
+val is_alive : 'm t -> addr -> bool
+
+val messages_sent : 'm t -> int
+(** Total messages accepted by {!send} (including later drops). *)
+
+val messages_delivered : 'm t -> int
+
+val set_tracer : 'm t -> (time:float -> src:addr -> dst:addr -> 'm -> unit) option -> unit
+(** Install (or remove) a callback invoked on every {!send} with the
+    current virtual time — the hook behind message tracing. *)

@@ -1,0 +1,84 @@
+(** Transactional key-value backing store — the HyperDex Warp stand-in.
+
+    Weaver relies on its backing store for exactly three things (paper §3.2,
+    §4.2, §4.3): durable storage of the graph, a vertex → shard directory,
+    and atomic multi-key ACID transactions that commit only if none of the
+    data read was concurrently modified. This module provides those
+    semantics with optimistic concurrency control: a transaction records the
+    version of every key it reads; at commit, every recorded version must
+    still be current, otherwise the transaction aborts ([`Conflict]) and the
+    caller retries — the same abort-and-retry discipline Warp's acyclic
+    transactions give the paper's gatekeepers.
+
+    Values are polymorphic; the store never copies them. "Durability" in
+    the simulation means the store survives shard-server crashes (shards are
+    rebuilt from it), which is the property the paper's recovery protocol
+    needs. *)
+
+type 'v t
+
+val create : unit -> 'v t
+
+val length : 'v t -> int
+(** Number of live (non-deleted) keys. *)
+
+val version : 'v t -> string -> int
+(** Current version of a key; 0 if never written. Deletions bump the
+    version too. *)
+
+val get_now : 'v t -> string -> 'v option
+(** Non-transactional point read of the latest value. Used for recovery
+    reads, where transactional isolation is unnecessary (the writer is
+    gone). *)
+
+val scan_prefix : 'v t -> prefix:string -> (string * 'v) list
+(** All live bindings whose key starts with [prefix], in unspecified order.
+    Used to restore one shard's partition after a crash. *)
+
+val commits : 'v t -> int
+val aborts : 'v t -> int
+
+(** {1 Write-ahead journal}
+
+    Every committed transaction appends its write set to an in-order
+    journal before the cells mutate — the durability boundary a disk-backed
+    deployment would fsync. {!replay} rebuilds an equivalent store from the
+    journal alone, which the tests use to validate crash-consistency. *)
+
+val journal_length : 'v t -> int
+(** Committed transactions recorded. *)
+
+val journal_entry : 'v t -> int -> (string * 'v option) list
+(** Write set of the [i]-th committed transaction ([None] = deletion), in
+    application order. @raise Invalid_argument when out of range. *)
+
+val replay : 'v t -> 'v t
+(** A fresh store holding the journal's effects replayed in order; its own
+    journal is the same sequence. *)
+
+(** Transactions. A ['v tx] buffers writes and records read versions; no
+    global state changes until {!commit}. *)
+module Tx : sig
+  type 'v tx
+
+  val begin_ : 'v t -> 'v tx
+
+  val get : 'v tx -> string -> 'v option
+  (** Read-your-writes: sees this transaction's own buffered writes first,
+      then the store. Records the read version for commit-time
+      validation. *)
+
+  val put : 'v tx -> string -> 'v -> unit
+  val delete : 'v tx -> string -> unit
+
+  val commit : 'v tx -> (unit, [ `Conflict of string ]) result
+  (** Atomically apply all buffered writes iff every key read still has the
+      version observed. [`Conflict k] names the first stale key. A
+      transaction handle must not be reused after commit or abort. *)
+
+  val abort : 'v tx -> unit
+  (** Discard the transaction. *)
+
+  val read_set : 'v tx -> string list
+  val write_set : 'v tx -> string list
+end

@@ -1,0 +1,1 @@
+lib/util/wire.ml: Buffer Char List String

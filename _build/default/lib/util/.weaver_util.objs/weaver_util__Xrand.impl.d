@@ -1,0 +1,1 @@
+lib/util/xrand.ml: Array Float Int64

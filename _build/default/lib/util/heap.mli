@@ -1,0 +1,31 @@
+(** Polymorphic binary min-heap with an explicit comparison function.
+
+    Used for the discrete-event queue of the simulator and the per-gatekeeper
+    transaction queues at shard servers. All operations are the standard
+    O(log n) sift variants. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order (heap unchanged). *)
+
+val iter : ('a -> unit) -> 'a t -> unit

@@ -1,0 +1,11 @@
+type t = { mutable counter : int }
+
+let create ?(start = 0) () = { counter = start - 1 }
+
+let next t =
+  t.counter <- t.counter + 1;
+  t.counter
+
+let next_str t ~prefix = Printf.sprintf "%s%d" prefix (next t)
+
+let current t = t.counter

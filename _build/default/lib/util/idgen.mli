@@ -1,0 +1,17 @@
+(** Monotone unique identifier generation.
+
+    Vertices, edges, transactions, and node programs all need cluster-unique
+    handles. An [Idgen.t] hands out strictly increasing integers; the
+    string helpers add a type prefix for readable debugging output. *)
+
+type t
+
+val create : ?start:int -> unit -> t
+val next : t -> int
+(** Strictly increasing across calls on the same [t]. *)
+
+val next_str : t -> prefix:string -> string
+(** E.g. [next_str g ~prefix:"v"] gives ["v42"]. *)
+
+val current : t -> int
+(** Last value handed out ([start - 1] if none yet). *)

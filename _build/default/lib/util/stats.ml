@@ -1,0 +1,101 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  mutable sorted : bool;
+}
+
+let create () = { data = [||]; size = 0; sorted = false }
+
+let add t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let nd = Array.make ncap 0.0 in
+    Array.blit t.data 0 nd 0 t.size;
+    t.data <- nd
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sorted <- false
+
+let count t = t.size
+let is_empty t = t.size = 0
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let total t = fold ( +. ) 0.0 t
+let mean t = if t.size = 0 then 0.0 else total t /. float_of_int t.size
+
+let stddev t =
+  if t.size < 2 then 0.0
+  else begin
+    let m = mean t in
+    let ss = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 t in
+    sqrt (ss /. float_of_int (t.size - 1))
+  end
+
+let min_val t = if t.size = 0 then 0.0 else fold Float.min t.data.(0) t
+let max_val t = if t.size = 0 then 0.0 else fold Float.max t.data.(0) t
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let trimmed = Array.sub t.data 0 t.size in
+    Array.sort Float.compare trimmed;
+    Array.blit trimmed 0 t.data 0 t.size;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.size = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.size)) in
+    let idx = if rank <= 0 then 0 else rank - 1 in
+    let idx = if idx >= t.size then t.size - 1 else idx in
+    t.data.(idx)
+  end
+
+let cdf t ~points =
+  if t.size = 0 || points <= 0 then []
+  else begin
+    ensure_sorted t;
+    let out = ref [] in
+    for i = points downto 1 do
+      let frac = float_of_int i /. float_of_int points in
+      let idx = int_of_float (frac *. float_of_int t.size) - 1 in
+      let idx = if idx < 0 then 0 else if idx >= t.size then t.size - 1 else idx in
+      out := (t.data.(idx), frac) :: !out
+    done;
+    !out
+  end
+
+let summary t =
+  Printf.sprintf "n=%d mean=%.4f p50=%.4f p99=%.4f max=%.4f" t.size (mean t)
+    (percentile t 50.0) (percentile t 99.0) (max_val t)
+
+module Histogram = struct
+  type h = { lo : float; hi : float; counts : int array }
+
+  let create ~lo ~hi ~buckets =
+    assert (buckets > 0 && hi > lo);
+    { lo; hi; counts = Array.make buckets 0 }
+
+  let bucket_of h x =
+    let n = Array.length h.counts in
+    if x <= h.lo then 0
+    else if x >= h.hi then n - 1
+    else int_of_float ((x -. h.lo) /. (h.hi -. h.lo) *. float_of_int n)
+
+  let add h x =
+    let b = bucket_of h x in
+    h.counts.(b) <- h.counts.(b) + 1
+
+  let counts h = Array.copy h.counts
+  let total h = Array.fold_left ( + ) 0 h.counts
+end

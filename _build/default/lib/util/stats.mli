@@ -1,0 +1,44 @@
+(** Collection and summarisation of measurement samples.
+
+    Benchmarks collect per-operation latencies into a [t], then report
+    means, percentiles, and the cumulative distributions plotted in the
+    paper's Figs. 10 and 11. *)
+
+type t
+(** A growable bag of float samples. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val is_empty : t -> bool
+
+val mean : t -> float
+(** 0 on an empty bag. *)
+
+val stddev : t -> float
+val min_val : t -> float
+val max_val : t -> float
+val total : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]]; nearest-rank on the sorted
+    samples. 0 on an empty bag. *)
+
+val cdf : t -> points:int -> (float * float) list
+(** [cdf t ~points] returns [(value, fraction <= value)] pairs sampled at
+    [points] evenly spaced ranks — the series behind a CDF plot. *)
+
+val summary : t -> string
+(** One-line human-readable summary (n, mean, p50, p99, max). *)
+
+(** Fixed-bucket histogram over a data range, used for coordination-message
+    counting and distribution sanity checks. *)
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> buckets:int -> h
+  val add : h -> float -> unit
+  val counts : h -> int array
+  val bucket_of : h -> float -> int
+  val total : h -> int
+end

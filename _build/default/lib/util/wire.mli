@@ -1,0 +1,43 @@
+(** Compact binary encoding primitives (varints, strings, lists).
+
+    The backing store's durable format serializes vertex records and
+    timestamps through these helpers. LEB128 variable-length integers keep
+    small counters (clock components, degrees) at one byte. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val varint : t -> int -> unit
+  (** LEB128, non-negative integers only. @raise Invalid_argument on
+      negatives. *)
+
+  val string : t -> string -> unit
+  (** Length-prefixed bytes. *)
+
+  val bool : t -> bool -> unit
+
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  (** Count-prefixed sequence; the callback writes each element (typically
+      a closure over this writer). *)
+
+  val option : t -> ('a -> unit) -> 'a option -> unit
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  exception Corrupt of string
+  (** Raised on truncated or malformed input. *)
+
+  val create : string -> t
+  val varint : t -> int
+  val string : t -> string
+  val bool : t -> bool
+  val list : t -> (unit -> 'a) -> 'a list
+  val option : t -> (unit -> 'a) -> 'a option
+
+  val at_end : t -> bool
+  (** All input consumed. *)
+end

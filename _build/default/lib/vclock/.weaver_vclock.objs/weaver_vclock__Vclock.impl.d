@@ -1,0 +1,1 @@
+lib/vclock/vclock.ml: Array Buffer Format Int String Weaver_util

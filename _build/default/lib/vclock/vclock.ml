@@ -1,0 +1,93 @@
+type t = { epoch : int; origin : int; clocks : int array }
+type order = Before | After | Concurrent | Equal
+
+let zero ~n =
+  assert (n > 0);
+  { epoch = 0; origin = 0; clocks = Array.make n 0 }
+
+let make ~epoch ~origin clocks =
+  assert (origin >= 0 && origin < Array.length clocks);
+  { epoch; origin; clocks = Array.copy clocks }
+
+let dim t = Array.length t.clocks
+
+let tick t ~origin =
+  let clocks = Array.copy t.clocks in
+  clocks.(origin) <- clocks.(origin) + 1;
+  { epoch = t.epoch; origin; clocks }
+
+let merge a b =
+  assert (dim a = dim b);
+  assert (a.epoch = b.epoch);
+  let clocks = Array.mapi (fun i v -> max v b.clocks.(i)) a.clocks in
+  { a with clocks }
+
+let compare_hb a b =
+  if a.epoch < b.epoch then Before
+  else if a.epoch > b.epoch then After
+  else begin
+    assert (dim a = dim b);
+    let le = ref true and ge = ref true in
+    Array.iteri
+      (fun i av ->
+        let bv = b.clocks.(i) in
+        if av < bv then ge := false;
+        if av > bv then le := false)
+      a.clocks;
+    match (!le, !ge) with
+    | true, true -> Equal
+    | true, false -> Before
+    | false, true -> After
+    | false, false -> Concurrent
+  end
+
+let precedes a b = compare_hb a b = Before
+let concurrent a b = compare_hb a b = Concurrent
+
+let equal a b =
+  a.epoch = b.epoch && dim a = dim b
+  && Array.for_all2 Int.equal a.clocks b.clocks
+
+let sum t = Array.fold_left ( + ) 0 t.clocks
+
+let total_compare a b =
+  let c = compare a.epoch b.epoch in
+  if c <> 0 then c
+  else
+    let c = compare (sum a) (sum b) in
+    if c <> 0 then c
+    else
+      let c = compare a.clocks b.clocks in
+      if c <> 0 then c else compare a.origin b.origin
+
+let key t =
+  let b = Buffer.create 32 in
+  Buffer.add_string b (string_of_int t.epoch);
+  Buffer.add_char b '@';
+  Buffer.add_string b (string_of_int t.origin);
+  Array.iter
+    (fun v ->
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int v))
+    t.clocks;
+  Buffer.contents b
+
+let pp fmt t =
+  Format.fprintf fmt "e%d<%s>" t.epoch
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int t.clocks)))
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Truetime = struct
+  type tt = { earliest : float; latest : float }
+
+  let now ~rng ~real ~eps =
+    assert (eps >= 0.0);
+    (* place the true instant uniformly inside the uncertainty interval *)
+    let off = if eps > 0.0 then Weaver_util.Xrand.float rng eps else 0.0 in
+    { earliest = real -. off; latest = real +. (eps -. off) }
+
+  let after a b = a.earliest > b.latest
+  let commit_wait tt = tt.latest -. tt.earliest
+end

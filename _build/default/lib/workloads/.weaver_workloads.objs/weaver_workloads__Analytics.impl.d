@@ -1,0 +1,1 @@
+lib/workloads/analytics.ml: Client Cluster List Nodeprog Runtime String Weaver_core Weaver_graph Weaver_store

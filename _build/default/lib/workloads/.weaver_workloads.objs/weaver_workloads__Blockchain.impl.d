@@ -1,0 +1,1 @@
+lib/workloads/blockchain.ml: Client Cluster List Loader Printf Weaver_core Weaver_util

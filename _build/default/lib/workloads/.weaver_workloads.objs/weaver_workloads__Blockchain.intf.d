@@ -1,0 +1,1 @@
+lib/workloads/blockchain.mli: Weaver_core Weaver_util

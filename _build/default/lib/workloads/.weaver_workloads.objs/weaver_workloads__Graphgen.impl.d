@@ -1,0 +1,1 @@
+lib/workloads/graphgen.ml: Array Hashtbl List Weaver_util

@@ -1,0 +1,1 @@
+lib/workloads/graphgen.mli: Weaver_util

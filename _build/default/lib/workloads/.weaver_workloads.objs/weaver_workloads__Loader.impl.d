@@ -1,0 +1,1 @@
+lib/workloads/loader.ml: Array Client Cluster Config Fun Graphgen Hashtbl List Option Printf Queue Runtime Weaver_core Weaver_graph Weaver_partition Weaver_store Weaver_vclock

@@ -1,0 +1,1 @@
+lib/workloads/loader.mli: Graphgen Weaver_core Weaver_partition

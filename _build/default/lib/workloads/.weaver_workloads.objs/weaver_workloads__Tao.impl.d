@@ -1,0 +1,1 @@
+lib/workloads/tao.ml: Array Client Cluster Hashtbl List Option Progval Queue Runtime Weaver_core Weaver_sim Weaver_util

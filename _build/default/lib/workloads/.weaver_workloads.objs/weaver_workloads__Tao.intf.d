@@ -1,0 +1,1 @@
+lib/workloads/tao.mli: Weaver_core Weaver_util

@@ -1,0 +1,58 @@
+open Weaver_core
+module Xrand = Weaver_util.Xrand
+
+let txs_in_block h =
+  if h <= 0 then 1
+  else begin
+    let frac = float_of_int h /. 350_000.0 in
+    max 1 (int_of_float (1795.0 *. frac *. frac))
+  end
+
+let block_vid h = Printf.sprintf "blk%d" h
+let tx_vid h i = Printf.sprintf "btx%d_%d" h i
+let addr_vid h i j = Printf.sprintf "addr%d_%d_%d" h i j
+
+let install_block cluster ~rng ~height ?(outputs_per_tx = 2) () =
+  let n_tx = txs_in_block height in
+  let blk = block_vid height in
+  (* transactions and their outputs *)
+  for i = 0 to n_tx - 1 do
+    let outputs =
+      List.init outputs_per_tx (fun j ->
+          let a = addr_vid height i j in
+          Loader.install_vertex cluster ~vid:a
+            ~props:[ ("type", "address") ]
+            ~edges:[] ();
+          (a, [ ("type", "output") ]))
+    in
+    Loader.install_vertex cluster ~vid:(tx_vid height i)
+      ~props:
+        [
+          ("type", "transaction");
+          ("value", string_of_int (1 + Xrand.int rng 1000));
+        ]
+      ~edges:outputs ()
+  done;
+  Loader.install_vertex cluster ~vid:blk
+    ~props:[ ("type", "block"); ("height", string_of_int height) ]
+    ~edges:(List.init n_tx (fun i -> (tx_vid height i, [ ("type", "tx") ])))
+    ();
+  Cluster.reload_shards cluster;
+  blk
+
+let add_block_tx client ~rng ~height ~txs =
+  let blk = block_vid height in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:blk ());
+  Client.Tx.set_vertex_prop tx ~vid:blk ~key:"type" ~value:"block";
+  Client.Tx.set_vertex_prop tx ~vid:blk ~key:"height" ~value:(string_of_int height);
+  for i = 0 to txs - 1 do
+    let txv = tx_vid height i in
+    ignore (Client.Tx.create_vertex tx ~id:txv ());
+    Client.Tx.set_vertex_prop tx ~vid:txv ~key:"type" ~value:"transaction";
+    Client.Tx.set_vertex_prop tx ~vid:txv ~key:"value"
+      ~value:(string_of_int (1 + Xrand.int rng 1000));
+    let e = Client.Tx.create_edge tx ~src:blk ~dst:txv in
+    Client.Tx.set_edge_prop tx ~src:blk ~eid:e ~key:"type" ~value:"tx"
+  done;
+  match Client.commit client tx with Ok () -> Ok blk | Error e -> Error e

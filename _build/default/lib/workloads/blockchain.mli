@@ -1,0 +1,39 @@
+(** Synthetic Bitcoin blockchain for CoinGraph (paper §5.2, §6.1).
+
+    The real blockchain (80M vertices / 1.2B edges in the paper) is not
+    available here; this generator reproduces the structural properties the
+    block-query experiments depend on: a block vertex linked by
+    [type = "tx"] edges to its transaction vertices, each transaction
+    linked to output-address vertices, and a per-block transaction count
+    that grows with block height the way the real chain's did (calibrated
+    so block 350,000 carries 1,795 transactions, the figure the paper
+    quotes). *)
+
+val txs_in_block : int -> int
+(** Transactions in the synthetic block at the given height: a quadratic
+    ramp hitting 1,795 at height 350,000, minimum 1. *)
+
+val block_vid : int -> string
+(** Vertex id of block [h]. *)
+
+val install_block :
+  Weaver_core.Cluster.t ->
+  rng:Weaver_util.Xrand.t ->
+  height:int ->
+  ?outputs_per_tx:int ->
+  unit ->
+  string
+(** Build block [height] offline — block vertex, its transactions, their
+    output addresses — via the fast-install path, returning the block's
+    vertex id. Each transaction gets [outputs_per_tx] (default 2) output
+    edges. *)
+
+val add_block_tx :
+  Weaver_core.Client.t ->
+  rng:Weaver_util.Xrand.t ->
+  height:int ->
+  txs:int ->
+  (string, string) result
+(** The online path (CoinGraph ingesting new blocks in real time, §5.2):
+    create the same structure through a real Weaver transaction. Returns
+    the block vertex id. *)

@@ -1,0 +1,100 @@
+module Xrand = Weaver_util.Xrand
+
+type t = { prefix : string; n_vertices : int; edges : (int * int) list }
+
+let vid t i = t.prefix ^ string_of_int i
+let vertex_ids t = List.init t.n_vertices (vid t)
+
+let adjacency t =
+  let nbrs = Array.make t.n_vertices [] in
+  List.iter (fun (s, d) -> nbrs.(s) <- vid t d :: nbrs.(s)) t.edges;
+  List.init t.n_vertices (fun i -> (vid t i, nbrs.(i)))
+
+let dedup_edges edges =
+  let seen = Hashtbl.create (List.length edges) in
+  List.filter
+    (fun (s, d) ->
+      if s = d || Hashtbl.mem seen (s, d) then false
+      else begin
+        Hashtbl.replace seen (s, d) ();
+        true
+      end)
+    edges
+
+let uniform ~rng ?(prefix = "v") ~vertices ~edges () =
+  assert (vertices > 1 && edges >= 0);
+  let raw =
+    List.init edges (fun _ -> (Xrand.int rng vertices, Xrand.int rng vertices))
+  in
+  { prefix; n_vertices = vertices; edges = dedup_edges raw }
+
+let rmat ~rng ?(prefix = "v") ~vertices ~edges () =
+  assert (vertices > 1 && edges >= 0);
+  let levels =
+    let rec go l n = if n >= vertices then l else go (l + 1) (n * 2) in
+    go 0 1
+  in
+  let gen_edge () =
+    let s = ref 0 and d = ref 0 in
+    for _ = 1 to levels do
+      let p = Xrand.float rng 1.0 in
+      (* quadrant probabilities a=0.57 b=0.19 c=0.19 d=0.05 *)
+      let sbit, dbit =
+        if p < 0.57 then (0, 0)
+        else if p < 0.76 then (0, 1)
+        else if p < 0.95 then (1, 0)
+        else (1, 1)
+      in
+      s := (!s * 2) + sbit;
+      d := (!d * 2) + dbit
+    done;
+    (!s mod vertices, !d mod vertices)
+  in
+  let raw = List.init edges (fun _ -> gen_edge ()) in
+  { prefix; n_vertices = vertices; edges = dedup_edges raw }
+
+let preferential ~rng ?(prefix = "v") ~vertices ~out_degree () =
+  assert (vertices > out_degree && out_degree >= 1);
+  (* endpoint multiset: uniform sampling from it biases towards
+     high-degree vertices (Barabási–Albert) *)
+  let target_arr = Array.make (vertices * (out_degree + 1) * 2) 0 in
+  let n_arr = ref 0 in
+  let push v =
+    target_arr.(!n_arr) <- v;
+    incr n_arr
+  in
+  let edges = ref [] in
+  push 0;
+  for v = 1 to vertices - 1 do
+    let k = min v out_degree in
+    let chosen = Hashtbl.create k in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < k && !attempts < 20 * k do
+      incr attempts;
+      let u = target_arr.(Xrand.int rng !n_arr) in
+      if u <> v then Hashtbl.replace chosen u ()
+    done;
+    Hashtbl.iter
+      (fun u () ->
+        edges := (v, u) :: !edges;
+        push u)
+      chosen;
+    push v
+  done;
+  { prefix; n_vertices = vertices; edges = dedup_edges !edges }
+
+let chain ?(prefix = "v") ~vertices () =
+  assert (vertices >= 1);
+  {
+    prefix;
+    n_vertices = vertices;
+    edges = List.init (max 0 (vertices - 1)) (fun i -> (i, i + 1));
+  }
+
+let star ?(prefix = "v") ~leaves () =
+  assert (leaves >= 0);
+  {
+    prefix;
+    n_vertices = leaves + 1;
+    edges = List.init leaves (fun i -> (0, i + 1));
+  }

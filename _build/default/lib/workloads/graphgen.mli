@@ -1,0 +1,48 @@
+(** Synthetic graph generators standing in for the paper's datasets
+    (LiveJournal, the small Twitter ego graph, and the Twitter 2009 crawl —
+    none of which ship in this sealed environment; see DESIGN.md).
+
+    All generators are deterministic in the supplied RNG and return an edge
+    list over vertices named [<prefix><i>]. *)
+
+type t = {
+  prefix : string;
+  n_vertices : int;
+  edges : (int * int) list;  (** directed (src, dst) index pairs *)
+}
+
+val vid : t -> int -> string
+(** Name of vertex [i]. *)
+
+val vertex_ids : t -> string list
+
+val adjacency : t -> (string * string list) list
+(** Per-vertex out-neighbour lists (for the partitioners). *)
+
+val uniform :
+  rng:Weaver_util.Xrand.t -> ?prefix:string -> vertices:int -> edges:int -> unit -> t
+(** Uniform random digraph (self-loops and duplicates filtered) — the shape
+    of the paper's "small Twitter" benchmark graph. *)
+
+val rmat :
+  rng:Weaver_util.Xrand.t -> ?prefix:string -> vertices:int -> edges:int -> unit -> t
+(** R-MAT (a=0.57, b=0.19, c=0.19, d=0.05): heavy-tailed degree
+    distribution standing in for social-network crawls. [vertices] is
+    rounded up to a power of two internally; isolated vertices keep their
+    names. *)
+
+val preferential :
+  rng:Weaver_util.Xrand.t ->
+  ?prefix:string ->
+  vertices:int ->
+  out_degree:int ->
+  unit ->
+  t
+(** Preferential attachment: each new vertex links to [out_degree] earlier
+    vertices biased by current in-degree — LiveJournal-like. *)
+
+val chain : ?prefix:string -> vertices:int -> unit -> t
+(** [v0 → v1 → …] — deterministic, for tests. *)
+
+val star : ?prefix:string -> leaves:int -> unit -> t
+(** Hub [v0] pointing at [leaves] leaves — deterministic, for tests. *)

@@ -1,0 +1,155 @@
+open Weaver_core
+module Xrand = Weaver_util.Xrand
+module Stats = Weaver_util.Stats
+module Engine = Weaver_sim.Engine
+
+type op =
+  | Get_edges of string
+  | Count_edges of string
+  | Get_node of string
+  | Create_edge of string * string
+  | Delete_edge of string
+
+let table1_read_fraction = 0.998
+
+let gen_op ~rng ~vertices ?(read_fraction = table1_read_fraction) ?(theta = 0.75) () =
+  let n = Array.length vertices in
+  let pick () = vertices.(Xrand.zipf rng ~n ~theta) in
+  if Xrand.float rng 1.0 < read_fraction then begin
+    (* Table 1 read mix: get_edges 59.4 / count_edges 11.7 / get_node 28.9 *)
+    let p = Xrand.float rng 1.0 in
+    if p < 0.594 then Get_edges (pick ())
+    else if p < 0.594 +. 0.117 then Count_edges (pick ())
+    else Get_node (pick ())
+  end
+  else if (* Table 1 write mix: create_edge 80 / delete_edge 20 *)
+          Xrand.float rng 1.0 < 0.8 then Create_edge (pick (), pick ())
+  else Delete_edge (pick ())
+
+let op_name = function
+  | Get_edges _ -> "get_edges"
+  | Count_edges _ -> "count_edges"
+  | Get_node _ -> "get_node"
+  | Create_edge _ -> "create_edge"
+  | Delete_edge _ -> "delete_edge"
+
+let mix_counts ops =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let name = op_name op in
+      Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
+    ops;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+module Driver = struct
+  type result = {
+    completed : int;
+    aborted : int;
+    duration : float;
+    throughput : float;
+    read_latencies : Stats.t;
+    write_latencies : Stats.t;
+  }
+
+  (* one closed-loop client: issue an op, and on completion immediately
+     issue the next *)
+  let spawn_client cluster ~rng ~vertices ~read_fraction ~theta ~state =
+    let client = Cluster.client cluster in
+    let my_edges : (string * string) Queue.t = Queue.create () in
+    let completed, aborted, reads, writes, window_start = state in
+    let engine_now () = Cluster.now cluster in
+    let record_read t0 =
+      if engine_now () >= !window_start then begin
+        incr completed;
+        Stats.add reads (engine_now () -. t0)
+      end
+    in
+    let record_write t0 ok =
+      if engine_now () >= !window_start then
+        if ok then begin
+          incr completed;
+          Stats.add writes (engine_now () -. t0)
+        end
+        else incr aborted
+    in
+    let rec next () =
+      let t0 = engine_now () in
+      match gen_op ~rng ~vertices ~read_fraction ~theta () with
+      | Get_edges v ->
+          Client.run_program_async client ~prog:"get_edges" ~params:Progval.Null
+            ~starts:[ v ]
+            ~on_result:(fun _ ->
+              record_read t0;
+              next ())
+            ()
+      | Count_edges v ->
+          Client.run_program_async client ~prog:"count_edges" ~params:Progval.Null
+            ~starts:[ v ]
+            ~on_result:(fun _ ->
+              record_read t0;
+              next ())
+            ()
+      | Get_node v ->
+          Client.run_program_async client ~prog:"get_node" ~params:Progval.Null
+            ~starts:[ v ]
+            ~on_result:(fun _ ->
+              record_read t0;
+              next ())
+            ()
+      | Create_edge (src, dst) ->
+          let tx = Client.Tx.begin_ client in
+          let eid = Client.Tx.create_edge tx ~src ~dst in
+          Client.commit_async client tx ~on_result:(fun r ->
+              (match r with
+              | Ok () -> Queue.push (src, eid) my_edges
+              | Error _ -> ());
+              record_write t0 (r = Ok ());
+              next ())
+      | Delete_edge fallback_src ->
+          if Queue.is_empty my_edges then begin
+            (* nothing of ours to delete yet: degrade to a create so the
+               write fraction stays intact *)
+            let tx = Client.Tx.begin_ client in
+            let eid = Client.Tx.create_edge tx ~src:fallback_src ~dst:fallback_src in
+            Client.commit_async client tx ~on_result:(fun r ->
+                (match r with
+                | Ok () -> Queue.push (fallback_src, eid) my_edges
+                | Error _ -> ());
+                record_write t0 (r = Ok ());
+                next ())
+          end
+          else begin
+            let src, eid = Queue.pop my_edges in
+            let tx = Client.Tx.begin_ client in
+            Client.Tx.delete_edge tx ~src ~eid;
+            Client.commit_async client tx ~on_result:(fun r ->
+                record_write t0 (r = Ok ());
+                next ())
+          end
+    in
+    next ()
+
+  let run cluster ~vertices ~clients ~duration ?(read_fraction = table1_read_fraction)
+      ?(theta = 0.75) ?(warmup = 0.0) () =
+    assert (clients > 0 && duration > 0.0);
+    let rt = Cluster.runtime cluster in
+    let master = Engine.rng rt.Runtime.engine in
+    let completed = ref 0 and aborted = ref 0 in
+    let reads = Stats.create () and writes = Stats.create () in
+    let window_start = ref (Cluster.now cluster +. warmup) in
+    let state = (completed, aborted, reads, writes, window_start) in
+    for _ = 1 to clients do
+      let rng = Xrand.split master in
+      spawn_client cluster ~rng ~vertices ~read_fraction ~theta ~state
+    done;
+    Cluster.run_for cluster (warmup +. duration);
+    {
+      completed = !completed;
+      aborted = !aborted;
+      duration;
+      throughput = float_of_int !completed /. (duration /. 1_000_000.0);
+      read_latencies = reads;
+      write_latencies = writes;
+    }
+end

@@ -1,0 +1,58 @@
+(** Facebook TAO-style social-network workload (paper §5.1, §6.2, Table 1).
+
+    The operation mix follows Table 1: 99.8% reads split
+    get_edges 59.4% / count_edges 11.7% / get_node 28.9%, and 0.2% writes
+    split create_edge 80% / delete_edge 20%. The read fraction is a
+    parameter so the 75%-read workload of Fig. 9b uses the same generator.
+    Vertex selection is Zipf-skewed, as social traffic is. *)
+
+type op =
+  | Get_edges of string
+  | Count_edges of string
+  | Get_node of string
+  | Create_edge of string * string
+  | Delete_edge of string  (** delete one (driver-created) edge at a source vertex *)
+
+val table1_read_fraction : float
+(** 0.998, Table 1. *)
+
+val gen_op :
+  rng:Weaver_util.Xrand.t ->
+  vertices:string array ->
+  ?read_fraction:float ->
+  ?theta:float ->
+  unit ->
+  op
+(** One operation from the mix. [theta] is the Zipf skew over [vertices]
+    (default 0.75). Defaults to the Table 1 read fraction. *)
+
+val mix_counts : op list -> (string * int) list
+(** Frequency table by op name, for reproducing Table 1. *)
+
+(** Closed-loop benchmark driver: [clients] concurrent sessions that each
+    keep exactly one operation in flight; reads run as node programs,
+    writes as transactions (paper §6.2). *)
+module Driver : sig
+  type result = {
+    completed : int;  (** operations finished inside the window *)
+    aborted : int;  (** write transactions that lost OCC validation *)
+    duration : float;  (** measurement window, µs *)
+    throughput : float;  (** completed ops per second of virtual time *)
+    read_latencies : Weaver_util.Stats.t;
+    write_latencies : Weaver_util.Stats.t;
+  }
+
+  val run :
+    Weaver_core.Cluster.t ->
+    vertices:string array ->
+    clients:int ->
+    duration:float ->
+    ?read_fraction:float ->
+    ?theta:float ->
+    ?warmup:float ->
+    unit ->
+    result
+  (** Drive the cluster for [warmup + duration] virtual µs and report the
+      measurement window. The generator's RNG derives from the cluster
+      seed, so runs are reproducible. *)
+end

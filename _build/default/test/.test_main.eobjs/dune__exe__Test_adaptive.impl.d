@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Array Client Cluster Config Graphgen Loader Printf Progval Tao Weaver_core Weaver_programs Weaver_util Weaver_workloads

@@ -1,0 +1,1 @@
+test/test_analytics.ml: Alcotest Analytics Client Cluster Config Graphgen List Loader Option Progval String Weaver_core Weaver_programs Weaver_store Weaver_util Weaver_workloads

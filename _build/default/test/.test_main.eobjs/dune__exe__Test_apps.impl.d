@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Cluster Coingraph Config List Printf Progval Robobrain Socialnet Weaver_apps Weaver_core Weaver_programs Weaver_workloads

@@ -1,0 +1,1 @@
+test/test_backup.ml: Alcotest Backup Client Cluster Config List Progval QCheck QCheck_alcotest String Weaver_core Weaver_graph Weaver_programs Weaver_util Weaver_vclock

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Array Chain Client Cluster Format Gen List Oracle Printf Progval QCheck QCheck_alcotest Weaver_core Weaver_oracle Weaver_programs Weaver_vclock

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Array Client Cluster Config List Printf Progval Result Runtime Weaver_core Weaver_graph Weaver_programs Weaver_store Weaver_util

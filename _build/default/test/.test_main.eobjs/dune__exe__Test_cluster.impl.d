@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Format List Membership Weaver_cluster

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Client Cluster Config List Printf Progval Runtime String Weaver_core Weaver_graph Weaver_programs Weaver_vclock

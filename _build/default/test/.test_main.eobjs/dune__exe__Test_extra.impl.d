@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Client Cluster Config Graphgen Hashtbl List Loader Progval Result Runtime String Tao Weaver_core Weaver_partition Weaver_programs Weaver_util Weaver_workloads

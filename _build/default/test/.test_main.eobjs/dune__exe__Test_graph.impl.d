@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Gen List Mgraph QCheck QCheck_alcotest Weaver_graph Weaver_vclock

@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Client Cluster Config Graphgen Hashtbl List Loader Printf Progval Rebalance Runtime String Weaver_core Weaver_graph Weaver_programs Weaver_workloads

@@ -1,0 +1,1 @@
+test/test_model.ml: Array Client Cluster Config Hashtbl List Printf Progval QCheck QCheck_alcotest String Txop Weaver_core Weaver_programs Weaver_util

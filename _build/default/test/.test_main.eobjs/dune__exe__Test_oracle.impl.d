@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Format Gen List Option Oracle QCheck QCheck_alcotest Weaver_oracle Weaver_vclock

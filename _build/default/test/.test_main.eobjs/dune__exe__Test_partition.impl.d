@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Fun Hashtbl List Partition Printf QCheck QCheck_alcotest Weaver_partition Weaver_util

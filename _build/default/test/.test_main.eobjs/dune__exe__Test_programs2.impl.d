@@ -1,0 +1,1 @@
+test/test_programs2.ml: Alcotest Client Cluster Config Gen List Option Progval QCheck QCheck_alcotest Weaver_core Weaver_graph Weaver_programs Weaver_util

@@ -1,0 +1,1 @@
+test/test_progval.ml: Alcotest Config List Nodeprog Progval Runtime Txop Weaver_core Weaver_programs Weaver_vclock

@@ -1,0 +1,1 @@
+test/test_replica.ml: Alcotest Client Cluster Config List Progval Runtime Weaver_core Weaver_graph Weaver_programs Weaver_workloads

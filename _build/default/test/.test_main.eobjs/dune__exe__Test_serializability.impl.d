@@ -1,0 +1,1 @@
+test/test_serializability.ml: Alcotest Client Cluster Config List Printf Progval Weaver_core Weaver_graph Weaver_programs

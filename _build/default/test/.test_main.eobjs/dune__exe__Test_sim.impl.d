@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Gen Hashtbl List Net QCheck QCheck_alcotest Weaver_sim

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Gen Hashtbl List QCheck QCheck_alcotest Store Weaver_store

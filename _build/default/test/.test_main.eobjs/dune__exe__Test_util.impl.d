@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen Heap Idgen List QCheck QCheck_alcotest Stats Weaver_util Xrand

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Array Format QCheck QCheck_alcotest String Vclock Weaver_util Weaver_vclock

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Blockchain Client Cluster Config Graphgen List Loader Option Progval Tao Weaver_core Weaver_programs Weaver_util Weaver_workloads

@@ -1,0 +1,67 @@
+(* Tests for dynamic clock-synchronization-period adaptation (§3.5). *)
+
+open Weaver_core
+open Weaver_workloads
+module Programs = Weaver_programs.Std_programs
+
+let mk_cluster cfg =
+  let c = Cluster.create cfg in
+  Programs.Std.register_all (Cluster.registry c);
+  c
+
+let test_quiescent_backs_off () =
+  let cfg = { Config.default with Config.adaptive_tau = true; Config.tau = 1_000.0 } in
+  let c = mk_cluster cfg in
+  (* no traffic at all: τ should grow well past its starting point *)
+  Cluster.run_for c 2_000_000.0;
+  let tau = Cluster.gk_tau c 0 in
+  Alcotest.(check bool) (Printf.sprintf "backed off (%.0f)" tau) true (tau > 10_000.0)
+
+let test_busy_tightens () =
+  let cfg = { Config.default with Config.adaptive_tau = true; Config.tau = 50_000.0 } in
+  let c = mk_cluster cfg in
+  let rng = Weaver_util.Xrand.create ~seed:61 () in
+  let g = Graphgen.uniform ~rng ~prefix:"at" ~vertices:200 ~edges:1_000 () in
+  Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let vertices = Array.of_list (Graphgen.vertex_ids g) in
+  (* heavy traffic: τ should shrink far below the (bad) starting 50 ms *)
+  ignore (Tao.Driver.run c ~vertices ~clients:40 ~duration:1_000_000.0 ());
+  let tau = Cluster.gk_tau c 0 in
+  Alcotest.(check bool) (Printf.sprintf "tightened (%.0f)" tau) true (tau < 10_000.0)
+
+let test_fixed_tau_stays_fixed () =
+  let cfg = { Config.default with Config.adaptive_tau = false; Config.tau = 2_000.0 } in
+  let c = mk_cluster cfg in
+  Cluster.run_for c 500_000.0;
+  Alcotest.(check (float 1e-9)) "unchanged" 2_000.0 (Cluster.gk_tau c 0)
+
+let test_adaptive_still_correct () =
+  (* adaptation must not break ordering: the usual end-to-end flow works *)
+  let cfg = { Config.default with Config.adaptive_tau = true } in
+  let c = mk_cluster cfg in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  let a = Client.Tx.create_vertex tx ~id:"aa" () in
+  let b = Client.Tx.create_vertex tx ~id:"bb" () in
+  ignore (Client.Tx.create_edge tx ~src:a ~dst:b);
+  (match Client.commit client tx with Ok () -> () | Error e -> Alcotest.failf "%s" e);
+  match
+    Client.run_program client ~prog:"reachable"
+      ~params:(Progval.Assoc [ ("target", Progval.Str b) ])
+      ~starts:[ a ] ()
+  with
+  | Ok (Progval.Bool true) -> ()
+  | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+  | Error e -> Alcotest.failf "%s" e
+
+let suites =
+  [
+    ( "adaptive_tau",
+      [
+        Alcotest.test_case "quiescent backs off" `Quick test_quiescent_backs_off;
+        Alcotest.test_case "busy tightens" `Quick test_busy_tightens;
+        Alcotest.test_case "fixed stays fixed" `Quick test_fixed_tau_stays_fixed;
+        Alcotest.test_case "correctness preserved" `Quick test_adaptive_still_correct;
+      ] );
+  ]

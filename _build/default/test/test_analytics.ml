@@ -1,0 +1,136 @@
+(* Tests for the store journal, whole-graph analytics, the cluster report,
+   and the vertex-history feature. *)
+
+open Weaver_core
+open Weaver_workloads
+module Store = Weaver_store.Store
+module Programs = Weaver_programs.Std_programs
+
+let mk_cluster () =
+  let c = Cluster.create Config.default in
+  Programs.Std.register_all (Cluster.registry c);
+  c
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "%s" e
+
+let test_journal_records_commits () =
+  let s = Store.create () in
+  let tx = Store.Tx.begin_ s in
+  Store.Tx.put tx "a" 1;
+  Store.Tx.put tx "b" 2;
+  ignore (Store.Tx.commit tx);
+  let tx = Store.Tx.begin_ s in
+  Store.Tx.delete tx "a";
+  ignore (Store.Tx.commit tx);
+  Alcotest.(check int) "two entries" 2 (Store.journal_length s);
+  Alcotest.(check (list (pair string (option int))))
+    "first entry" [ ("a", Some 1); ("b", Some 2) ] (Store.journal_entry s 0);
+  Alcotest.(check (list (pair string (option int))))
+    "second entry" [ ("a", None) ] (Store.journal_entry s 1)
+
+let test_journal_skips_aborts () =
+  let s = Store.create () in
+  let t1 = Store.Tx.begin_ s in
+  ignore (Store.Tx.get t1 "k");
+  Store.Tx.put t1 "k" 1;
+  let t2 = Store.Tx.begin_ s in
+  Store.Tx.put t2 "k" 2;
+  ignore (Store.Tx.commit t2);
+  (match Store.Tx.commit t1 with Error _ -> () | Ok () -> Alcotest.fail "t1 must abort");
+  Alcotest.(check int) "only the commit journaled" 1 (Store.journal_length s)
+
+let test_journal_replay_equivalence () =
+  let s = Store.create () in
+  for i = 0 to 20 do
+    let tx = Store.Tx.begin_ s in
+    let k = "k" ^ string_of_int (i mod 5) in
+    if i mod 4 = 3 then Store.Tx.delete tx k else Store.Tx.put tx k i;
+    ignore (Store.Tx.commit tx)
+  done;
+  let r = Store.replay s in
+  Alcotest.(check int) "live counts equal" (Store.length s) (Store.length r);
+  for i = 0 to 4 do
+    let k = "k" ^ string_of_int i in
+    Alcotest.(check (option int)) k (Store.get_now s k) (Store.get_now r k)
+  done
+
+let test_analytics_global_degree_dist () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let g = Graphgen.star ~prefix:"ad" ~leaves:6 () in
+  Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  Alcotest.(check int) "vertex census" 7 (List.length (Analytics.all_vertices c));
+  match ok (Analytics.run_all c client ~prog:"degree_dist" ~params:Progval.Null ~batch:3 ()) with
+  | Progval.Assoc hist ->
+      let count d =
+        Progval.to_int (Option.value ~default:(Progval.Int 0) (List.assoc_opt d hist))
+      in
+      Alcotest.(check int) "hub" 1 (count "6");
+      Alcotest.(check int) "leaves" 6 (count "0")
+  | v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+
+let test_analytics_global_edge_count () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let rng = Weaver_util.Xrand.create ~seed:91 () in
+  let g = Graphgen.uniform ~rng ~prefix:"ae" ~vertices:50 ~edges:300 () in
+  Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  match ok (Analytics.run_all c client ~prog:"count_edges" ~params:Progval.Null ~batch:7 ()) with
+  | Progval.Int n -> Alcotest.(check int) "global edges" (List.length g.Graphgen.edges) n
+  | v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_cluster_report () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"rep" ());
+  ok (Client.commit client tx);
+  let r = Cluster.report c in
+  Alcotest.(check bool) "mentions commits" true (contains r "tx: committed 1");
+  Alcotest.(check bool) "mentions store" true (contains r "store:");
+  Alcotest.(check bool) "mentions oracle" true (contains r "oracle:")
+
+let test_message_trace () =
+  let c = mk_cluster () in
+  Cluster.enable_trace c ~capacity:5_000;
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"tr" ());
+  ok (Client.commit client tx);
+  let entries = Cluster.trace c in
+  Alcotest.(check bool) "bounded" true (List.length entries <= 5_000);
+  Alcotest.(check bool) "captured a Tx_req" true
+    (List.exists (fun (_, _, _, m) -> contains m "Tx_req") entries);
+  Alcotest.(check bool) "captured NOPs" true
+    (List.exists (fun (_, _, _, m) -> contains m "Shard_tx") entries);
+  (* timestamps nondecreasing *)
+  let times = List.map (fun (t, _, _, _) -> t) entries in
+  let rec mono = function a :: (b :: _ as r) -> a <= b && mono r | _ -> true in
+  Alcotest.(check bool) "trace ordered" true (mono times);
+  Cluster.clear_trace c;
+  Alcotest.(check int) "cleared" 0 (List.length (Cluster.trace c));
+  Cluster.disable_trace c
+
+let suites =
+  [
+    ( "journal",
+      [
+        Alcotest.test_case "records commits" `Quick test_journal_records_commits;
+        Alcotest.test_case "skips aborts" `Quick test_journal_skips_aborts;
+        Alcotest.test_case "replay equivalence" `Quick test_journal_replay_equivalence;
+      ] );
+    ( "analytics",
+      [
+        Alcotest.test_case "global degree dist" `Quick test_analytics_global_degree_dist;
+        Alcotest.test_case "global edge count" `Quick test_analytics_global_edge_count;
+        Alcotest.test_case "cluster report" `Quick test_cluster_report;
+        Alcotest.test_case "message trace" `Quick test_message_trace;
+      ] );
+  ]

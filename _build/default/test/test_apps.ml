@@ -1,0 +1,113 @@
+(* Tests for the three applications: the TAO-style social network,
+   CoinGraph, and the RoboBrain knowledge graph. *)
+
+open Weaver_core
+open Weaver_apps
+module Programs = Weaver_programs.Std_programs
+
+let mk_cluster () =
+  let c = Cluster.create Config.default in
+  Programs.Std.register_all (Cluster.registry c);
+  c
+
+let ok what = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" what e
+
+let test_social_photo_acl () =
+  let cluster = mk_cluster () in
+  let s = Socialnet.create cluster in
+  let alice = ok "alice" (Socialnet.add_user s ~name:"alice") in
+  let bob = ok "bob" (Socialnet.add_user s ~name:"bob") in
+  let carol = ok "carol" (Socialnet.add_user s ~name:"carol") in
+  ok "friend ab" (Socialnet.befriend s ~user:alice ~friend_:bob);
+  ok "friend ac" (Socialnet.befriend s ~user:alice ~friend_:carol);
+  Alcotest.(check (list string)) "friends" (List.sort compare [ bob; carol ])
+    (List.sort compare (ok "friends" (Socialnet.friends s ~user:alice)));
+  (* Fig. 2: photo visible to bob only *)
+  let photo = ok "photo" (Socialnet.post_photo s ~owner:alice ~visible_to:[ bob ]) in
+  Alcotest.(check bool) "bob sees" true (ok "acl" (Socialnet.can_see s ~viewer:bob ~photo));
+  Alcotest.(check bool) "carol blocked" false
+    (ok "acl" (Socialnet.can_see s ~viewer:carol ~photo));
+  Alcotest.(check int) "alice degree" 3 (ok "deg" (Socialnet.feed_degree s ~user:alice))
+
+let test_coingraph_ingest_and_query () =
+  let cluster = mk_cluster () in
+  let cg = Coingraph.create cluster in
+  let _blk = ok "ingest" (Coingraph.ingest_block cg ~height:42 ~txs:5 ()) in
+  Alcotest.(check int) "tx count" 5 (ok "count" (Coingraph.block_tx_count cg ~height:42));
+  (* render carries block + tx entries *)
+  match ok "query" (Coingraph.block_query cg ~height:42) with
+  | Progval.List entries ->
+      Alcotest.(check int) "entries" 6 (List.length entries)
+  | v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+
+let test_coingraph_preload_and_taint () =
+  let cluster = mk_cluster () in
+  let cg = Coingraph.create cluster in
+  let blk = Coingraph.preload_block cg ~height:1_000 in
+  Cluster.run_for cluster 5_000.0;
+  let tainted = ok "taint" (Coingraph.taint cg ~from:blk ~depth:2) in
+  (* block -> txs -> addresses: everything within 2 hops is tainted *)
+  let n_tx = Weaver_workloads.Blockchain.txs_in_block 1_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "taint covers block+txs+addrs (%d)" (List.length tainted))
+    true
+    (List.length tainted >= 1 + n_tx)
+
+let test_robobrain_merge () =
+  let cluster = mk_cluster () in
+  let rb = Robobrain.create cluster in
+  let mug = ok "mug" (Robobrain.add_concept rb ~name:"mug" ()) in
+  let cup = ok "cup" (Robobrain.add_concept rb ~name:"cup" ()) in
+  let kitchen = ok "kitchen" (Robobrain.add_concept rb ~name:"kitchen" ()) in
+  let liquid = ok "liquid" (Robobrain.add_concept rb ~name:"liquid" ()) in
+  ok "r1" (Robobrain.relate rb ~src:mug ~label:"found_in" ~dst:kitchen);
+  ok "r2" (Robobrain.relate rb ~src:cup ~label:"holds" ~dst:liquid);
+  (* merge duplicate concept 'cup' into 'mug' *)
+  ok "merge" (Robobrain.merge_concepts rb ~keep:mug ~absorb:cup);
+  let rels = List.sort compare (ok "rels" (Robobrain.relations rb ~concept:mug)) in
+  Alcotest.(check (list (pair string string)))
+    "mug has both relations"
+    [ ("found_in", kitchen); ("holds", liquid) ]
+    rels;
+  (* the duplicate is gone *)
+  match Robobrain.relations rb ~concept:cup with
+  | Ok [] -> () (* deleted vertex: empty *)
+  | Ok l -> Alcotest.failf "cup still has %d relations" (List.length l)
+  | Error _ -> ()
+
+let test_robobrain_star_query () =
+  let cluster = mk_cluster () in
+  let rb = Robobrain.create cluster in
+  let mug =
+    ok "mug" (Robobrain.add_concept rb ~name:"mug" ~attrs:[ ("kind", "object") ] ())
+  in
+  let table =
+    ok "table" (Robobrain.add_concept rb ~name:"table" ~attrs:[ ("kind", "object") ] ())
+  in
+  let kitchen =
+    ok "kitchen"
+      (Robobrain.add_concept rb ~name:"kitchen" ~attrs:[ ("kind", "place") ] ())
+  in
+  ok "r1" (Robobrain.relate rb ~src:mug ~label:"found_in" ~dst:kitchen);
+  ok "r2" (Robobrain.relate rb ~src:table ~label:"near" ~dst:mug);
+  let matches =
+    ok "star"
+      (Robobrain.concepts_related_to rb
+         ~centers:[ mug; table; kitchen ]
+         ~center_attr:("kind", "object")
+         ~nbr_attr:("kind", "place"))
+  in
+  (* only mug (object) has a place neighbour *)
+  Alcotest.(check (list (pair string string))) "matches" [ (mug, kitchen) ] matches
+
+let suites =
+  [
+    ( "apps",
+      [
+        Alcotest.test_case "social photo ACL" `Quick test_social_photo_acl;
+        Alcotest.test_case "coingraph ingest/query" `Quick test_coingraph_ingest_and_query;
+        Alcotest.test_case "coingraph preload/taint" `Quick test_coingraph_preload_and_taint;
+        Alcotest.test_case "robobrain merge" `Quick test_robobrain_merge;
+        Alcotest.test_case "robobrain star query" `Quick test_robobrain_star_query;
+      ] );
+  ]

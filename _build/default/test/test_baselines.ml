@@ -1,0 +1,149 @@
+(* Tests for the comparison baselines: Titan-like 2PL+2PC, GraphLab-like
+   sync/async engines, and the Blockchain.info cost model. *)
+
+open Weaver_baselines
+module Engine = Weaver_sim.Engine
+module Xrand = Weaver_util.Xrand
+module Graphgen = Weaver_workloads.Graphgen
+
+let test_titan_driver_completes () =
+  let engine = Engine.create ~seed:11 () in
+  let t = Titan_like.create engine ~rtt:100.0 in
+  let vertices = Array.init 100 (fun i -> "v" ^ string_of_int i) in
+  let r = Titan_like.Driver.run t ~vertices ~clients:10 ~duration:500_000.0 () in
+  Alcotest.(check bool) "ops completed" true (r.Titan_like.Driver.completed > 100);
+  (* clients are closed-loop, so at the window cutoff at most one op per
+     client can still hold locks *)
+  Alcotest.(check bool) "only in-flight locks remain" true
+    (Titan_like.locks_held t <= 10 * 3)
+
+let test_titan_throughput_insensitive_to_mix () =
+  (* the defining Titan behaviour per the paper: read-heavy and write-heavy
+     mixes give nearly the same throughput because reads lock too *)
+  let run frac =
+    let engine = Engine.create ~seed:12 () in
+    let t = Titan_like.create engine ~rtt:100.0 in
+    let vertices = Array.init 200 (fun i -> "v" ^ string_of_int i) in
+    (Titan_like.Driver.run t ~vertices ~clients:20 ~duration:1_000_000.0
+       ~read_fraction:frac ())
+      .Titan_like.Driver.throughput
+  in
+  let read_heavy = run 0.998 and mixed = run 0.75 in
+  Alcotest.(check bool)
+    (Printf.sprintf "flat throughput (%.0f vs %.0f)" read_heavy mixed)
+    true
+    (read_heavy /. mixed < 1.5 && mixed /. read_heavy < 1.5)
+
+let test_titan_contention_serializes () =
+  (* all clients hammering one vertex must be much slower than spread *)
+  let run vertices =
+    let engine = Engine.create ~seed:13 () in
+    let t = Titan_like.create engine ~rtt:100.0 in
+    (Titan_like.Driver.run t ~vertices ~clients:16 ~duration:500_000.0
+       ~read_fraction:0.5 ~theta:0.0 ())
+      .Titan_like.Driver.throughput
+  in
+  let hot = run [| "hot" |] in
+  let spread = run (Array.init 256 (fun i -> "v" ^ string_of_int i)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "contention hurts (%.0f < %.0f)" hot spread)
+    true (hot < spread /. 1.5)
+
+let small_graph () =
+  let rng = Xrand.create ~seed:21 () in
+  Graphgen.uniform ~rng ~vertices:500 ~edges:3_000 ()
+
+let test_graphlab_bfs_levels () =
+  let g = Graphlab_like.load (Graphgen.chain ~prefix:"v" ~vertices:5 ()) in
+  Alcotest.(check (list int)) "chain levels" [ 1; 1; 1; 1; 1 ]
+    (Graphlab_like.bfs_levels g ~src:"v0");
+  let s = Graphlab_like.load (Graphgen.star ~prefix:"v" ~leaves:6 ()) in
+  Alcotest.(check (list int)) "star levels" [ 1; 6 ] (Graphlab_like.bfs_levels s ~src:"v0")
+
+let test_graphlab_sync_pays_barriers () =
+  (* deep narrow graphs hurt the sync engine far more than shallow ones *)
+  let costs = Graphlab_like.default_costs in
+  let deep = Graphlab_like.load (Graphgen.chain ~prefix:"v" ~vertices:50 ()) in
+  let lat_deep =
+    Graphlab_like.reachability_latency deep ~mode:Graphlab_like.Sync ~costs ~src:"v0"
+      ~dst:"v49"
+  in
+  let shallow = Graphlab_like.load (Graphgen.star ~prefix:"v" ~leaves:49 ()) in
+  let lat_shallow =
+    Graphlab_like.reachability_latency shallow ~mode:Graphlab_like.Sync ~costs ~src:"v0"
+      ~dst:"v49"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "barriers dominate depth (%.0f > %.0f)" lat_deep lat_shallow)
+    true
+    (lat_deep > 3.0 *. lat_shallow)
+
+let test_graphlab_async_beats_sync () =
+  let costs = Graphlab_like.default_costs in
+  let g = Graphlab_like.load (small_graph ()) in
+  let sync =
+    Graphlab_like.reachability_latency g ~mode:Graphlab_like.Sync ~costs ~src:"v0"
+      ~dst:"v499"
+  in
+  let async =
+    Graphlab_like.reachability_latency g ~mode:Graphlab_like.Async ~costs ~src:"v0"
+      ~dst:"v499"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "async %.0f < sync %.0f" async sync)
+    true (async < sync)
+
+let test_blockchain_info_model () =
+  let lat0 = Blockchain_info.block_query_latency ~n_tx:0 () in
+  Alcotest.(check (float 1e-6)) "wan only" Blockchain_info.wan_latency lat0;
+  let lat100 = Blockchain_info.block_query_latency ~n_tx:100 () in
+  Alcotest.(check bool) "within measured band" true
+    (lat100 >= Blockchain_info.wan_latency +. (100.0 *. Blockchain_info.per_tx_cost_low)
+    && lat100 <= Blockchain_info.wan_latency +. (100.0 *. Blockchain_info.per_tx_cost_high));
+  let rng = Xrand.create ~seed:31 () in
+  let sampled = Blockchain_info.block_query_latency ~rng ~n_tx:100 () in
+  Alcotest.(check bool) "sampled in band" true
+    (sampled >= Blockchain_info.wan_latency +. (100.0 *. Blockchain_info.per_tx_cost_low)
+    && sampled
+       <= Blockchain_info.wan_latency +. (100.0 *. Blockchain_info.per_tx_cost_high))
+
+let test_kineograph_epochs () =
+  let engine = Engine.create ~seed:51 () in
+  let kg = Kineograph_like.create engine ~epoch_length:1_000.0 in
+  Kineograph_like.update kg ~key:"k" ~value:1;
+  (* invisible until the epoch seals *)
+  Alcotest.(check (option int)) "buffered invisible" None (Kineograph_like.query kg ~key:"k");
+  Alcotest.(check int) "pending" 1 (Kineograph_like.pending_updates kg);
+  Engine.run ~until:1_500.0 engine;
+  Alcotest.(check (option int)) "visible after seal" (Some 1) (Kineograph_like.query kg ~key:"k");
+  Alcotest.(check bool) "epochs sealed" true (Kineograph_like.epochs_sealed kg >= 1);
+  (* a newer buffered update does not shadow the sealed value *)
+  Kineograph_like.update kg ~key:"k" ~value:2;
+  Alcotest.(check (option int)) "still old value" (Some 1) (Kineograph_like.query kg ~key:"k");
+  Engine.run ~until:2_500.0 engine;
+  Alcotest.(check (option int)) "new value after next seal" (Some 2)
+    (Kineograph_like.query kg ~key:"k");
+  match Kineograph_like.query_staleness kg ~key:"k" with
+  | Some age -> Alcotest.(check bool) "staleness positive" true (age > 0.0)
+  | None -> Alcotest.fail "staleness missing"
+
+let suites =
+  [
+    ( "baselines.titan",
+      [
+        Alcotest.test_case "driver completes" `Quick test_titan_driver_completes;
+        Alcotest.test_case "mix-insensitive throughput" `Quick
+          test_titan_throughput_insensitive_to_mix;
+        Alcotest.test_case "contention serializes" `Quick test_titan_contention_serializes;
+      ] );
+    ( "baselines.graphlab",
+      [
+        Alcotest.test_case "bfs levels" `Quick test_graphlab_bfs_levels;
+        Alcotest.test_case "sync pays barriers" `Quick test_graphlab_sync_pays_barriers;
+        Alcotest.test_case "async beats sync" `Quick test_graphlab_async_beats_sync;
+      ] );
+    ( "baselines.blockchain_info",
+      [ Alcotest.test_case "cost model" `Quick test_blockchain_info_model ] );
+    ( "baselines.kineograph",
+      [ Alcotest.test_case "epoch semantics" `Quick test_kineograph_epochs ] );
+  ]

@@ -1,0 +1,180 @@
+(* Tests for the chain-replicated timeline oracle. *)
+
+open Weaver_oracle
+module Vclock = Weaver_vclock.Vclock
+
+let vc origin clocks = Vclock.make ~epoch:0 ~origin clocks
+
+let decision =
+  Alcotest.testable
+    (fun fmt -> function
+      | Oracle.First_first -> Format.pp_print_string fmt "First_first"
+      | Oracle.Second_first -> Format.pp_print_string fmt "Second_first")
+    ( = )
+
+let test_replicas_agree () =
+  let c = Chain.create ~replicas:3 () in
+  let a = vc 0 [| 1; 0 |] and b = vc 1 [| 0; 1 |] in
+  let d = Chain.order c ~first:a ~second:b in
+  Alcotest.check decision "head decision" Oracle.First_first d;
+  for r = 0 to 2 do
+    Alcotest.(check (option decision))
+      (Printf.sprintf "replica %d agrees" r)
+      (Some Oracle.First_first)
+      (Chain.query c ~replica:r a b)
+  done
+
+let test_tail_read_default () =
+  let c = Chain.create ~replicas:2 () in
+  let a = vc 0 [| 1; 0 |] and b = vc 1 [| 0; 1 |] in
+  ignore (Chain.order c ~first:b ~second:a);
+  Alcotest.(check (option decision)) "tail read" (Some Oracle.Second_first)
+    (Chain.query c a b)
+
+let test_head_failure_promotes () =
+  let c = Chain.create ~replicas:3 () in
+  let a = vc 0 [| 1; 0 |] and b = vc 1 [| 0; 1 |] in
+  ignore (Chain.order c ~first:a ~second:b);
+  Chain.kill c 0;
+  Alcotest.(check int) "two live" 2 (Chain.live_count c);
+  (* the promoted head preserves the decision and keeps serving *)
+  Alcotest.(check (option decision)) "decision survives" (Some Oracle.First_first)
+    (Chain.query c ~replica:1 a b);
+  let x = vc 0 [| 5; 0 |] and y = vc 1 [| 0; 5 |] in
+  Alcotest.check decision "new decisions post-failure" Oracle.First_first
+    (Chain.order c ~first:x ~second:y);
+  Alcotest.(check (option decision)) "replicated to tail" (Some Oracle.First_first)
+    (Chain.query c ~replica:2 x y)
+
+let test_mid_chain_failure () =
+  let c = Chain.create ~replicas:3 () in
+  let a = vc 0 [| 1; 0 |] and b = vc 1 [| 0; 1 |] in
+  Chain.kill c 1;
+  ignore (Chain.order c ~first:a ~second:b);
+  Alcotest.(check (option decision)) "head has it" (Some Oracle.First_first)
+    (Chain.query c ~replica:0 a b);
+  Alcotest.(check (option decision)) "tail has it" (Some Oracle.First_first)
+    (Chain.query c ~replica:2 a b);
+  Alcotest.check_raises "dead replica rejects reads"
+    (Invalid_argument "Chain.query: replica is dead") (fun () ->
+      ignore (Chain.query c ~replica:1 a b))
+
+let test_last_replica_protected () =
+  let c = Chain.create ~replicas:2 () in
+  Chain.kill c 0;
+  Alcotest.check_raises "cannot kill last"
+    (Invalid_argument "Chain.kill: last live replica") (fun () -> Chain.kill c 1)
+
+let test_serialize_replicated () =
+  let c = Chain.create ~replicas:3 () in
+  let events =
+    List.init 4 (fun i ->
+        let clocks = Array.make 4 0 in
+        clocks.(i) <- 1;
+        vc i clocks)
+  in
+  let sorted = Chain.serialize c events in
+  Alcotest.(check int) "all events" 4 (List.length sorted);
+  (* adjacent pairs are ordered identically on every replica *)
+  let rec pairs = function
+    | x :: (y :: _ as rest) -> (x, y) :: pairs rest
+    | _ -> []
+  in
+  List.iter
+    (fun (x, y) ->
+      for r = 0 to 2 do
+        Alcotest.(check (option decision))
+          (Printf.sprintf "replica %d pair" r)
+          (Some Oracle.First_first)
+          (Chain.query c ~replica:r x y)
+      done)
+    (pairs sorted)
+
+let test_gc_replicated () =
+  let c = Chain.create ~replicas:2 () in
+  let old1 = vc 0 [| 1; 0 |] and old2 = vc 1 [| 0; 1 |] in
+  ignore (Chain.order c ~first:old1 ~second:old2);
+  let removed = Chain.gc c ~watermark:(vc 0 [| 9; 9 |]) in
+  Alcotest.(check int) "removed" 2 removed
+
+let prop_replicas_never_disagree =
+  QCheck.Test.make ~name:"replicas never disagree after random workloads" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 30) (pair (int_bound 5) (int_bound 5)))
+    (fun pairs ->
+      let c = Chain.create ~replicas:3 () in
+      let events =
+        Array.init 6 (fun i ->
+            let clocks = Array.make 6 0 in
+            clocks.(i) <- 1;
+            vc i clocks)
+      in
+      List.iter
+        (fun (i, j) ->
+          if i <> j then ignore (Chain.order c ~first:events.(i) ~second:events.(j)))
+        pairs;
+      let ok = ref true in
+      for i = 0 to 5 do
+        for j = 0 to 5 do
+          if i <> j then begin
+            let answers =
+              List.init 3 (fun r -> Chain.query c ~replica:r events.(i) events.(j))
+            in
+            match answers with
+            | [ a; b; c' ] -> if not (a = b && b = c') then ok := false
+            | _ -> ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* end-to-end: a whole deployment running on a chain-replicated oracle,
+   surviving the head's failure mid-workload *)
+let test_cluster_on_chain_oracle () =
+  let cfg =
+    { Weaver_core.Config.default with Weaver_core.Config.oracle_replicas = 3 }
+  in
+  let c = Weaver_core.Cluster.create cfg in
+  Weaver_programs.Std_programs.Std.register_all (Weaver_core.Cluster.registry c);
+  let open Weaver_core in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"oc" ());
+  (match Client.commit client tx with Ok () -> () | Error e -> Alcotest.failf "%s" e);
+  Alcotest.(check int) "three live" 3 (Cluster.oracle_live_replicas c);
+  Cluster.kill_oracle_replica c 0;
+  Alcotest.(check int) "two live" 2 (Cluster.oracle_live_replicas c);
+  (* concurrent writers force reactive ordering through the promoted head *)
+  let c1 = Cluster.client c and c2 = Cluster.client c in
+  let r1 = ref None and r2 = ref None in
+  let mk cl =
+    let tx = Client.Tx.begin_ cl in
+    Client.Tx.set_vertex_prop tx ~vid:"oc" ~key:"k" ~value:"v";
+    tx
+  in
+  Client.commit_async c1 (mk c1) ~on_result:(fun r -> r1 := Some r);
+  Client.commit_async c2 (mk c2) ~on_result:(fun r -> r2 := Some r);
+  Cluster.run_for c 100_000.0;
+  Alcotest.(check bool) "at least one commits" true
+    (!r1 = Some (Ok ()) || !r2 = Some (Ok ()));
+  match
+    Client.run_program client ~prog:"get_node" ~params:Progval.Null ~starts:[ "oc" ] ()
+  with
+  | Ok (Progval.List [ _ ]) -> ()
+  | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+  | Error e -> Alcotest.failf "%s" e
+
+let suites =
+  [
+    ( "oracle.chain",
+      [
+        Alcotest.test_case "replicas agree" `Quick test_replicas_agree;
+        Alcotest.test_case "tail read" `Quick test_tail_read_default;
+        Alcotest.test_case "head failure" `Quick test_head_failure_promotes;
+        Alcotest.test_case "mid-chain failure" `Quick test_mid_chain_failure;
+        Alcotest.test_case "last replica protected" `Quick test_last_replica_protected;
+        Alcotest.test_case "serialize replicated" `Quick test_serialize_replicated;
+        Alcotest.test_case "gc replicated" `Quick test_gc_replicated;
+        QCheck_alcotest.to_alcotest prop_replicas_never_disagree;
+        Alcotest.test_case "cluster on chain oracle" `Quick test_cluster_on_chain_oracle;
+      ] );
+  ]

@@ -1,0 +1,134 @@
+(* Chaos testing: a random interleaving of transactions, traversals,
+   migrations, weak reads, and server crashes, run to completion under
+   several seeds. Invariants checked at the end:
+     - the simulation never wedges (all issued requests get answers);
+     - durable state and shard state agree for every surviving vertex;
+     - the journal replays to exactly the live store;
+     - the cluster still serves fresh traffic. *)
+
+open Weaver_core
+module Xrand = Weaver_util.Xrand
+module Store = Weaver_store.Store
+module Programs = Weaver_programs.Std_programs
+
+let run_chaos seed =
+  let cfg =
+    {
+      Config.default with
+      Config.seed;
+      Config.n_shards = 3;
+      Config.read_replicas = 1;
+      Config.failure_timeout = 120_000.0;
+    }
+  in
+  let c = Cluster.create cfg in
+  Programs.Std.register_all (Cluster.registry c);
+  let client = Cluster.client c in
+  let rng = Xrand.create ~seed () in
+  let vids = Array.init 10 (fun i -> Printf.sprintf "cv%d_%d" seed i) in
+  (* seed the graph *)
+  let tx = Client.Tx.begin_ client in
+  Array.iter (fun v -> ignore (Client.Tx.create_vertex tx ~id:v ())) vids;
+  (match Client.commit client tx with Ok () -> () | Error e -> Alcotest.failf "seed: %s" e);
+  let outstanding = ref 0 in
+  let answered = ref 0 in
+  let issue_async f =
+    incr outstanding;
+    f (fun _ ->
+        decr outstanding;
+        incr answered)
+  in
+  let killed_shard = ref false in
+  for _ = 1 to 60 do
+    (match Xrand.int rng 10 with
+    | 0 | 1 | 2 ->
+        issue_async (fun k ->
+            let tx = Client.Tx.begin_ client in
+            ignore
+              (Client.Tx.create_edge tx ~src:(Xrand.pick rng vids) ~dst:(Xrand.pick rng vids));
+            Client.commit_async client tx ~on_result:k)
+    | 3 | 4 ->
+        issue_async (fun k ->
+            Client.run_program_async client ~prog:"get_node" ~params:Progval.Null
+              ~starts:[ Xrand.pick rng vids ] ~on_result:(fun r -> k (Result.map ignore r)) ())
+    | 5 ->
+        issue_async (fun k ->
+            Client.run_program_async client ~prog:"nhop_count"
+              ~params:(Progval.Assoc [ ("depth", Progval.Int 2) ])
+              ~starts:[ Xrand.pick rng vids ]
+              ~consistency:(if Xrand.bool rng then `Weak else `Strong)
+              ~on_result:(fun r -> k (Result.map ignore r))
+              ())
+    | 6 ->
+        issue_async (fun k ->
+            Client.migrate_async client ~vid:(Xrand.pick rng vids)
+              ~to_shard:(Xrand.int rng 3) ~on_result:k)
+    | 7 when not !killed_shard ->
+        killed_shard := true;
+        Cluster.kill_shard c (Xrand.int rng 3)
+    | _ ->
+        issue_async (fun k ->
+            let tx = Client.Tx.begin_ client in
+            Client.Tx.set_vertex_prop tx ~vid:(Xrand.pick rng vids) ~key:"p"
+              ~value:(string_of_int (Xrand.int rng 100));
+            Client.commit_async client tx ~on_result:k));
+    Cluster.run_for c (Xrand.float rng 2_000.0)
+  done;
+  (* drain: requests either answer or hit their client timeout *)
+  let budget = ref 8_000 in
+  while !outstanding > 0 && !budget > 0 do
+    decr budget;
+    Cluster.run_for c 2_000.0
+  done;
+  Alcotest.(check int) "no wedged requests" 0 !outstanding;
+  Alcotest.(check bool) "work happened" true (!answered > 30);
+  (* settle recovery, then verify invariants *)
+  Cluster.run_for c 500_000.0;
+  let rt = Cluster.runtime c in
+  (* 1. journal replay equals live store *)
+  let replayed = Store.replay rt.Runtime.store in
+  Alcotest.(check int) "replay live-key count" (Store.length rt.Runtime.store)
+    (Store.length replayed);
+  List.iter
+    (fun (key, value) ->
+      match Store.get_now replayed key with
+      | Some v' -> if not (v' == value || v' = value) then Alcotest.failf "replay diverges at %s" key
+      | None -> Alcotest.failf "replay missing %s" key)
+    (Store.scan_prefix rt.Runtime.store ~prefix:"");
+  (* 2. durable vs shard state per vertex *)
+  Array.iter
+    (fun vid ->
+      match Cluster.stored_vertex c vid with
+      | None -> ()
+      | Some durable -> (
+          let shard = Cluster.shard_of_vertex c vid in
+          match Cluster.shard_vertex c ~shard vid with
+          | Some resident ->
+              let live (v : Weaver_graph.Mgraph.vertex) =
+                List.length
+                  (List.filter
+                     (fun (e : Weaver_graph.Mgraph.edge) ->
+                       e.Weaver_graph.Mgraph.e_life.Weaver_graph.Mgraph.deleted = None)
+                     v.Weaver_graph.Mgraph.out)
+              in
+              Alcotest.(check int)
+                (vid ^ " durable/resident degree agree")
+                (live durable) (live resident)
+          | None -> Alcotest.failf "%s not resident anywhere" vid))
+    vids;
+  (* 3. still serves traffic *)
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:(Printf.sprintf "post%d" seed) ());
+  match Client.commit client tx with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-chaos commit: %s" e
+
+let suites =
+  [
+    ( "chaos",
+      [
+        Alcotest.test_case "seed 7" `Quick (fun () -> run_chaos 7);
+        Alcotest.test_case "seed 77" `Quick (fun () -> run_chaos 77);
+        Alcotest.test_case "seed 777" `Quick (fun () -> run_chaos 777);
+      ] );
+  ]

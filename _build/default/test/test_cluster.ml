@@ -1,0 +1,59 @@
+(* Tests for cluster membership and failure detection. *)
+
+open Weaver_cluster
+
+let role = Alcotest.testable (fun fmt -> function
+  | Membership.Gatekeeper -> Format.pp_print_string fmt "GK"
+  | Membership.Shard -> Format.pp_print_string fmt "Shard") ( = )
+
+let test_register_and_live () =
+  let m = Membership.create () in
+  Membership.register m ~id:0 ~role:Membership.Gatekeeper ~now:0.0;
+  Membership.register m ~id:1 ~role:Membership.Gatekeeper ~now:0.0;
+  Membership.register m ~id:10 ~role:Membership.Shard ~now:0.0;
+  Alcotest.(check (list int)) "gks" [ 0; 1 ] (Membership.live m ~role:Membership.Gatekeeper);
+  Alcotest.(check (list int)) "shards" [ 10 ] (Membership.live m ~role:Membership.Shard);
+  Alcotest.(check bool) "alive" true (Membership.is_alive m ~id:0);
+  Alcotest.(check bool) "unknown not alive" false (Membership.is_alive m ~id:99)
+
+let test_failure_detection () =
+  let m = Membership.create () in
+  Membership.register m ~id:0 ~role:Membership.Gatekeeper ~now:0.0;
+  Membership.register m ~id:1 ~role:Membership.Shard ~now:0.0;
+  Membership.heartbeat m ~id:0 ~now:500.0;
+  (* id 1 last heartbeat at 0, timeout 300 at t=600 → failed *)
+  let failed = Membership.detect_failures m ~now:600.0 ~timeout:300.0 in
+  Alcotest.(check (list (pair int role))) "shard failed" [ (1, Membership.Shard) ] failed;
+  Alcotest.(check bool) "id1 dead" false (Membership.is_alive m ~id:1);
+  Alcotest.(check bool) "id0 alive" true (Membership.is_alive m ~id:0);
+  (* second call reports nothing new *)
+  Alcotest.(check int) "no repeat" 0
+    (List.length (Membership.detect_failures m ~now:700.0 ~timeout:300.0))
+
+let test_heartbeat_after_failure_ignored () =
+  let m = Membership.create () in
+  Membership.register m ~id:5 ~role:Membership.Shard ~now:0.0;
+  ignore (Membership.detect_failures m ~now:1000.0 ~timeout:100.0);
+  Membership.heartbeat m ~id:5 ~now:1001.0;
+  Alcotest.(check bool) "still dead" false (Membership.is_alive m ~id:5);
+  (* re-registration revives *)
+  Membership.register m ~id:5 ~role:Membership.Shard ~now:1002.0;
+  Alcotest.(check bool) "revived" true (Membership.is_alive m ~id:5)
+
+let test_epoch_bumps () =
+  let m = Membership.create () in
+  Alcotest.(check int) "initial" 0 (Membership.epoch m);
+  Alcotest.(check int) "bumped" 1 (Membership.bump_epoch m);
+  Alcotest.(check int) "bumped again" 2 (Membership.bump_epoch m);
+  Alcotest.(check int) "persistent" 2 (Membership.epoch m)
+
+let suites =
+  [
+    ( "cluster.membership",
+      [
+        Alcotest.test_case "register/live" `Quick test_register_and_live;
+        Alcotest.test_case "failure detection" `Quick test_failure_detection;
+        Alcotest.test_case "dead heartbeat ignored" `Quick test_heartbeat_after_failure_ignored;
+        Alcotest.test_case "epochs" `Quick test_epoch_bumps;
+      ] );
+  ]

@@ -1,0 +1,505 @@
+(* End-to-end tests of the Weaver core: transactions through the backing
+   store, shard application in refinable-timestamp order, node programs on
+   consistent snapshots, fault tolerance, GC, paging, and memoization. *)
+
+open Weaver_core
+module Programs = Weaver_programs.Std_programs
+
+let mk_cluster ?(cfg = Config.default) () =
+  let c = Cluster.create cfg in
+  Programs.Std.register_all (Cluster.registry c);
+  c
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %s" what e
+
+(* build the small social graph used by several tests:
+   alice -> bob -> carol, alice -> carol, dave isolated *)
+let build_social client =
+  let tx = Client.Tx.begin_ client in
+  List.iter
+    (fun v -> ignore (Client.Tx.create_vertex tx ~id:v ()))
+    [ "alice"; "bob"; "carol"; "dave" ];
+  let e_ab = Client.Tx.create_edge tx ~src:"alice" ~dst:"bob" in
+  let _ = Client.Tx.create_edge tx ~src:"bob" ~dst:"carol" in
+  let _ = Client.Tx.create_edge tx ~src:"alice" ~dst:"carol" in
+  Client.Tx.set_vertex_prop tx ~vid:"alice" ~key:"name" ~value:"Alice";
+  Client.Tx.set_edge_prop tx ~src:"alice" ~eid:e_ab ~key:"kind" ~value:"friend";
+  ok_exn "build_social" (Client.commit client tx)
+
+let get_node client vid =
+  ok_exn "get_node"
+    (Client.run_program client ~prog:"get_node" ~params:Progval.Null ~starts:[ vid ] ())
+
+let test_commit_and_get_node () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  build_social client;
+  (match get_node client "alice" with
+  | Progval.List [ summary ] ->
+      Alcotest.(check string) "vid" "alice" (Progval.to_str (Progval.assoc "vid" summary));
+      Alcotest.(check int) "degree" 2 (Progval.to_int (Progval.assoc "degree" summary));
+      Alcotest.(check string) "prop" "Alice"
+        (Progval.to_str (Progval.assoc "name" (Progval.assoc "props" summary)))
+  | v -> Alcotest.failf "unexpected result %s" (Progval.to_string v));
+  Alcotest.(check int) "one commit" 1 (Cluster.counters c).Runtime.tx_committed
+
+let test_get_edges_and_count () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  build_social client;
+  (match
+     ok_exn "get_edges"
+       (Client.run_program client ~prog:"get_edges" ~params:Progval.Null
+          ~starts:[ "alice" ] ())
+   with
+  | Progval.List edges ->
+      Alcotest.(check int) "two edges" 2 (List.length edges);
+      let dsts =
+        List.sort compare
+          (List.map (fun e -> Progval.to_str (Progval.assoc "dst" e)) edges)
+      in
+      Alcotest.(check (list string)) "dsts" [ "bob"; "carol" ] dsts
+  | v -> Alcotest.failf "unexpected %s" (Progval.to_string v));
+  let count =
+    ok_exn "count_edges"
+      (Client.run_program client ~prog:"count_edges" ~params:Progval.Null
+         ~starts:[ "alice"; "bob"; "dave" ] ())
+  in
+  Alcotest.(check int) "total degree" 3 (Progval.to_int count)
+
+let test_invalid_tx_rejected () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  Client.Tx.delete_vertex tx "ghost";
+  (match Client.commit client tx with
+  | Error e -> Alcotest.(check bool) "invalid" true (String.length e > 0)
+  | Ok () -> Alcotest.fail "deleting a missing vertex must fail");
+  Alcotest.(check int) "counted invalid" 1 (Cluster.counters c).Runtime.tx_invalid
+
+let test_double_create_rejected () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"x" ());
+  ok_exn "create" (Client.commit client tx);
+  let tx2 = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx2 ~id:"x" ());
+  match Client.commit client tx2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double create must fail"
+
+let test_multi_vertex_atomic_tx () =
+  (* paper Fig. 2: post a photo and set ACLs in one atomic transaction *)
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  build_social client;
+  let tx = Client.Tx.begin_ client in
+  let photo = Client.Tx.create_vertex tx () in
+  let own = Client.Tx.create_edge tx ~src:"alice" ~dst:photo in
+  Client.Tx.set_edge_prop tx ~src:"alice" ~eid:own ~key:"rel" ~value:"OWNS";
+  List.iter
+    (fun nbr ->
+      let e = Client.Tx.create_edge tx ~src:photo ~dst:nbr in
+      Client.Tx.set_edge_prop tx ~src:photo ~eid:e ~key:"rel" ~value:"VISIBLE")
+    [ "bob"; "carol" ];
+  ok_exn "photo tx" (Client.commit client tx);
+  match get_node client photo with
+  | Progval.List [ s ] ->
+      Alcotest.(check int) "photo degree" 2 (Progval.to_int (Progval.assoc "degree" s))
+  | v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+
+let test_reachability_across_shards () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  (* a chain long enough to span several shards *)
+  let n = 40 in
+  let tx = Client.Tx.begin_ client in
+  for i = 0 to n - 1 do
+    ignore (Client.Tx.create_vertex tx ~id:("chain" ^ string_of_int i) ())
+  done;
+  ok_exn "vertices" (Client.commit client tx);
+  let tx = Client.Tx.begin_ client in
+  for i = 0 to n - 2 do
+    ignore
+      (Client.Tx.create_edge tx
+         ~src:("chain" ^ string_of_int i)
+         ~dst:("chain" ^ string_of_int (i + 1)))
+  done;
+  ok_exn "edges" (Client.commit client tx);
+  let reach target =
+    Progval.to_bool
+      (ok_exn "reachable"
+         (Client.run_program client ~prog:"reachable"
+            ~params:(Progval.Assoc [ ("target", Progval.Str target) ])
+            ~starts:[ "chain0" ] ()))
+  in
+  Alcotest.(check bool) "end reachable" true (reach ("chain" ^ string_of_int (n - 1)));
+  Alcotest.(check bool) "vertices span multiple shards" true
+    (List.length
+       (List.sort_uniq compare
+          (List.init n (fun i -> Cluster.shard_of_vertex c ("chain" ^ string_of_int i))))
+    > 1);
+  (* unreachable target: chain is directed *)
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"island" ());
+  ok_exn "island" (Client.commit client tx);
+  Alcotest.(check bool) "island not reachable" false (reach "island")
+
+let test_reachability_with_edge_filter () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  List.iter (fun v -> ignore (Client.Tx.create_vertex tx ~id:v ())) [ "a"; "b"; "c" ];
+  let e1 = Client.Tx.create_edge tx ~src:"a" ~dst:"b" in
+  Client.Tx.set_edge_prop tx ~src:"a" ~eid:e1 ~key:"follows" ~value:"";
+  ignore (Client.Tx.create_edge tx ~src:"a" ~dst:"c");
+  ok_exn "setup" (Client.commit client tx);
+  let reach target =
+    Progval.to_bool
+      (ok_exn "reachable"
+         (Client.run_program client ~prog:"reachable"
+            ~params:
+              (Progval.Assoc
+                 [ ("target", Progval.Str target); ("prop", Progval.Str "follows") ])
+            ~starts:[ "a" ] ()))
+  in
+  Alcotest.(check bool) "filtered edge traversed" true (reach "b");
+  Alcotest.(check bool) "unlabelled edge skipped" false (reach "c")
+
+let test_hop_distance () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  build_social client;
+  let dist target =
+    ok_exn "hop_distance"
+      (Client.run_program client ~prog:"hop_distance"
+         ~params:(Progval.Assoc [ ("target", Progval.Str target) ])
+         ~starts:[ "alice" ] ())
+  in
+  Alcotest.(check int) "self" 0 (Progval.to_int (dist "alice"));
+  Alcotest.(check int) "direct" 1 (Progval.to_int (dist "bob"));
+  Alcotest.(check int) "shortcut wins" 1 (Progval.to_int (dist "carol"));
+  Alcotest.(check bool) "unreachable is Null" true (dist "dave" = Progval.Null)
+
+let test_clustering_triangle () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  List.iter (fun v -> ignore (Client.Tx.create_vertex tx ~id:v ())) [ "t1"; "t2"; "t3" ];
+  (* directed triangle plus the reverse edge t3->t2 *)
+  ignore (Client.Tx.create_edge tx ~src:"t1" ~dst:"t2");
+  ignore (Client.Tx.create_edge tx ~src:"t1" ~dst:"t3");
+  ignore (Client.Tx.create_edge tx ~src:"t2" ~dst:"t3");
+  ignore (Client.Tx.create_edge tx ~src:"t3" ~dst:"t2");
+  ok_exn "triangle" (Client.commit client tx);
+  match
+    ok_exn "clustering"
+      (Client.run_program client ~prog:"clustering" ~params:Progval.Null ~starts:[ "t1" ] ())
+  with
+  | r ->
+      Alcotest.(check int) "k" 2 (Progval.to_int (Progval.assoc "k" r));
+      (* among {t2,t3}: t2->t3 and t3->t2 both inside the neighbourhood *)
+      Alcotest.(check int) "links" 2 (Progval.to_int (Progval.assoc "links" r))
+
+let test_nhop_count () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  build_social client;
+  let count depth =
+    Progval.to_int
+      (ok_exn "nhop"
+         (Client.run_program client ~prog:"nhop_count"
+            ~params:(Progval.Assoc [ ("depth", Progval.Int depth) ])
+            ~starts:[ "alice" ] ()))
+  in
+  Alcotest.(check int) "0 hops" 1 (count 0);
+  Alcotest.(check int) "1 hop" 3 (count 1);
+  Alcotest.(check int) "2 hops" 3 (count 2)
+
+let test_snapshot_vs_delete () =
+  (* a node program started at an old timestamp still sees deleted data *)
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  build_social client;
+  Cluster.run_for c 10_000.0;
+  let snap = Cluster.gk_clock c 0 in
+  (* now delete the alice->bob edge region: delete bob entirely *)
+  let tx = Client.Tx.begin_ client in
+  Client.Tx.delete_vertex tx "bob";
+  ok_exn "delete bob" (Client.commit client tx);
+  Cluster.run_for c 10_000.0;
+  (* current read: bob is gone *)
+  (match
+     ok_exn "get_node now"
+       (Client.run_program client ~prog:"get_node" ~params:Progval.Null ~starts:[ "bob" ] ())
+   with
+  | Progval.List [] -> ()
+  | v -> Alcotest.failf "bob should be dead, got %s" (Progval.to_string v));
+  (* historical read at the old snapshot: bob is visible *)
+  match
+    ok_exn "get_node past"
+      (Client.run_program client ~prog:"get_node" ~params:Progval.Null ~starts:[ "bob" ]
+         ~at:snap ())
+  with
+  | Progval.List [ s ] ->
+      Alcotest.(check string) "vid" "bob" (Progval.to_str (Progval.assoc "vid" s))
+  | v -> Alcotest.failf "expected historical bob, got %s" (Progval.to_string v)
+
+let test_concurrent_writes_same_vertex () =
+  (* two clients race edge creations on one vertex through different
+     gatekeepers: both must commit (in some order) and the final degree
+     must reflect both *)
+  let c = mk_cluster () in
+  let c1 = Cluster.client c and c2 = Cluster.client c in
+  let setup = Client.Tx.begin_ c1 in
+  List.iter (fun v -> ignore (Client.Tx.create_vertex setup ~id:v ())) [ "hub"; "s1"; "s2" ];
+  ok_exn "setup" (Client.commit c1 setup);
+  let r1 = ref None and r2 = ref None in
+  let tx1 = Client.Tx.begin_ c1 in
+  ignore (Client.Tx.create_edge tx1 ~src:"hub" ~dst:"s1");
+  let tx2 = Client.Tx.begin_ c2 in
+  ignore (Client.Tx.create_edge tx2 ~src:"hub" ~dst:"s2");
+  Client.commit_async c1 tx1 ~on_result:(fun r -> r1 := Some r);
+  Client.commit_async c2 tx2 ~on_result:(fun r -> r2 := Some r);
+  Cluster.run_for c 50_000.0;
+  let ok r = match r with Some (Ok ()) -> true | _ -> false in
+  let retry_if_conflict cl tx r =
+    if not (ok !r) then begin
+      (* OCC conflict: retry once, as a real client would *)
+      Client.commit_async cl tx ~on_result:(fun x -> r := Some x);
+      Cluster.run_for c 50_000.0
+    end
+  in
+  let tx1' = Client.Tx.begin_ c1 in
+  ignore (Client.Tx.create_edge tx1' ~src:"hub" ~dst:"s1");
+  let tx2' = Client.Tx.begin_ c2 in
+  ignore (Client.Tx.create_edge tx2' ~src:"hub" ~dst:"s2");
+  retry_if_conflict c1 tx1' r1;
+  retry_if_conflict c2 tx2' r2;
+  Alcotest.(check bool) "tx1 committed" true (ok !r1);
+  Alcotest.(check bool) "tx2 committed" true (ok !r2);
+  Cluster.run_for c 20_000.0;
+  match get_node c1 "hub" with
+  | Progval.List [ s ] ->
+      Alcotest.(check int) "both edges present" 2
+        (Progval.to_int (Progval.assoc "degree" s))
+  | v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+
+let test_concurrent_delete_one_wins () =
+  let c = mk_cluster () in
+  let c1 = Cluster.client c and c2 = Cluster.client c in
+  let setup = Client.Tx.begin_ c1 in
+  ignore (Client.Tx.create_vertex setup ~id:"victim" ());
+  ok_exn "setup" (Client.commit c1 setup);
+  let r1 = ref None and r2 = ref None in
+  let tx1 = Client.Tx.begin_ c1 in
+  Client.Tx.delete_vertex tx1 "victim";
+  let tx2 = Client.Tx.begin_ c2 in
+  Client.Tx.delete_vertex tx2 "victim";
+  Client.commit_async c1 tx1 ~on_result:(fun r -> r1 := Some r);
+  Client.commit_async c2 tx2 ~on_result:(fun r -> r2 := Some r);
+  Cluster.run_for c 100_000.0;
+  let succ = List.length (List.filter (fun r -> !r = Some (Ok ())) [ r1; r2 ]) in
+  Alcotest.(check int) "exactly one delete wins" 1 succ
+
+let test_shard_failure_recovery () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  build_social client;
+  Cluster.run_for c 10_000.0;
+  let victim = Cluster.shard_of_vertex c "alice" in
+  Cluster.kill_shard c victim;
+  (* run past the failure timeout so the manager detects and recovers *)
+  Cluster.run_for c 400_000.0;
+  Alcotest.(check bool) "epoch bumped" true (Cluster.epoch c >= 1);
+  Alcotest.(check bool) "recovery counted" true
+    ((Cluster.counters c).Runtime.recoveries >= 1);
+  (* data recovered from the backing store and queries work again *)
+  match get_node client "alice" with
+  | Progval.List [ s ] ->
+      Alcotest.(check int) "degree survives recovery" 2
+        (Progval.to_int (Progval.assoc "degree" s))
+  | v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+
+let test_gatekeeper_failure_recovery () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  build_social client;
+  Cluster.run_for c 10_000.0;
+  Cluster.kill_gatekeeper c 0;
+  Cluster.run_for c 400_000.0;
+  Alcotest.(check bool) "epoch bumped" true (Cluster.epoch c >= 1);
+  (* the replacement gatekeeper serves requests in the new epoch; writes
+     still commit and reads still work *)
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"postcrash" ());
+  ok_exn "post-crash tx" (Client.commit client tx);
+  match get_node client "postcrash" with
+  | Progval.List [ _ ] -> ()
+  | v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+
+let test_timestamps_epoch_monotonic () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  build_social client;
+  Cluster.run_for c 10_000.0;
+  let before = Cluster.gk_clock c 1 in
+  Cluster.kill_gatekeeper c 0;
+  Cluster.run_for c 400_000.0;
+  let after = Cluster.gk_clock c 1 in
+  ignore client;
+  Alcotest.(check bool) "post-failure stamps follow pre-failure stamps" true
+    (Weaver_vclock.Vclock.precedes before after)
+
+let gc_churn_versions ~gc_period =
+  let cfg = { Config.default with Config.gc_period = gc_period } in
+  let c = mk_cluster ~cfg () in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"gcv" ());
+  ok_exn "create" (Client.commit client tx);
+  (* churn a property many times to build up versions *)
+  for i = 1 to 10 do
+    let tx = Client.Tx.begin_ client in
+    Client.Tx.set_vertex_prop tx ~vid:"gcv" ~key:"p" ~value:(string_of_int i);
+    ok_exn "churn" (Client.commit client tx)
+  done;
+  Cluster.run_for c 100_000.0;
+  let shard = Cluster.shard_of_vertex c "gcv" in
+  let versions =
+    match Cluster.shard_vertex c ~shard "gcv" with
+    | Some v -> List.length v.Weaver_graph.Mgraph.v_props
+    | None -> Alcotest.fail "vertex missing"
+  in
+  (c, client, versions)
+
+let test_gc_compacts_versions () =
+  (* identical churn; GC off keeps all 10 property versions, GC on drops
+     the superseded ones once the watermark passes *)
+  let _, _, kept_without_gc = gc_churn_versions ~gc_period:0.0 in
+  let c, client, kept_with_gc = gc_churn_versions ~gc_period:5_000.0 in
+  Alcotest.(check int) "no GC keeps all versions" 10 kept_without_gc;
+  Alcotest.(check bool)
+    (Printf.sprintf "GC compacts (%d < %d)" kept_with_gc kept_without_gc)
+    true
+    (kept_with_gc < kept_without_gc);
+  ignore c;
+  (* current value still readable *)
+  match get_node client "gcv" with
+  | Progval.List [ s ] ->
+      Alcotest.(check string) "latest survives" "10"
+        (Progval.to_str (Progval.assoc "p" (Progval.assoc "props" s)))
+  | v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+
+let test_memoization () =
+  (* one gatekeeper so repeated queries hit the same memo table (the cache
+     is per-gatekeeper; a round-robin client would alternate) *)
+  let cfg =
+    { Config.default with Config.enable_memoization = true; Config.n_gatekeepers = 1 }
+  in
+  let c = mk_cluster ~cfg () in
+  let client = Cluster.client c in
+  build_social client;
+  let q () = ignore (get_node client "alice") in
+  q ();
+  q ();
+  Alcotest.(check bool) "second query memoized" true
+    ((Cluster.counters c).Runtime.memo_hits >= 1);
+  (* a write to alice invalidates the cached result *)
+  let tx = Client.Tx.begin_ client in
+  Client.Tx.set_vertex_prop tx ~vid:"alice" ~key:"name" ~value:"Alicia";
+  ok_exn "update" (Client.commit client tx);
+  Alcotest.(check bool) "invalidated" true
+    ((Cluster.counters c).Runtime.memo_invalidations >= 1);
+  match get_node client "alice" with
+  | Progval.List [ s ] ->
+      Alcotest.(check string) "fresh value" "Alicia"
+        (Progval.to_str (Progval.assoc "name" (Progval.assoc "props" s)))
+  | v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+
+let test_demand_paging () =
+  let cfg = { Config.default with Config.shard_capacity = Some 5; Config.n_shards = 1 } in
+  let c = mk_cluster ~cfg () in
+  let client = Cluster.client c in
+  let n = 25 in
+  for i = 0 to n - 1 do
+    let tx = Client.Tx.begin_ client in
+    ignore (Client.Tx.create_vertex tx ~id:("pv" ^ string_of_int i) ());
+    ok_exn "create" (Client.commit client tx)
+  done;
+  Cluster.run_for c 10_000.0;
+  Alcotest.(check bool) "resident bounded" true (Cluster.shard_resident c 0 <= 5);
+  Alcotest.(check bool) "evictions happened" true
+    ((Cluster.counters c).Runtime.evictions > 0);
+  (* all vertices remain readable through paging *)
+  for i = 0 to n - 1 do
+    match get_node client ("pv" ^ string_of_int i) with
+    | Progval.List [ _ ] -> ()
+    | v -> Alcotest.failf "pv%d unreadable: %s" i (Progval.to_string v)
+  done;
+  Alcotest.(check bool) "page-ins happened" true
+    ((Cluster.counters c).Runtime.page_ins > 0)
+
+let test_announce_and_nop_flow () =
+  let c = mk_cluster () in
+  Cluster.run_for c 50_000.0;
+  let ctr = Cluster.counters c in
+  Alcotest.(check bool) "announces flowed" true (ctr.Runtime.announce_msgs > 0);
+  Alcotest.(check bool) "nops flowed" true (ctr.Runtime.nop_msgs > 0)
+
+let test_single_gatekeeper_cluster () =
+  (* degenerate configuration: everything vclock-ordered, oracle unused *)
+  let cfg = { Config.default with Config.n_gatekeepers = 1; Config.n_shards = 2 } in
+  let c = mk_cluster ~cfg () in
+  let client = Cluster.client c in
+  build_social client;
+  (match get_node client "alice" with
+  | Progval.List [ _ ] -> ()
+  | v -> Alcotest.failf "unexpected %s" (Progval.to_string v));
+  Alcotest.(check int) "no oracle consults" 0
+    (Cluster.counters c).Runtime.oracle_consults
+
+let suites =
+  [
+    ( "core.tx",
+      [
+        Alcotest.test_case "commit and get_node" `Quick test_commit_and_get_node;
+        Alcotest.test_case "get_edges/count" `Quick test_get_edges_and_count;
+        Alcotest.test_case "invalid rejected" `Quick test_invalid_tx_rejected;
+        Alcotest.test_case "double create rejected" `Quick test_double_create_rejected;
+        Alcotest.test_case "atomic multi-vertex tx" `Quick test_multi_vertex_atomic_tx;
+        Alcotest.test_case "concurrent writes same vertex" `Quick
+          test_concurrent_writes_same_vertex;
+        Alcotest.test_case "concurrent delete: one wins" `Quick
+          test_concurrent_delete_one_wins;
+      ] );
+    ( "core.progs",
+      [
+        Alcotest.test_case "reachability across shards" `Quick
+          test_reachability_across_shards;
+        Alcotest.test_case "edge-filtered reachability" `Quick
+          test_reachability_with_edge_filter;
+        Alcotest.test_case "hop distance" `Quick test_hop_distance;
+        Alcotest.test_case "clustering triangle" `Quick test_clustering_triangle;
+        Alcotest.test_case "nhop count" `Quick test_nhop_count;
+        Alcotest.test_case "historical snapshot read" `Quick test_snapshot_vs_delete;
+      ] );
+    ( "core.fault",
+      [
+        Alcotest.test_case "shard failure recovery" `Quick test_shard_failure_recovery;
+        Alcotest.test_case "gatekeeper failure recovery" `Quick
+          test_gatekeeper_failure_recovery;
+        Alcotest.test_case "epoch monotonicity" `Quick test_timestamps_epoch_monotonic;
+      ] );
+    ( "core.features",
+      [
+        Alcotest.test_case "gc compacts versions" `Quick test_gc_compacts_versions;
+        Alcotest.test_case "memoization" `Quick test_memoization;
+        Alcotest.test_case "demand paging" `Quick test_demand_paging;
+        Alcotest.test_case "announce/nop flow" `Quick test_announce_and_nop_flow;
+        Alcotest.test_case "single gatekeeper" `Quick test_single_gatekeeper_cluster;
+      ] );
+  ]

@@ -1,0 +1,163 @@
+(* Additional integration coverage: placement-aware loading, workload skew,
+   multi-failure recovery, failure during traversals, and client timeout
+   behaviour. *)
+
+open Weaver_core
+open Weaver_workloads
+module Xrand = Weaver_util.Xrand
+module Programs = Weaver_programs.Std_programs
+
+let mk_cluster ?(cfg = Config.default) () =
+  let c = Cluster.create cfg in
+  Programs.Std.register_all (Cluster.registry c);
+  c
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "%s" e
+
+let test_install_with_assignment () =
+  let cfg = { Config.default with Config.n_shards = 4 } in
+  let c = mk_cluster ~cfg () in
+  let g = Graphgen.chain ~prefix:"pa" ~vertices:8 () in
+  (* place everything on shard 3, against the hash default *)
+  let assign : Weaver_partition.Partition.assignment = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace assign v 3) (Graphgen.vertex_ids g);
+  Loader.fast_install_with_assignment c assign g;
+  Cluster.run_for c 5_000.0;
+  List.iter
+    (fun v ->
+      Alcotest.(check int) (v ^ " placed on 3") 3 (Cluster.shard_of_vertex c v))
+    (Graphgen.vertex_ids g);
+  Alcotest.(check int) "all resident on shard 3" 8 (Cluster.shard_resident c 3);
+  (* traversal over the single shard still works *)
+  let client = Cluster.client c in
+  let r =
+    ok
+      (Client.run_program client ~prog:"reachable"
+         ~params:(Progval.Assoc [ ("target", Progval.Str "pa7") ])
+         ~starts:[ "pa0" ] ())
+  in
+  Alcotest.(check bool) "reachable" true (Progval.to_bool r)
+
+let test_tao_zipf_skew () =
+  let rng = Xrand.create ~seed:41 () in
+  let vertices = Array.init 1000 (fun i -> "v" ^ string_of_int i) in
+  let hot = ref 0 and n = 20_000 in
+  for _ = 1 to n do
+    match Tao.gen_op ~rng ~vertices ~theta:0.95 () with
+    | Tao.Get_edges v | Tao.Count_edges v | Tao.Get_node v | Tao.Delete_edge v ->
+        if int_of_string (String.sub v 1 (String.length v - 1)) < 100 then incr hot
+    | Tao.Create_edge (v, _) ->
+        if int_of_string (String.sub v 1 (String.length v - 1)) < 100 then incr hot
+  done;
+  Alcotest.(check bool) "skewed towards head" true
+    (float_of_int !hot /. float_of_int n > 0.5)
+
+let test_two_shard_failures () =
+  let cfg = { Config.default with Config.n_shards = 3 } in
+  let c = mk_cluster ~cfg () in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  for i = 0 to 11 do
+    ignore (Client.Tx.create_vertex tx ~id:("m" ^ string_of_int i) ())
+  done;
+  ok (Client.commit client tx);
+  Cluster.run_for c 10_000.0;
+  Cluster.kill_shard c 0;
+  Cluster.kill_shard c 1;
+  Cluster.run_for c 500_000.0;
+  Alcotest.(check bool) "recovered both" true ((Cluster.counters c).Runtime.recoveries >= 2);
+  (* every vertex is still readable after the double failure *)
+  for i = 0 to 11 do
+    match
+      Client.run_program client ~prog:"get_node" ~params:Progval.Null
+        ~starts:[ "m" ^ string_of_int i ] ()
+    with
+    | Ok (Progval.List [ _ ]) -> ()
+    | Ok v -> Alcotest.failf "m%d: %s" i (Progval.to_string v)
+    | Error e -> Alcotest.failf "m%d: %s" i e
+  done
+
+let test_shard_failure_during_traversal () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let g = Graphgen.chain ~prefix:"ft" ~vertices:30 () in
+  ok (Result.map ignore (Loader.bulk_load c client g));
+  (* kill a shard, then immediately issue a traversal: the client retries
+     until the replacement serves it *)
+  Cluster.kill_shard c 1;
+  let result = ref None in
+  Client.run_program_async client ~prog:"reachable"
+    ~params:(Progval.Assoc [ ("target", Progval.Str "ft29") ])
+    ~starts:[ "ft0" ]
+    ~on_result:(fun r -> result := Some r)
+    ();
+  Cluster.run_for c 3_000_000.0;
+  (match !result with
+  | Some (Ok (Progval.Bool true)) -> ()
+  | Some (Ok v) -> Alcotest.failf "wrong result %s" (Progval.to_string v)
+  | Some (Error e) -> Alcotest.failf "traversal failed: %s" e
+  | None -> Alcotest.fail "traversal never completed");
+  Alcotest.(check bool) "epoch advanced" true (Cluster.epoch c >= 1)
+
+let test_client_timeout_without_recovery () =
+  (* failure detection far in the future: a killed gatekeeper means client
+     requests to it genuinely time out *)
+  let cfg =
+    { Config.default with Config.n_gatekeepers = 1; Config.failure_timeout = 1e9 }
+  in
+  let c = mk_cluster ~cfg () in
+  let client = Cluster.client c in
+  Client.set_timeout client 100_000.0;
+  Cluster.kill_gatekeeper c 0;
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ());
+  match Client.commit client tx with
+  | Error "timeout" -> ()
+  | Error e -> Alcotest.failf "expected timeout, got %s" e
+  | Ok () -> Alcotest.fail "commit to a dead gatekeeper succeeded"
+
+let test_queue_depths_drain () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"qd" ());
+  ok (Client.commit client tx);
+  Cluster.run_for c 50_000.0;
+  (* NOPs keep flowing but queues must not grow unboundedly: the event
+     loop drains them as soon as ordering is decidable *)
+  for s = 0 to (Cluster.config c).Config.n_shards - 1 do
+    Array.iter
+      (fun d -> Alcotest.(check bool) "queue bounded" true (d < 64))
+      (Cluster.shard_queue_depths c s)
+  done
+
+let test_historical_preload_snapshot () =
+  (* the preloaded zero-stamp state is visible at any later snapshot *)
+  let c = mk_cluster () in
+  let g = Graphgen.star ~prefix:"hs" ~leaves:4 () in
+  Loader.fast_install c g;
+  Cluster.run_for c 10_000.0;
+  let snap = Cluster.gk_clock c 0 in
+  let client = Cluster.client c in
+  match
+    Client.run_program client ~prog:"count_edges" ~params:Progval.Null ~starts:[ "hs0" ]
+      ~at:snap ()
+  with
+  | Ok (Progval.Int 4) -> ()
+  | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+  | Error e -> Alcotest.failf "%s" e
+
+let suites =
+  [
+    ( "extra",
+      [
+        Alcotest.test_case "install with assignment" `Quick test_install_with_assignment;
+        Alcotest.test_case "tao zipf skew" `Quick test_tao_zipf_skew;
+        Alcotest.test_case "two shard failures" `Quick test_two_shard_failures;
+        Alcotest.test_case "failure during traversal" `Quick
+          test_shard_failure_during_traversal;
+        Alcotest.test_case "client timeout" `Quick test_client_timeout_without_recovery;
+        Alcotest.test_case "queues drain" `Quick test_queue_depths_drain;
+        Alcotest.test_case "historical preload" `Quick test_historical_preload_snapshot;
+      ] );
+  ]

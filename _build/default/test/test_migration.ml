@@ -1,0 +1,143 @@
+(* Tests for dynamic vertex migration and rebalancing (§4.6). *)
+
+open Weaver_core
+open Weaver_workloads
+module Programs = Weaver_programs.Std_programs
+
+let mk_cluster ?(cfg = Config.default) () =
+  let c = Cluster.create cfg in
+  Programs.Std.register_all (Cluster.registry c);
+  c
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "%s" e
+
+let test_basic_migration () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"mg" ());
+  ignore (Client.Tx.create_vertex tx ~id:"nbr" ());
+  ignore (Client.Tx.create_edge tx ~src:"mg" ~dst:"nbr");
+  ok (Client.commit client tx);
+  let from_shard = Cluster.shard_of_vertex c "mg" in
+  let to_shard = (from_shard + 1) mod (Cluster.config c).Config.n_shards in
+  ok (Client.migrate client ~vid:"mg" ~to_shard);
+  Cluster.run_for c 20_000.0;
+  Alcotest.(check int) "directory moved" to_shard (Cluster.shard_of_vertex c "mg");
+  Alcotest.(check bool) "old shard dropped it" true
+    (Cluster.shard_vertex c ~shard:from_shard "mg" = None);
+  (match Cluster.shard_vertex c ~shard:to_shard "mg" with
+  | Some v -> Alcotest.(check int) "edges came along" 1 (List.length v.Weaver_graph.Mgraph.out)
+  | None -> Alcotest.fail "new shard missing the vertex");
+  Alcotest.(check int) "counted" 1 (Cluster.counters c).Runtime.migrations;
+  (* reads and writes keep working after the move *)
+  (match
+     Client.run_program client ~prog:"get_node" ~params:Progval.Null ~starts:[ "mg" ] ()
+   with
+  | Ok (Progval.List [ _ ]) -> ()
+  | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+  | Error e -> Alcotest.failf "post-move read: %s" e);
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_edge tx ~src:"mg" ~dst:"nbr");
+  ok (Client.commit client tx);
+  match
+    Client.run_program client ~prog:"count_edges" ~params:Progval.Null ~starts:[ "mg" ] ()
+  with
+  | Ok (Progval.Int 2) -> ()
+  | Ok v -> Alcotest.failf "post-move write lost: %s" (Progval.to_string v)
+  | Error e -> Alcotest.failf "%s" e
+
+let test_migrate_missing_vertex_fails () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  match Client.migrate client ~vid:"ghost" ~to_shard:0 with
+  | Error e -> Alcotest.(check bool) "invalid" true (String.length e > 0)
+  | Ok () -> Alcotest.fail "migrating a ghost must fail"
+
+let test_migrate_same_shard_noop () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"same" ());
+  ok (Client.commit client tx);
+  let shard = Cluster.shard_of_vertex c "same" in
+  ok (Client.migrate client ~vid:"same" ~to_shard:shard);
+  Alcotest.(check int) "unchanged" shard (Cluster.shard_of_vertex c "same")
+
+let test_traversal_across_migration () =
+  (* traversals issued right after a migration chase the vertex correctly *)
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let g = Graphgen.chain ~prefix:"mc" ~vertices:10 () in
+  Loader.fast_install c g;
+  Cluster.run_for c 10_000.0;
+  let mid = "mc5" in
+  let to_shard = (Cluster.shard_of_vertex c mid + 1) mod (Cluster.config c).Config.n_shards in
+  ok (Client.migrate client ~vid:mid ~to_shard);
+  (* no settling time: the read races the migration fan-out *)
+  match
+    Client.run_program client ~prog:"reachable"
+      ~params:(Progval.Assoc [ ("target", Progval.Str "mc9") ])
+      ~starts:[ "mc0" ] ()
+  with
+  | Ok (Progval.Bool b) -> Alcotest.(check bool) "still reachable through mc5" true b
+  | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+  | Error e -> Alcotest.failf "%s" e
+
+let test_rebalance_improves_cut () =
+  let cfg = { Config.default with Config.n_shards = 4 } in
+  let c = mk_cluster ~cfg () in
+  let client = Cluster.client c in
+  (* four dense cliques: hashing scatters them, rebalance should gather *)
+  let vids = ref [] in
+  let edges = ref [] in
+  for ci = 0 to 3 do
+    for i = 0 to 9 do
+      vids := Printf.sprintf "c%d_%d" ci i :: !vids
+    done;
+    for i = 0 to 9 do
+      for j = 0 to 9 do
+        if i <> j then
+          edges := (Printf.sprintf "c%d_%d" ci i, Printf.sprintf "c%d_%d" ci j) :: !edges
+      done
+    done
+  done;
+  let nbrs = Hashtbl.create 64 in
+  List.iter
+    (fun (s, d) ->
+      Hashtbl.replace nbrs s (d :: (try Hashtbl.find nbrs s with Not_found -> [])))
+    !edges;
+  List.iter
+    (fun vid ->
+      Loader.install_vertex c ~vid
+        ~edges:(List.map (fun d -> (d, [])) (try Hashtbl.find nbrs vid with Not_found -> []))
+        ())
+    !vids;
+  Cluster.reload_shards c;
+  Cluster.run_for c 10_000.0;
+  let r = Rebalance.run c client ~max_moves:64 ~rounds:3 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "cut improved (%.3f -> %.3f, %d moves)" r.Rebalance.edge_cut_before
+       r.Rebalance.edge_cut_after r.Rebalance.moved)
+    true
+    (r.Rebalance.edge_cut_after < r.Rebalance.edge_cut_before);
+  Alcotest.(check bool) "some moves happened" true (r.Rebalance.moved > 0);
+  (* graph content intact after the mass migration *)
+  match
+    Client.run_program client ~prog:"count_edges" ~params:Progval.Null ~starts:!vids ()
+  with
+  | Ok (Progval.Int n) -> Alcotest.(check int) "all edges intact" (List.length !edges) n
+  | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+  | Error e -> Alcotest.failf "%s" e
+
+let suites =
+  [
+    ( "migration",
+      [
+        Alcotest.test_case "basic migration" `Quick test_basic_migration;
+        Alcotest.test_case "missing vertex" `Quick test_migrate_missing_vertex_fails;
+        Alcotest.test_case "same shard noop" `Quick test_migrate_same_shard_noop;
+        Alcotest.test_case "traversal across migration" `Quick test_traversal_across_migration;
+        Alcotest.test_case "rebalance improves cut" `Quick test_rebalance_improves_cut;
+      ] );
+  ]

@@ -1,0 +1,295 @@
+(* Tests for the timeline oracle: acyclicity, irrevocability, transitivity,
+   vclock inference, serialization of concurrent sets, and GC. *)
+
+open Weaver_oracle
+module Vclock = Weaver_vclock.Vclock
+
+let vc ?(epoch = 0) origin clocks = Vclock.make ~epoch ~origin clocks
+
+let decision_testable =
+  Alcotest.testable
+    (fun fmt -> function
+      | Oracle.First_first -> Format.pp_print_string fmt "First_first"
+      | Oracle.Second_first -> Format.pp_print_string fmt "Second_first")
+    ( = )
+
+let test_vclock_ordered_pair () =
+  let t = Oracle.create () in
+  let a = vc 0 [| 1; 0 |] and b = vc 1 [| 1; 1 |] in
+  Alcotest.(check (option decision_testable))
+    "vclock decides" (Some Oracle.First_first) (Oracle.query t a b);
+  Alcotest.(check (option decision_testable))
+    "reverse" (Some Oracle.Second_first) (Oracle.query t b a)
+
+let test_concurrent_initially_unordered () =
+  let t = Oracle.create () in
+  let a = vc 0 [| 1; 0 |] and b = vc 1 [| 0; 1 |] in
+  Alcotest.(check (option decision_testable)) "unordered" None (Oracle.query t a b)
+
+let test_order_prefers_arrival_then_sticks () =
+  let t = Oracle.create () in
+  let a = vc 0 [| 1; 0 |] and b = vc 1 [| 0; 1 |] in
+  Alcotest.check decision_testable "arrival order" Oracle.First_first
+    (Oracle.order t ~first:a ~second:b);
+  (* irrevocable: asking in the opposite orientation returns the same order *)
+  Alcotest.check decision_testable "sticky" Oracle.Second_first
+    (Oracle.order t ~first:b ~second:a);
+  Alcotest.(check (option decision_testable))
+    "query agrees" (Some Oracle.First_first) (Oracle.query t a b)
+
+let test_assign_refuses_cycle () =
+  let t = Oracle.create () in
+  let a = vc 0 [| 1; 0 |] and b = vc 1 [| 0; 1 |] in
+  Alcotest.(check bool) "assign ok" true (Oracle.assign t ~before:a ~after:b = Ok ());
+  Alcotest.(check bool) "reverse refused" true
+    (Oracle.assign t ~before:b ~after:a = Error `Cycle);
+  (* idempotent re-assign *)
+  Alcotest.(check bool) "re-assign ok" true (Oracle.assign t ~before:a ~after:b = Ok ())
+
+let test_assign_refuses_vclock_contradiction () =
+  let t = Oracle.create () in
+  let a = vc 0 [| 1; 0 |] and b = vc 0 [| 2; 0 |] in
+  (* a < b by vclock; committing b ≺ a must be refused *)
+  Alcotest.(check bool) "contradiction refused" true
+    (Oracle.assign t ~before:b ~after:a = Error `Cycle)
+
+let test_transitivity_explicit () =
+  let t = Oracle.create () in
+  let a = vc 0 [| 2; 0; 0 |]
+  and b = vc 1 [| 0; 2; 0 |]
+  and c = vc 2 [| 0; 0; 2 |] in
+  Alcotest.(check bool) "a<b" true (Oracle.assign t ~before:a ~after:b = Ok ());
+  Alcotest.(check bool) "b<c" true (Oracle.assign t ~before:b ~after:c = Ok ());
+  Alcotest.(check (option decision_testable))
+    "a<c by transitivity" (Some Oracle.First_first) (Oracle.query t a c);
+  Alcotest.(check bool) "c<a refused" true
+    (Oracle.assign t ~before:c ~after:a = Error `Cycle)
+
+let test_paper_vclock_inference () =
+  (* §4.1: oracle orders ⟨0,1⟩ ≺ ⟨1,0⟩; then ⟨0,1⟩ vs ⟨2,0⟩ must answer
+     ⟨0,1⟩ ≺ ⟨2,0⟩ because ⟨1,0⟩ ≼ ⟨2,0⟩ by vector clocks. *)
+  let t = Oracle.create () in
+  let e01 = vc 1 [| 0; 1 |] and e10 = vc 0 [| 1; 0 |] and e20 = vc 0 [| 2; 0 |] in
+  Oracle.add_event t e20;
+  Alcotest.(check bool) "01<10" true (Oracle.assign t ~before:e01 ~after:e10 = Ok ());
+  Alcotest.(check (option decision_testable))
+    "01<20 inferred" (Some Oracle.First_first) (Oracle.query t e01 e20);
+  (* and the contradiction is refused *)
+  Alcotest.(check bool) "20<01 refused" true
+    (Oracle.assign t ~before:e20 ~after:e01 = Error `Cycle)
+
+let test_mixed_chain_inference () =
+  (* explicit a≺x, vclock x≺y, explicit y≺b  ⟹  a≺b *)
+  let t = Oracle.create () in
+  let a = vc 2 [| 0; 0; 1 |] in
+  let x = vc 0 [| 1; 0; 0 |] in
+  let y = vc 0 [| 3; 0; 0 |] in
+  let b = vc 1 [| 0; 5; 0 |] in
+  Alcotest.(check bool) "a<x" true (Oracle.assign t ~before:a ~after:x = Ok ());
+  Alcotest.(check bool) "y<b" true (Oracle.assign t ~before:y ~after:b = Ok ());
+  Alcotest.(check (option decision_testable))
+    "a<b via mixed chain" (Some Oracle.First_first) (Oracle.query t a b)
+
+let test_serialize_respects_existing () =
+  let t = Oracle.create () in
+  let a = vc 0 [| 1; 0; 0 |]
+  and b = vc 1 [| 0; 1; 0 |]
+  and c = vc 2 [| 0; 0; 1 |] in
+  (* pre-commit c ≺ a, then serialize in arrival order [a; b; c] *)
+  Alcotest.(check bool) "c<a" true (Oracle.assign t ~before:c ~after:a = Ok ());
+  let sorted = Oracle.serialize t [ a; b; c ] in
+  let pos x = Option.get (List.find_index (fun y -> Vclock.key x = Vclock.key y) sorted) in
+  Alcotest.(check bool) "c before a" true (pos c < pos a);
+  Alcotest.(check int) "all present" 3 (List.length sorted);
+  (* serializing again yields the same order: decisions are sticky *)
+  let again = Oracle.serialize t [ c; b; a ] in
+  Alcotest.(check (list string)) "stable"
+    (List.map Vclock.key sorted)
+    (List.map Vclock.key again)
+
+let test_serialize_total_order_consistency () =
+  let t = Oracle.create () in
+  let events = List.init 6 (fun i ->
+      let clocks = Array.make 6 0 in
+      clocks.(i) <- 1;
+      vc i clocks)
+  in
+  let sorted = Oracle.serialize t events in
+  (* every adjacent pair must now be ordered consistently *)
+  let rec check = function
+    | x :: (y :: _ as rest) ->
+        Alcotest.(check (option decision_testable))
+          "adjacent ordered" (Some Oracle.First_first) (Oracle.query t x y);
+        check rest
+    | _ -> ()
+  in
+  check sorted
+
+let test_same_clocks_distinct_origin () =
+  (* two distinct events can carry identical clock arrays (different origin);
+     the oracle must treat them as concurrent and order them on demand *)
+  let t = Oracle.create () in
+  let a = vc 0 [| 1; 1 |] and b = vc 1 [| 1; 1 |] in
+  Alcotest.(check (option decision_testable)) "unordered" None (Oracle.query t a b);
+  Alcotest.check decision_testable "established" Oracle.First_first
+    (Oracle.order t ~first:a ~second:b);
+  Alcotest.check decision_testable "sticky reverse" Oracle.Second_first
+    (Oracle.order t ~first:b ~second:a)
+
+let test_gc_drops_old_keeps_new () =
+  let t = Oracle.create () in
+  let old1 = vc 0 [| 1; 0 |] and old2 = vc 1 [| 0; 1 |] in
+  let new1 = vc 0 [| 5; 5 |] and new2 = vc 1 [| 4; 6 |] in
+  ignore (Oracle.order t ~first:old1 ~second:old2);
+  ignore (Oracle.order t ~first:new1 ~second:new2);
+  let watermark = vc 0 [| 3; 3 |] in
+  let removed = Oracle.gc t ~watermark in
+  Alcotest.(check int) "two removed" 2 removed;
+  Alcotest.(check int) "two remain" 2 (Oracle.event_count t);
+  (* surviving decision preserved *)
+  Alcotest.(check (option decision_testable))
+    "survivor order kept" (Some Oracle.First_first) (Oracle.query t new1 new2)
+
+let test_assign_all_atomic () =
+  let t = Oracle.create () in
+  let e i =
+    let clocks = Array.make 4 0 in
+    clocks.(i) <- 1;
+    vc i clocks
+  in
+  (* a batch that closes a cycle on its own third pair must leave nothing *)
+  let edges0 = Oracle.edge_count t in
+  (match Oracle.assign_all t [ (e 0, e 1); (e 1, e 2); (e 2, e 0) ] with
+  | Error `Cycle -> ()
+  | Ok () -> Alcotest.fail "cyclic batch accepted");
+  Alcotest.(check int) "rolled back" edges0 (Oracle.edge_count t);
+  Alcotest.(check (option decision_testable)) "no residual order" None (Oracle.query t (e 0) (e 1));
+  (* a clean batch commits everything *)
+  (match Oracle.assign_all t [ (e 0, e 1); (e 1, e 2) ] with
+  | Ok () -> ()
+  | Error `Cycle -> Alcotest.fail "acyclic batch refused");
+  Alcotest.(check (option decision_testable))
+    "transitive from batch" (Some Oracle.First_first) (Oracle.query t (e 0) (e 2))
+
+let test_assign_all_respects_existing () =
+  let t = Oracle.create () in
+  let e i =
+    let clocks = Array.make 4 0 in
+    clocks.(i) <- 1;
+    vc i clocks
+  in
+  ignore (Oracle.assign t ~before:(e 2) ~after:(e 0));
+  (* batch conflicts with pre-existing e2 < e0 via transitivity *)
+  (match Oracle.assign_all t [ (e 0, e 1); (e 1, e 2) ] with
+  | Error `Cycle -> ()
+  | Ok () -> Alcotest.fail "conflicting batch accepted");
+  (* pre-existing commitment untouched *)
+  Alcotest.(check (option decision_testable))
+    "prior edge intact" (Some Oracle.First_first) (Oracle.query t (e 2) (e 0));
+  Alcotest.(check (option decision_testable)) "batch rolled back" None (Oracle.query t (e 0) (e 1))
+
+let test_query_counter () =
+  let t = Oracle.create () in
+  let a = vc 0 [| 1; 0 |] and b = vc 1 [| 0; 1 |] in
+  let before = Oracle.queries_served t in
+  ignore (Oracle.query t a b);
+  ignore (Oracle.order t ~first:a ~second:b);
+  Alcotest.(check bool) "counter grows" true (Oracle.queries_served t > before)
+
+(* Property: random assignment workloads never produce a cycle, i.e. the
+   oracle's answers always form a strict partial order. *)
+let prop_no_cycles =
+  QCheck.Test.make ~name:"random orders never cycle" ~count:100
+    QCheck.(pair small_nat (list_of_size Gen.(0 -- 40) (pair (int_bound 7) (int_bound 7))))
+    (fun (_seed, pairs) ->
+      let t = Oracle.create () in
+      let mk i =
+        let clocks = Array.make 8 0 in
+        clocks.(i) <- 1;
+        vc i clocks
+      in
+      let events = Array.init 8 mk in
+      (* apply arbitrary order requests *)
+      List.iter
+        (fun (i, j) ->
+          if i <> j then ignore (Oracle.order t ~first:events.(i) ~second:events.(j)))
+        pairs;
+      (* verify: for all pairs, query is antisymmetric *)
+      let ok = ref true in
+      for i = 0 to 7 do
+        for j = i + 1 to 7 do
+          match (Oracle.query t events.(i) events.(j), Oracle.query t events.(j) events.(i)) with
+          | Some Oracle.First_first, Some Oracle.Second_first
+          | Some Oracle.Second_first, Some Oracle.First_first
+          | None, None -> ()
+          | _ -> ok := false
+        done
+      done;
+      !ok)
+
+let prop_serialize_is_permutation =
+  QCheck.Test.make ~name:"serialize returns a permutation" ~count:100
+    QCheck.(int_range 1 8)
+    (fun n ->
+      let t = Oracle.create () in
+      let events =
+        List.init n (fun i ->
+            let clocks = Array.make 8 0 in
+            clocks.(i) <- 1;
+            vc i clocks)
+      in
+      let sorted = Oracle.serialize t events in
+      List.sort compare (List.map Vclock.key sorted)
+      = List.sort compare (List.map Vclock.key events))
+
+let prop_transitivity_closure =
+  (* after ordering a random chain e0≺e1≺…≺ek, every (ei, ej) with i<j
+     must be answered First_first *)
+  QCheck.Test.make ~name:"chains imply full transitive closure" ~count:100
+    QCheck.(int_range 2 8)
+    (fun n ->
+      let t = Oracle.create () in
+      let events =
+        Array.init n (fun i ->
+            let clocks = Array.make 8 0 in
+            clocks.(i) <- 1;
+            vc i clocks)
+      in
+      for i = 0 to n - 2 do
+        match Oracle.assign t ~before:events.(i) ~after:events.(i + 1) with
+        | Ok () -> ()
+        | Error `Cycle -> failwith "unexpected cycle"
+      done;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Oracle.query t events.(i) events.(j) <> Some Oracle.First_first then ok := false
+        done
+      done;
+      !ok)
+
+let suites =
+  [
+    ( "oracle",
+      [
+        Alcotest.test_case "vclock-ordered pair" `Quick test_vclock_ordered_pair;
+        Alcotest.test_case "concurrent unordered" `Quick test_concurrent_initially_unordered;
+        Alcotest.test_case "arrival preference sticks" `Quick test_order_prefers_arrival_then_sticks;
+        Alcotest.test_case "cycle refusal" `Quick test_assign_refuses_cycle;
+        Alcotest.test_case "vclock contradiction refused" `Quick
+          test_assign_refuses_vclock_contradiction;
+        Alcotest.test_case "explicit transitivity" `Quick test_transitivity_explicit;
+        Alcotest.test_case "paper vclock inference" `Quick test_paper_vclock_inference;
+        Alcotest.test_case "mixed chain inference" `Quick test_mixed_chain_inference;
+        Alcotest.test_case "serialize respects existing" `Quick test_serialize_respects_existing;
+        Alcotest.test_case "serialize consistency" `Quick test_serialize_total_order_consistency;
+        Alcotest.test_case "same clocks distinct origin" `Quick test_same_clocks_distinct_origin;
+        Alcotest.test_case "assign_all atomic" `Quick test_assign_all_atomic;
+        Alcotest.test_case "assign_all respects existing" `Quick test_assign_all_respects_existing;
+        Alcotest.test_case "gc" `Quick test_gc_drops_old_keeps_new;
+        Alcotest.test_case "query counter" `Quick test_query_counter;
+        QCheck_alcotest.to_alcotest prop_no_cycles;
+        QCheck_alcotest.to_alcotest prop_serialize_is_permutation;
+        QCheck_alcotest.to_alcotest prop_transitivity_closure;
+      ] );
+  ]

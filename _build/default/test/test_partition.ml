@@ -1,0 +1,119 @@
+(* Tests for hash/LDG/restreaming partitioners and their quality metrics. *)
+
+open Weaver_partition
+module Xrand = Weaver_util.Xrand
+
+(* a ring of n vertices: perfect partitions have edge-cut ~ shards/n *)
+let ring n =
+  List.init n (fun i ->
+      let v i = "v" ^ string_of_int i in
+      (v i, [ v ((i + 1) mod n); v ((i + n - 1) mod n) ]))
+
+(* c dense cliques of size k, no inter-clique edges *)
+let cliques c k =
+  List.concat
+    (List.init c (fun ci ->
+         List.init k (fun i ->
+             let v j = Printf.sprintf "c%d_%d" ci j in
+             (v i, List.filter_map (fun j -> if j = i then None else Some (v j))
+                     (List.init k (fun j -> j))))))
+
+let test_hash_deterministic_and_in_range () =
+  for i = 0 to 100 do
+    let id = "vertex" ^ string_of_int i in
+    let s = Partition.hash_vertex ~shards:7 id in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 7);
+    Alcotest.(check int) "deterministic" s (Partition.hash_vertex ~shards:7 id)
+  done
+
+let test_hash_spreads () =
+  let counts = Array.make 4 0 in
+  for i = 0 to 999 do
+    let s = Partition.hash_vertex ~shards:4 ("v" ^ string_of_int i) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly even" true (c > 150 && c < 350))
+    counts
+
+let test_ldg_assigns_everyone () =
+  let g = ring 100 in
+  let a = Partition.ldg ~shards:4 g in
+  Alcotest.(check int) "all assigned" 100 (Hashtbl.length a);
+  Hashtbl.iter (fun _ s -> Alcotest.(check bool) "range" true (s >= 0 && s < 4)) a
+
+let test_ldg_beats_hash_on_cliques () =
+  let g = cliques 4 20 in
+  let ldg = Partition.ldg ~shards:4 g in
+  let hash : Partition.assignment = Hashtbl.create 64 in
+  List.iter (fun (v, _) -> Hashtbl.replace hash v (Partition.hash_vertex ~shards:4 v)) g;
+  let cut_ldg = Partition.edge_cut ldg g in
+  let cut_hash = Partition.edge_cut hash g in
+  Alcotest.(check bool)
+    (Printf.sprintf "ldg cut %.3f < hash cut %.3f" cut_ldg cut_hash)
+    true (cut_ldg < cut_hash)
+
+let test_ldg_balance_bounded () =
+  let g = cliques 3 30 in
+  let a = Partition.ldg ~shards:3 ~slack:0.1 g in
+  Alcotest.(check bool) "balance within slack+eps" true
+    (Partition.balance a ~shards:3 <= 1.25)
+
+let test_restream_no_worse_than_ldg () =
+  let g = cliques 5 16 in
+  let one = Partition.restream ~shards:5 ~rounds:1 g in
+  let five = Partition.restream ~shards:5 ~rounds:5 g in
+  let c1 = Partition.edge_cut one g and c5 = Partition.edge_cut five g in
+  Alcotest.(check bool)
+    (Printf.sprintf "restream %.3f <= single pass %.3f + eps" c5 c1)
+    true (c5 <= c1 +. 0.05)
+
+let test_edge_cut_extremes () =
+  let g = ring 10 in
+  let all_same : Partition.assignment = Hashtbl.create 16 in
+  List.iter (fun (v, _) -> Hashtbl.replace all_same v 0) g;
+  Alcotest.(check (float 1e-9)) "single shard: no cut" 0.0 (Partition.edge_cut all_same g);
+  let alternating : Partition.assignment = Hashtbl.create 16 in
+  List.iteri (fun i (v, _) -> Hashtbl.replace alternating v (i mod 2)) g;
+  Alcotest.(check (float 1e-9)) "alternating ring: all cut" 1.0
+    (Partition.edge_cut alternating g)
+
+let test_balance_perfect_and_skewed () =
+  let a : Partition.assignment = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace a ("v" ^ string_of_int i) (i mod 2)) (List.init 10 Fun.id);
+  Alcotest.(check (float 1e-9)) "even" 1.0 (Partition.balance a ~shards:2);
+  let b : Partition.assignment = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace b ("v" ^ string_of_int i) 0) (List.init 10 Fun.id);
+  Alcotest.(check (float 1e-9)) "all on one of two" 2.0 (Partition.balance b ~shards:2)
+
+let prop_ldg_total_and_balanced =
+  QCheck.Test.make ~name:"ldg assigns all vertices within capacity" ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 1 200))
+    (fun (shards, n) ->
+      let rng = Xrand.create ~seed:(shards + n) () in
+      let vs =
+        List.init n (fun i ->
+            let nbrs =
+              List.init (Xrand.int rng 5) (fun _ -> "v" ^ string_of_int (Xrand.int rng n))
+            in
+            ("v" ^ string_of_int i, nbrs))
+      in
+      let a = Partition.ldg ~shards ~slack:0.1 vs in
+      Hashtbl.length a = n
+      && Partition.balance a ~shards <= (1.1 +. (2.0 *. float_of_int shards /. float_of_int n)) +. 1e-9)
+
+let suites =
+  [
+    ( "partition",
+      [
+        Alcotest.test_case "hash deterministic" `Quick test_hash_deterministic_and_in_range;
+        Alcotest.test_case "hash spreads" `Quick test_hash_spreads;
+        Alcotest.test_case "ldg total" `Quick test_ldg_assigns_everyone;
+        Alcotest.test_case "ldg beats hash on cliques" `Quick test_ldg_beats_hash_on_cliques;
+        Alcotest.test_case "ldg balance" `Quick test_ldg_balance_bounded;
+        Alcotest.test_case "restream improves" `Quick test_restream_no_worse_than_ldg;
+        Alcotest.test_case "edge cut extremes" `Quick test_edge_cut_extremes;
+        Alcotest.test_case "balance metric" `Quick test_balance_perfect_and_skewed;
+        QCheck_alcotest.to_alcotest prop_ldg_total_and_balanced;
+      ] );
+  ]

@@ -1,0 +1,92 @@
+(* Tests for the universal program value type and the node-program
+   registry / transaction op helpers. *)
+
+open Weaver_core
+
+let test_equal () =
+  let open Progval in
+  Alcotest.(check bool) "ints" true (equal (Int 3) (Int 3));
+  Alcotest.(check bool) "mixed" false (equal (Int 3) (Float 3.0));
+  Alcotest.(check bool) "lists" true
+    (equal (List [ Int 1; Str "a" ]) (List [ Int 1; Str "a" ]));
+  Alcotest.(check bool) "assoc order matters" false
+    (equal (Assoc [ ("a", Int 1); ("b", Int 2) ]) (Assoc [ ("b", Int 2); ("a", Int 1) ]));
+  Alcotest.(check bool) "null" true (equal Null Null)
+
+let test_accessors () =
+  let open Progval in
+  Alcotest.(check int) "to_int" 5 (to_int (Int 5));
+  Alcotest.(check bool) "to_bool" true (to_bool (Bool true));
+  Alcotest.(check string) "to_str" "x" (to_str (Str "x"));
+  Alcotest.(check (float 1e-9)) "int as float" 3.0 (to_float (Int 3));
+  Alcotest.(check int) "assoc hit" 1 (to_int (assoc "k" (Assoc [ ("k", Int 1) ])));
+  Alcotest.(check bool) "assoc miss is Null" true (assoc "z" (Assoc []) = Null);
+  Alcotest.check_raises "shape mismatch" (Invalid_argument "Progval.to_int: \"s\"")
+    (fun () -> ignore (to_int (Str "s")))
+
+let test_key_distinct () =
+  let open Progval in
+  let vals =
+    [ Null; Bool true; Int 1; Float 1.5; Str "a"; List [ Int 1 ]; Assoc [ ("a", Int 1) ] ]
+  in
+  let keys = List.map key vals in
+  Alcotest.(check int) "all distinct" (List.length vals)
+    (List.length (List.sort_uniq compare keys))
+
+let test_registry () =
+  let reg = Nodeprog.create_registry () in
+  Weaver_programs.Std_programs.Std.register_all reg;
+  Alcotest.(check bool) "has get_node" true (Nodeprog.find reg "get_node" <> None);
+  Alcotest.(check bool) "misses unknown" true (Nodeprog.find reg "nope" = None);
+  Alcotest.(check int) "fifteen programs" 15 (List.length (Nodeprog.names reg));
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Nodeprog.register: duplicate program get_node") (fun () ->
+      Nodeprog.register reg (module Weaver_programs.Std_programs.Get_node))
+
+let test_txop_classify () =
+  let open Txop in
+  Alcotest.(check (option string)) "create writes" (Some "v") (written_vertex (Create_vertex "v"));
+  Alcotest.(check (option string)) "edge writes src" (Some "s")
+    (written_vertex (Create_edge { eid = "e"; src = "s"; dst = "d" }));
+  Alcotest.(check (option string)) "edge reads dst" (Some "d")
+    (read_vertex (Create_edge { eid = "e"; src = "s"; dst = "d" }));
+  Alcotest.(check (option string)) "read op" (Some "v") (read_vertex (Read_vertex "v"));
+  Alcotest.(check (option string)) "read writes nothing" None (written_vertex (Read_vertex "v"))
+
+let test_config_validation () =
+  Alcotest.check_raises "bad gatekeepers" (Invalid_argument "Config: bad n_gatekeepers")
+    (fun () -> Config.validate { Config.default with Config.n_gatekeepers = 0 });
+  Alcotest.check_raises "bad tau" (Invalid_argument "Config: bad tau") (fun () ->
+      Config.validate { Config.default with Config.tau = 0.0 });
+  Alcotest.check_raises "timeout vs heartbeat" (Invalid_argument "Config: bad failure_timeout")
+    (fun () ->
+      Config.validate { Config.default with Config.failure_timeout = 1.0 });
+  Config.validate Config.default
+
+let test_stamp_min () =
+  let open Weaver_vclock.Vclock in
+  let a = make ~epoch:0 ~origin:0 [| 3; 7 |] in
+  let b = make ~epoch:0 ~origin:1 [| 5; 2 |] in
+  let m = Runtime.stamp_min a b in
+  Alcotest.(check (array int)) "pointwise" [| 3; 2 |] m.clocks;
+  (* lower epoch wins outright *)
+  let old = make ~epoch:0 ~origin:0 [| 100; 100 |] in
+  let nw = make ~epoch:1 ~origin:0 [| 0; 0 |] in
+  Alcotest.(check int) "old epoch wins" 0 (Runtime.stamp_min old nw).epoch
+
+let suites =
+  [
+    ( "core.progval",
+      [
+        Alcotest.test_case "equal" `Quick test_equal;
+        Alcotest.test_case "accessors" `Quick test_accessors;
+        Alcotest.test_case "keys distinct" `Quick test_key_distinct;
+      ] );
+    ( "core.misc",
+      [
+        Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "txop classify" `Quick test_txop_classify;
+        Alcotest.test_case "config validation" `Quick test_config_validation;
+        Alcotest.test_case "stamp_min" `Quick test_stamp_min;
+      ] );
+  ]

@@ -1,0 +1,172 @@
+(* End-to-end strict serializability checks over the full stack (paper
+   §4.4): concurrent writers and readers race on shared vertices through
+   different gatekeepers, and the observable history must admit a serial
+   order consistent with real time.
+
+   The key observable: with only edge creations on a hub vertex, the degree
+   is monotonically non-decreasing in any serializable order. Strict
+   serializability additionally forces real-time consistency: if read R1's
+   response precedes read R2's invocation, then R1's value <= R2's value;
+   and every read lies between the number of writes whose responses
+   preceded its invocation (lower bound) and the number of writes invoked
+   before its response (upper bound). *)
+
+open Weaver_core
+module Programs = Weaver_programs.Std_programs
+
+type read_obs = { r_invoked : float; r_responded : float; r_degree : int }
+type write_obs = { w_invoked : float; w_responded : float }
+
+let run_race ~seed ~writers ~readers ~writes_per_writer =
+  let cfg = { Config.default with Config.seed; Config.n_shards = 4 } in
+  let c = Cluster.create cfg in
+  Programs.Std.register_all (Cluster.registry c);
+  let setup = Cluster.client c in
+  let tx = Client.Tx.begin_ setup in
+  ignore (Client.Tx.create_vertex tx ~id:"hub" ());
+  ignore (Client.Tx.create_vertex tx ~id:"leaf" ());
+  (match Client.commit setup tx with Ok () -> () | Error e -> Alcotest.failf "setup: %s" e);
+  let reads : read_obs list ref = ref [] in
+  let writes : write_obs list ref = ref [] in
+  (* writers: sequential edge creations on the hub, retrying on conflicts *)
+  for _ = 1 to writers do
+    let client = Cluster.client c in
+    let remaining = ref writes_per_writer in
+    let rec next () =
+      if !remaining > 0 then begin
+        let invoked = Cluster.now c in
+        let tx = Client.Tx.begin_ client in
+        ignore (Client.Tx.create_edge tx ~src:"hub" ~dst:"leaf");
+        Client.commit_async client tx ~on_result:(fun r ->
+            (match r with
+            | Ok () ->
+                decr remaining;
+                writes := { w_invoked = invoked; w_responded = Cluster.now c } :: !writes
+            | Error _ -> () (* OCC conflict: retry *));
+            next ())
+      end
+    in
+    next ()
+  done;
+  (* readers: repeated degree reads on the hub *)
+  let stop = ref false in
+  for _ = 1 to readers do
+    let client = Cluster.client c in
+    let rec next () =
+      if not !stop then begin
+        let invoked = Cluster.now c in
+        Client.run_program_async client ~prog:"count_edges" ~params:Progval.Null
+          ~starts:[ "hub" ]
+          ~on_result:(fun r ->
+            (match r with
+            | Ok (Progval.Int d) ->
+                reads :=
+                  { r_invoked = invoked; r_responded = Cluster.now c; r_degree = d }
+                  :: !reads
+            | _ -> ());
+            next ())
+          ()
+      end
+    in
+    next ()
+  done;
+  (* run until all writes are done, then a little longer for final reads *)
+  let budget = ref 4_000 in
+  let all_done () = List.length !writes >= writers * writes_per_writer in
+  while (not (all_done ())) && !budget > 0 do
+    decr budget;
+    Cluster.run_for c 1_000.0
+  done;
+  Alcotest.(check bool) "all writes committed" true (all_done ());
+  Cluster.run_for c 20_000.0;
+  stop := true;
+  Cluster.run_for c 20_000.0;
+  (c, List.rev !reads, List.rev !writes)
+
+let check_strict_serializability reads writes =
+  (* 1. reads are monotone across non-overlapping pairs *)
+  List.iter
+    (fun r1 ->
+      List.iter
+        (fun r2 ->
+          if r1.r_responded < r2.r_invoked then
+            Alcotest.(check bool)
+              (Printf.sprintf "monotone reads (%d then %d)" r1.r_degree r2.r_degree)
+              true
+              (r1.r_degree <= r2.r_degree))
+        reads)
+    reads;
+  (* 2. each read bounded by completed-before and invoked-before writes *)
+  List.iter
+    (fun r ->
+      let completed_before =
+        List.length (List.filter (fun w -> w.w_responded < r.r_invoked) writes)
+      in
+      let invoked_before =
+        List.length (List.filter (fun w -> w.w_invoked < r.r_responded) writes)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "read %d >= %d completed writes" r.r_degree completed_before)
+        true
+        (r.r_degree >= completed_before);
+      Alcotest.(check bool)
+        (Printf.sprintf "read %d <= %d invoked writes" r.r_degree invoked_before)
+        true
+        (r.r_degree <= invoked_before))
+    reads
+
+let test_race seed () =
+  let c, reads, writes = run_race ~seed ~writers:3 ~readers:2 ~writes_per_writer:5 in
+  Alcotest.(check bool) "some reads observed" true (List.length reads > 3);
+  check_strict_serializability reads writes;
+  (* final state: hub degree equals total committed creates, on the shard
+     AND in the durable store *)
+  let client = Cluster.client c in
+  (match
+     Client.run_program client ~prog:"count_edges" ~params:Progval.Null ~starts:[ "hub" ] ()
+   with
+  | Ok (Progval.Int d) -> Alcotest.(check int) "final degree" 15 d
+  | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+  | Error e -> Alcotest.failf "final read: %s" e);
+  match Cluster.stored_vertex c "hub" with
+  | Some v -> Alcotest.(check int) "durable degree" 15 (List.length v.Weaver_graph.Mgraph.out)
+  | None -> Alcotest.fail "hub missing from store"
+
+let test_write_skew_prevented () =
+  (* two transactions each read both flags and flip one; under strict
+     serializability at most... actually exactly one must abort because
+     both declare read dependencies on both vertices *)
+  let c = Cluster.create Config.default in
+  Programs.Std.register_all (Cluster.registry c);
+  let c1 = Cluster.client c and c2 = Cluster.client c in
+  let setup = Cluster.client c in
+  let tx = Client.Tx.begin_ setup in
+  ignore (Client.Tx.create_vertex tx ~id:"f1" ());
+  ignore (Client.Tx.create_vertex tx ~id:"f2" ());
+  (match Client.commit setup tx with Ok () -> () | Error e -> Alcotest.failf "%s" e);
+  let r1 = ref None and r2 = ref None in
+  let tx1 = Client.Tx.begin_ c1 in
+  Client.Tx.read_vertex tx1 "f1";
+  Client.Tx.read_vertex tx1 "f2";
+  Client.Tx.set_vertex_prop tx1 ~vid:"f1" ~key:"on" ~value:"true";
+  let tx2 = Client.Tx.begin_ c2 in
+  Client.Tx.read_vertex tx2 "f1";
+  Client.Tx.read_vertex tx2 "f2";
+  Client.Tx.set_vertex_prop tx2 ~vid:"f2" ~key:"on" ~value:"true";
+  Client.commit_async c1 tx1 ~on_result:(fun r -> r1 := Some r);
+  Client.commit_async c2 tx2 ~on_result:(fun r -> r2 := Some r);
+  Cluster.run_for c 100_000.0;
+  let ok r = r = Some (Ok ()) in
+  Alcotest.(check int) "exactly one flag-flip commits" 1
+    (List.length (List.filter ok [ !r1; !r2 ]))
+
+let suites =
+  [
+    ( "serializability",
+      [
+        Alcotest.test_case "race seed 1" `Quick (test_race 101);
+        Alcotest.test_case "race seed 2" `Quick (test_race 202);
+        Alcotest.test_case "race seed 3" `Quick (test_race 303);
+        Alcotest.test_case "write skew prevented" `Quick test_write_skew_prevented;
+      ] );
+  ]

@@ -1,0 +1,230 @@
+(* Tests for the discrete-event engine and the FIFO network. *)
+
+open Weaver_sim
+
+let test_engine_time_advances () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  Engine.schedule e ~delay:10.0 (fun () -> fired := (Engine.now e, 'a') :: !fired);
+  Engine.schedule e ~delay:5.0 (fun () -> fired := (Engine.now e, 'b') :: !fired);
+  Engine.run e;
+  Alcotest.(check (list (pair (float 1e-9) char)))
+    "order and times"
+    [ (10.0, 'a'); (5.0, 'b') ]
+    !fired
+
+let test_engine_fifo_ties () =
+  (* events at the same instant fire in scheduling order *)
+  let e = Engine.create () in
+  let fired = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1.0 (fun () -> fired := i :: !fired)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "tie order" [ 1; 2; 3; 4; 5 ] (List.rev !fired)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      log := "outer" :: !log;
+      Engine.schedule e ~delay:1.0 (fun () -> log := "inner" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "final time" 2.0 (Engine.now e)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(float_of_int i) (fun () -> incr count)
+  done;
+  Engine.run ~until:5.0 e;
+  Alcotest.(check int) "only first five" 5 !count;
+  Alcotest.(check (float 1e-9)) "clock at limit" 5.0 (Engine.now e);
+  Alcotest.(check int) "rest pending" 5 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "all fired" 10 !count
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let ticks = ref 0 in
+  Engine.every e ~period:10.0 (fun () ->
+      incr ticks;
+      !ticks < 4);
+  Engine.run e;
+  Alcotest.(check int) "stopped by predicate" 4 !ticks;
+  Alcotest.(check (float 1e-9)) "time of last tick" 40.0 (Engine.now e)
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~delay:(-5.0) (fun () -> fired := true);
+  Engine.run e;
+  Alcotest.(check bool) "fired at t=0" true !fired;
+  Alcotest.(check (float 1e-9)) "clock" 0.0 (Engine.now e)
+
+let test_engine_schedule_at_past () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:10.0 (fun () ->
+      Engine.schedule_at e ~time:3.0 (fun () ->
+          Alcotest.(check (float 1e-9)) "clamped to now" 10.0 (Engine.now e)));
+  Engine.run e
+
+let test_engine_counters () =
+  let e = Engine.create () in
+  for _ = 1 to 3 do
+    Engine.schedule e ~delay:1.0 (fun () -> ())
+  done;
+  Alcotest.(check int) "pending" 3 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "processed" 3 (Engine.events_processed e);
+  Alcotest.(check int) "pending zero" 0 (Engine.pending e)
+
+let test_net_delivery () =
+  let e = Engine.create () in
+  let net = Net.create e ~latency:(Net.uniform_latency ~base:100.0 ~jitter:0.0) in
+  let got = ref [] in
+  Net.register net 1 (fun ~src msg -> got := (src, msg, Engine.now e) :: !got);
+  Net.send net ~src:0 ~dst:1 "hello";
+  Engine.run e;
+  Alcotest.(check int) "one message" 1 (List.length !got);
+  let src, msg, time = List.hd !got in
+  Alcotest.(check int) "src" 0 src;
+  Alcotest.(check string) "payload" "hello" msg;
+  Alcotest.(check (float 1e-9)) "latency applied" 100.0 time
+
+let test_net_fifo_per_channel () =
+  (* with jittered latency, per-channel FIFO must still hold *)
+  let e = Engine.create ~seed:99 () in
+  let net = Net.create e ~latency:(Net.uniform_latency ~base:10.0 ~jitter:500.0) in
+  let got = ref [] in
+  Net.register net 1 (fun ~src:_ msg -> got := msg :: !got);
+  for i = 1 to 100 do
+    Net.send net ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO order" (List.init 100 (fun i -> i + 1)) (List.rev !got)
+
+let test_net_fifo_independent_channels () =
+  let e = Engine.create ~seed:5 () in
+  let net = Net.create e ~latency:(Net.uniform_latency ~base:10.0 ~jitter:300.0) in
+  let per_src = Hashtbl.create 4 in
+  Net.register net 9 (fun ~src msg ->
+      let prev = try Hashtbl.find per_src src with Not_found -> [] in
+      Hashtbl.replace per_src src (msg :: prev));
+  for i = 1 to 50 do
+    Net.send net ~src:0 ~dst:9 i;
+    Net.send net ~src:1 ~dst:9 i
+  done;
+  Engine.run e;
+  let expect = List.init 50 (fun i -> i + 1) in
+  Alcotest.(check (list int)) "src 0 FIFO" expect (List.rev (Hashtbl.find per_src 0));
+  Alcotest.(check (list int)) "src 1 FIFO" expect (List.rev (Hashtbl.find per_src 1))
+
+let test_net_dead_endpoint_drops () =
+  let e = Engine.create () in
+  let net = Net.create e ~latency:Net.local_latency in
+  let got = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr got);
+  Net.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Net.set_alive net 1 false;
+  Net.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check int) "dead endpoint drops" 1 !got;
+  Net.set_alive net 1 true;
+  Net.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check int) "revived endpoint receives" 2 !got
+
+let test_net_inflight_to_crashed_dropped () =
+  let e = Engine.create () in
+  let net = Net.create e ~latency:(Net.uniform_latency ~base:100.0 ~jitter:0.0) in
+  let got = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr got);
+  Net.send net ~src:0 ~dst:1 ();
+  (* crash before delivery time *)
+  Engine.schedule e ~delay:50.0 (fun () -> Net.set_alive net 1 false);
+  Engine.run e;
+  Alcotest.(check int) "in-flight dropped" 0 !got
+
+let test_net_dead_sender_drops () =
+  let e = Engine.create () in
+  let net = Net.create e ~latency:Net.local_latency in
+  let got = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr got);
+  Net.register net 0 (fun ~src:_ _ -> ());
+  Net.set_alive net 0 false;
+  Net.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check int) "dead sender drops" 0 !got
+
+let test_net_counters () =
+  let e = Engine.create () in
+  let net = Net.create e ~latency:Net.local_latency in
+  Net.register net 1 (fun ~src:_ _ -> ());
+  Net.send net ~src:0 ~dst:1 ();
+  Net.send net ~src:0 ~dst:2 ();
+  (* dst 2 unregistered *)
+  Engine.run e;
+  Alcotest.(check int) "sent" 2 (Net.messages_sent net);
+  Alcotest.(check int) "delivered" 1 (Net.messages_delivered net)
+
+let prop_engine_executes_in_time_order =
+  QCheck.Test.make ~name:"events execute in nondecreasing time order" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_inclusive 1000.0))
+    (fun delays ->
+      let e = Engine.create () in
+      let times = ref [] in
+      List.iter
+        (fun d -> Engine.schedule e ~delay:d (fun () -> times := Engine.now e :: !times))
+        delays;
+      Engine.run e;
+      let ts = List.rev !times in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing ts && List.length ts = List.length delays)
+
+let prop_net_fifo =
+  QCheck.Test.make ~name:"network preserves per-channel FIFO under jitter" ~count:50
+    QCheck.(pair small_nat (int_range 1 60))
+    (fun (seed, n) ->
+      let e = Engine.create ~seed () in
+      let net = Net.create e ~latency:(Net.uniform_latency ~base:5.0 ~jitter:200.0) in
+      let got = ref [] in
+      Net.register net 1 (fun ~src:_ m -> got := m :: !got);
+      for i = 1 to n do
+        Net.send net ~src:0 ~dst:1 i
+      done;
+      Engine.run e;
+      List.rev !got = List.init n (fun i -> i + 1))
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "time advances" `Quick test_engine_time_advances;
+        Alcotest.test_case "tie order" `Quick test_engine_fifo_ties;
+        Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+        Alcotest.test_case "run until" `Quick test_engine_run_until;
+        Alcotest.test_case "every" `Quick test_engine_every;
+        Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
+        Alcotest.test_case "schedule_at past" `Quick test_engine_schedule_at_past;
+        Alcotest.test_case "counters" `Quick test_engine_counters;
+        QCheck_alcotest.to_alcotest prop_engine_executes_in_time_order;
+      ] );
+    ( "sim.net",
+      [
+        Alcotest.test_case "delivery" `Quick test_net_delivery;
+        Alcotest.test_case "fifo per channel" `Quick test_net_fifo_per_channel;
+        Alcotest.test_case "fifo independent channels" `Quick test_net_fifo_independent_channels;
+        Alcotest.test_case "dead endpoint drops" `Quick test_net_dead_endpoint_drops;
+        Alcotest.test_case "inflight to crashed dropped" `Quick test_net_inflight_to_crashed_dropped;
+        Alcotest.test_case "dead sender drops" `Quick test_net_dead_sender_drops;
+        Alcotest.test_case "counters" `Quick test_net_counters;
+        QCheck_alcotest.to_alcotest prop_net_fifo;
+      ] );
+  ]

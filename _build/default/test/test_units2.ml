@@ -1,0 +1,119 @@
+(* Small-unit coverage: printers, RNG state handling, engine accounting,
+   store introspection, and vector-clock propagation through announces. *)
+
+open Weaver_core
+module Vclock = Weaver_vclock.Vclock
+module Xrand = Weaver_util.Xrand
+module Engine = Weaver_sim.Engine
+module Store = Weaver_store.Store
+module Mgraph = Weaver_graph.Mgraph
+
+let test_vclock_printing () =
+  let v = Vclock.make ~epoch:2 ~origin:1 [| 3; 4 |] in
+  Alcotest.(check string) "to_string" "e2<3,4>" (Vclock.to_string v);
+  Alcotest.(check string) "pp agrees" (Vclock.to_string v) (Format.asprintf "%a" Vclock.pp v)
+
+let test_mgraph_pp () =
+  let at = Vclock.make ~epoch:0 ~origin:0 [| 1 |] in
+  let v = Mgraph.create_vertex ~vid:"pp" ~at in
+  let s = Format.asprintf "%a" Mgraph.pp_vertex v in
+  Alcotest.(check bool) "mentions id" true
+    (String.length s > 0
+    &&
+    let rec find i =
+      i + 2 <= String.length s && (String.sub s i 2 = "pp" || find (i + 1))
+    in
+    find 0);
+  let dead = Mgraph.delete_vertex v ~at in
+  let s' = Format.asprintf "%a" Mgraph.pp_vertex dead in
+  Alcotest.(check bool) "marks deletion" true (String.length s' > String.length s)
+
+let test_xrand_copy_independent () =
+  let a = Xrand.create ~seed:5 () in
+  ignore (Xrand.bits64 a);
+  let b = Xrand.copy a in
+  (* same state: identical next values; advancing one leaves the other *)
+  let va = Xrand.bits64 a in
+  let vb = Xrand.bits64 b in
+  Alcotest.(check int64) "copies in lockstep" va vb;
+  ignore (Xrand.bits64 a);
+  let va2 = Xrand.bits64 a and vb2 = Xrand.bits64 b in
+  Alcotest.(check bool) "then diverge by position" true (va2 <> vb2 || va2 = vb2)
+
+let test_engine_pending_after_until () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:10.0 (fun () -> ());
+  Engine.schedule e ~delay:20.0 (fun () -> ());
+  Engine.run ~until:15.0 e;
+  Alcotest.(check int) "one left" 1 (Engine.pending e);
+  Alcotest.(check int) "one done" 1 (Engine.events_processed e)
+
+let test_store_read_write_sets () =
+  let s = Store.create () in
+  let tx = Store.Tx.begin_ s in
+  ignore (Store.Tx.get tx "r1");
+  ignore (Store.Tx.get tx "r2");
+  Store.Tx.put tx "w1" 1;
+  Store.Tx.delete tx "w2";
+  Alcotest.(check (list string)) "write set ordered" [ "w1"; "w2" ] (Store.Tx.write_set tx);
+  Alcotest.(check (list string)) "read set" [ "r1"; "r2" ]
+    (List.sort compare (Store.Tx.read_set tx));
+  Store.Tx.abort tx
+
+let test_store_own_writes_not_in_read_set () =
+  let s = Store.create () in
+  let tx = Store.Tx.begin_ s in
+  Store.Tx.put tx "k" 1;
+  ignore (Store.Tx.get tx "k");
+  (* reading your own buffered write must not create an OCC dependency *)
+  Alcotest.(check (list string)) "no self dependency" [] (Store.Tx.read_set tx);
+  Store.Tx.abort tx
+
+let test_announces_propagate_clocks () =
+  let c = Cluster.create Config.default in
+  Weaver_programs.Std_programs.Std.register_all (Cluster.registry c);
+  (* after a few announce rounds, each gatekeeper knows the other's ticks
+     (NOP timers tick both clocks continuously) *)
+  Cluster.run_for c 20_000.0;
+  let c0 = Cluster.gk_clock c 0 and c1 = Cluster.gk_clock c 1 in
+  Alcotest.(check bool) "gk0 heard gk1" true (c0.Vclock.clocks.(1) > 0);
+  Alcotest.(check bool) "gk1 heard gk0" true (c1.Vclock.clocks.(0) > 0)
+
+let test_graphgen_rmat_bounds () =
+  let rng = Xrand.create ~seed:3 () in
+  (* vertices not a power of two: indexes must still stay in range *)
+  let g = Weaver_workloads.Graphgen.rmat ~rng ~vertices:300 ~edges:900 () in
+  List.iter
+    (fun (s, d) ->
+      Alcotest.(check bool) "in range" true (s >= 0 && s < 300 && d >= 0 && d < 300))
+    g.Weaver_workloads.Graphgen.edges
+
+let test_balance_empty () =
+  let a : Weaver_partition.Partition.assignment = Hashtbl.create 4 in
+  Alcotest.(check (float 1e-9)) "empty is balanced" 1.0
+    (Weaver_partition.Partition.balance a ~shards:4)
+
+let test_progval_float_and_pp () =
+  let open Progval in
+  Alcotest.(check string) "float pp" "1.5" (to_string (Float 1.5));
+  Alcotest.(check string) "nested pp" "[1;{\"a\":null}]"
+    (String.concat ""
+       (String.split_on_char ' ' (to_string (List [ Int 1; Assoc [ ("\"a\"", Null) ] ]))))
+
+let suites =
+  [
+    ( "units2",
+      [
+        Alcotest.test_case "vclock printing" `Quick test_vclock_printing;
+        Alcotest.test_case "mgraph pp" `Quick test_mgraph_pp;
+        Alcotest.test_case "xrand copy" `Quick test_xrand_copy_independent;
+        Alcotest.test_case "engine pending" `Quick test_engine_pending_after_until;
+        Alcotest.test_case "store read/write sets" `Quick test_store_read_write_sets;
+        Alcotest.test_case "own writes not read deps" `Quick
+          test_store_own_writes_not_in_read_set;
+        Alcotest.test_case "announce propagation" `Quick test_announces_propagate_clocks;
+        Alcotest.test_case "rmat bounds" `Quick test_graphgen_rmat_bounds;
+        Alcotest.test_case "balance empty" `Quick test_balance_empty;
+        Alcotest.test_case "progval printing" `Quick test_progval_float_and_pp;
+      ] );
+  ]

@@ -1,0 +1,280 @@
+(* Tests for the weaver_util substrate: RNG determinism and distributions,
+   binary heap ordering, statistics, and id generation. *)
+
+open Weaver_util
+
+let test_rng_determinism () =
+  let a = Xrand.create ~seed:42 () and b = Xrand.create ~seed:42 () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Xrand.bits64 a) (Xrand.bits64 b)
+  done
+
+let test_rng_seed_divergence () =
+  let a = Xrand.create ~seed:1 () and b = Xrand.create ~seed:2 () in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Xrand.bits64 a = Xrand.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_int_range () =
+  let r = Xrand.create ~seed:7 () in
+  for _ = 1 to 1000 do
+    let v = Xrand.int r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_int_in () =
+  let r = Xrand.create ~seed:7 () in
+  for _ = 1 to 1000 do
+    let v = Xrand.int_in r 5 9 in
+    Alcotest.(check bool) "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_float_range () =
+  let r = Xrand.create ~seed:7 () in
+  for _ = 1 to 1000 do
+    let v = Xrand.float r 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_uniformity () =
+  let r = Xrand.create ~seed:11 () in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Xrand.int r 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "roughly uniform" true (frac > 0.08 && frac < 0.12))
+    counts
+
+let test_rng_split_independent () =
+  let a = Xrand.create ~seed:3 () in
+  let b = Xrand.split a in
+  let matches = ref 0 in
+  for _ = 1 to 50 do
+    if Xrand.bits64 a = Xrand.bits64 b then incr matches
+  done;
+  Alcotest.(check bool) "split streams independent" true (!matches < 5)
+
+let test_rng_exponential_mean () =
+  let r = Xrand.create ~seed:5 () in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Xrand.exponential r ~mean:10.0 in
+    Alcotest.(check bool) "positive" true (v > 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 10" true (mean > 9.0 && mean < 11.0)
+
+let test_rng_zipf_skew () =
+  let r = Xrand.create ~seed:13 () in
+  let n = 1000 and samples = 50_000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to samples do
+    let v = Xrand.zipf r ~n ~theta:0.9 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < n);
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* head of the distribution should dominate the tail *)
+  let head = Array.fold_left ( + ) 0 (Array.sub counts 0 (n / 10)) in
+  Alcotest.(check bool) "skewed towards head" true
+    (float_of_int head /. float_of_int samples > 0.5)
+
+let test_rng_shuffle_permutation () =
+  let r = Xrand.create ~seed:17 () in
+  let arr = Array.init 100 (fun i -> i) in
+  Xrand.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_heap_sorts () =
+  let h = Heap.create ~cmp:compare in
+  let r = Xrand.create ~seed:23 () in
+  let input = List.init 500 (fun _ -> Xrand.int r 1000) in
+  List.iter (Heap.push h) input;
+  Alcotest.(check int) "length" 500 (Heap.length h);
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some x ->
+        out := x :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let out = List.rev !out in
+  Alcotest.(check (list int)) "heap sort" (List.sort compare input) out
+
+let test_heap_peek_pop () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "empty pop" None (Heap.pop h);
+  Heap.push h 5;
+  Heap.push h 3;
+  Heap.push h 8;
+  Alcotest.(check (option int)) "peek min" (Some 3) (Heap.peek h);
+  Alcotest.(check int) "peek does not remove" 3 (Heap.length h);
+  Alcotest.(check (option int)) "pop min" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "next min" (Some 5) (Heap.pop h)
+
+let test_heap_pop_exn () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn on empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h)
+
+let test_heap_custom_cmp () =
+  (* max-heap via inverted comparison *)
+  let h = Heap.create ~cmp:(fun a b -> compare b a) in
+  List.iter (Heap.push h) [ 4; 9; 1 ];
+  Alcotest.(check (option int)) "max first" (Some 9) (Heap.pop h)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "empty" true (Stats.is_empty s);
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_val s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max_val s);
+  Alcotest.(check (float 1e-9)) "total" 10.0 (Stats.total s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Stats.percentile s 99.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile s 0.0)
+
+let test_stats_percentile_after_add () =
+  (* adding after a percentile query must re-sort *)
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 5.0; 1.0 ];
+  ignore (Stats.percentile s 50.0);
+  Stats.add s 0.5;
+  Alcotest.(check (float 1e-9)) "min after re-add" 0.5 (Stats.percentile s 0.0)
+
+let test_stats_stddev () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  (* sample stddev of this classic set is ~2.138 *)
+  let sd = Stats.stddev s in
+  Alcotest.(check bool) "stddev" true (Float.abs (sd -. 2.138) < 0.01)
+
+let test_stats_cdf () =
+  let s = Stats.create () in
+  for i = 1 to 10 do
+    Stats.add s (float_of_int i)
+  done;
+  let cdf = Stats.cdf s ~points:10 in
+  Alcotest.(check int) "cdf points" 10 (List.length cdf);
+  let vs, fs = List.split cdf in
+  Alcotest.(check bool) "values nondecreasing" true
+    (List.for_all2 ( <= ) (List.filteri (fun i _ -> i < 9) vs) (List.tl vs));
+  Alcotest.(check (float 1e-9)) "last fraction" 1.0 (List.nth fs 9)
+
+let test_histogram () =
+  let open Stats.Histogram in
+  let h = create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  add h (-5.0);
+  add h 0.5;
+  add h 9.99;
+  add h 50.0;
+  Alcotest.(check int) "total" 4 (total h);
+  let c = counts h in
+  Alcotest.(check int) "underflow into first" 2 c.(0);
+  Alcotest.(check int) "overflow into last" 2 c.(9)
+
+let test_idgen () =
+  let g = Idgen.create () in
+  Alcotest.(check int) "first" 0 (Idgen.next g);
+  Alcotest.(check int) "second" 1 (Idgen.next g);
+  Alcotest.(check string) "prefixed" "v2" (Idgen.next_str g ~prefix:"v");
+  Alcotest.(check int) "current" 2 (Idgen.current g);
+  let g2 = Idgen.create ~start:100 () in
+  Alcotest.(check int) "start offset" 100 (Idgen.next g2)
+
+(* property tests *)
+
+let prop_heap_pop_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) l;
+      let rec drain acc =
+        match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare l)
+
+let prop_stats_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within [min,max]" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0)) (float_bound_inclusive 100.0))
+    (fun (l, p) ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) l;
+      let v = Stats.percentile s p in
+      v >= Stats.min_val s && v <= Stats.max_val s)
+
+let prop_rng_zipf_in_range =
+  QCheck.Test.make ~name:"zipf stays in range" ~count:500
+    QCheck.(pair (int_range 1 1000) (float_bound_inclusive 1.5))
+    (fun (n, theta) ->
+      let r = Xrand.create ~seed:(n + int_of_float (theta *. 100.)) () in
+      let v = Xrand.zipf r ~n ~theta in
+      v >= 0 && v < n)
+
+let suites =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "seed divergence" `Quick test_rng_seed_divergence;
+        Alcotest.test_case "int range" `Quick test_rng_int_range;
+        Alcotest.test_case "int_in range" `Quick test_rng_int_in;
+        Alcotest.test_case "float range" `Quick test_rng_float_range;
+        Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+        Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        QCheck_alcotest.to_alcotest prop_rng_zipf_in_range;
+      ] );
+    ( "util.heap",
+      [
+        Alcotest.test_case "sorts" `Quick test_heap_sorts;
+        Alcotest.test_case "peek/pop" `Quick test_heap_peek_pop;
+        Alcotest.test_case "pop_exn" `Quick test_heap_pop_exn;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+        Alcotest.test_case "custom cmp" `Quick test_heap_custom_cmp;
+        QCheck_alcotest.to_alcotest prop_heap_pop_sorted;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "basic" `Quick test_stats_basic;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "percentile after add" `Quick test_stats_percentile_after_add;
+        Alcotest.test_case "stddev" `Quick test_stats_stddev;
+        Alcotest.test_case "cdf" `Quick test_stats_cdf;
+        Alcotest.test_case "histogram" `Quick test_histogram;
+        QCheck_alcotest.to_alcotest prop_stats_percentile_bounds;
+      ] );
+    ("util.idgen", [ Alcotest.test_case "sequence" `Quick test_idgen ]);
+  ]

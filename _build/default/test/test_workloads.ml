@@ -1,0 +1,201 @@
+(* Tests for graph generators, the TAO mix, loading paths, and the
+   synthetic blockchain. *)
+
+open Weaver_workloads
+open Weaver_core
+module Xrand = Weaver_util.Xrand
+module Programs = Weaver_programs.Std_programs
+
+let mk_cluster ?(cfg = Config.default) () =
+  let c = Cluster.create cfg in
+  Programs.Std.register_all (Cluster.registry c);
+  c
+
+let test_uniform_gen () =
+  let rng = Xrand.create ~seed:1 () in
+  let g = Graphgen.uniform ~rng ~vertices:100 ~edges:400 () in
+  Alcotest.(check int) "vertices" 100 g.Graphgen.n_vertices;
+  Alcotest.(check bool) "edges nonempty" true (List.length g.Graphgen.edges > 300);
+  List.iter
+    (fun (s, d) ->
+      Alcotest.(check bool) "in range" true (s >= 0 && s < 100 && d >= 0 && d < 100);
+      Alcotest.(check bool) "no self loop" true (s <> d))
+    g.Graphgen.edges;
+  (* no duplicates *)
+  let uniq = List.sort_uniq compare g.Graphgen.edges in
+  Alcotest.(check int) "dedup" (List.length g.Graphgen.edges) (List.length uniq)
+
+let test_rmat_skew () =
+  let rng = Xrand.create ~seed:2 () in
+  let g = Graphgen.rmat ~rng ~vertices:256 ~edges:2000 () in
+  let deg = Array.make 256 0 in
+  List.iter (fun (s, _) -> deg.(s) <- deg.(s) + 1) g.Graphgen.edges;
+  let sorted = Array.copy deg in
+  Array.sort (fun a b -> compare b a) sorted;
+  let top10 = Array.fold_left ( + ) 0 (Array.sub sorted 0 26) in
+  let total = Array.fold_left ( + ) 0 deg in
+  Alcotest.(check bool) "rmat head-heavy" true
+    (float_of_int top10 /. float_of_int total > 0.25)
+
+let test_preferential () =
+  let rng = Xrand.create ~seed:3 () in
+  let g = Graphgen.preferential ~rng ~vertices:200 ~out_degree:3 () in
+  Alcotest.(check bool) "enough edges" true (List.length g.Graphgen.edges > 400);
+  let indeg = Array.make 200 0 in
+  List.iter (fun (_, d) -> indeg.(d) <- indeg.(d) + 1) g.Graphgen.edges;
+  let max_in = Array.fold_left max 0 indeg in
+  Alcotest.(check bool) "hubs emerge" true (max_in > 8)
+
+let test_chain_star () =
+  let chain = Graphgen.chain ~vertices:5 () in
+  Alcotest.(check int) "chain edges" 4 (List.length chain.Graphgen.edges);
+  let star = Graphgen.star ~leaves:7 () in
+  Alcotest.(check int) "star edges" 7 (List.length star.Graphgen.edges);
+  Alcotest.(check bool) "star from hub" true
+    (List.for_all (fun (s, _) -> s = 0) star.Graphgen.edges)
+
+let test_adjacency () =
+  let g = Graphgen.chain ~prefix:"c" ~vertices:3 () in
+  let adj = Graphgen.adjacency g in
+  Alcotest.(check (list string)) "c0 -> c1" [ "c1" ] (List.assoc "c0" adj);
+  Alcotest.(check (list string)) "c2 -> ()" [] (List.assoc "c2" adj)
+
+let test_tao_mix_fractions () =
+  let rng = Xrand.create ~seed:4 () in
+  let vertices = Array.init 100 (fun i -> "v" ^ string_of_int i) in
+  let n = 100_000 in
+  let ops = List.init n (fun _ -> Tao.gen_op ~rng ~vertices ()) in
+  let counts = Tao.mix_counts ops in
+  let frac name =
+    float_of_int (Option.value ~default:0 (List.assoc_opt name counts))
+    /. float_of_int n
+  in
+  (* Table 1 targets: reads 99.8% of which 59.4/11.7/28.9; writes 0.2% *)
+  Alcotest.(check bool) "get_edges ~59.3%" true (abs_float (frac "get_edges" -. 0.593) < 0.01);
+  Alcotest.(check bool) "count_edges ~11.7%" true
+    (abs_float (frac "count_edges" -. 0.1168) < 0.01);
+  Alcotest.(check bool) "get_node ~28.8%" true (abs_float (frac "get_node" -. 0.2884) < 0.01);
+  let writes = frac "create_edge" +. frac "delete_edge" in
+  Alcotest.(check bool) "writes ~0.2%" true (abs_float (writes -. 0.002) < 0.002)
+
+let test_tao_read_fraction_override () =
+  let rng = Xrand.create ~seed:5 () in
+  let vertices = Array.init 50 (fun i -> "v" ^ string_of_int i) in
+  let ops = List.init 20_000 (fun _ -> Tao.gen_op ~rng ~vertices ~read_fraction:0.75 ()) in
+  let counts = Tao.mix_counts ops in
+  let writes =
+    Option.value ~default:0 (List.assoc_opt "create_edge" counts)
+    + Option.value ~default:0 (List.assoc_opt "delete_edge" counts)
+  in
+  let frac = float_of_int writes /. 20_000.0 in
+  Alcotest.(check bool) "25% writes" true (abs_float (frac -. 0.25) < 0.02)
+
+let test_bulk_load_and_query () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let g = Graphgen.chain ~prefix:"bl" ~vertices:12 () in
+  (match Loader.bulk_load c client ~batch:8 g with
+  | Ok txs -> Alcotest.(check bool) "several txs" true (txs >= 3)
+  | Error e -> Alcotest.failf "bulk load: %s" e);
+  let r =
+    Client.run_program client ~prog:"reachable"
+      ~params:(Progval.Assoc [ ("target", Progval.Str "bl11") ])
+      ~starts:[ "bl0" ] ()
+  in
+  Alcotest.(check bool) "chain reachable end to end" true
+    (match r with Ok (Progval.Bool b) -> b | _ -> false)
+
+let test_fast_install_and_query () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let rng = Xrand.create ~seed:7 () in
+  let g = Graphgen.uniform ~rng ~prefix:"fi" ~vertices:50 ~edges:200 () in
+  Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  (* the graph is resident and queryable *)
+  let total_resident =
+    List.init (Cluster.config c).Config.n_shards (fun s -> Cluster.shard_resident c s)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "all resident" 50 total_resident;
+  let count =
+    Client.run_program client ~prog:"count_edges" ~params:Progval.Null
+      ~starts:(Graphgen.vertex_ids g) ()
+  in
+  (match count with
+  | Ok (Progval.Int n) ->
+      Alcotest.(check int) "edge count matches" (List.length g.Graphgen.edges) n
+  | _ -> Alcotest.fail "count failed");
+  (* and writes on top of the preloaded graph work *)
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_edge tx ~src:"fi0" ~dst:"fi1");
+  match Client.commit client tx with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-install write: %s" e
+
+let test_blockchain_txs_curve () =
+  Alcotest.(check int) "genesis" 1 (Blockchain.txs_in_block 0);
+  Alcotest.(check int) "calibration point" 1795 (Blockchain.txs_in_block 350_000);
+  Alcotest.(check bool) "monotone" true
+    (Blockchain.txs_in_block 100_000 <= Blockchain.txs_in_block 200_000
+    && Blockchain.txs_in_block 200_000 <= Blockchain.txs_in_block 300_000)
+
+let test_blockchain_install_and_render () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let rng = Xrand.create ~seed:8 () in
+  let blk = Blockchain.install_block c ~rng ~height:10_000 () in
+  Cluster.run_for c 5_000.0;
+  let expected_tx = Blockchain.txs_in_block 10_000 in
+  match
+    Client.run_program client ~prog:"block_render" ~params:Progval.Null ~starts:[ blk ] ()
+  with
+  | Ok (Progval.List entries) ->
+      let txs =
+        List.filter (fun e -> Progval.assoc_opt "tx" e <> None) entries
+      in
+      Alcotest.(check int) "all txs rendered" expected_tx (List.length txs);
+      let blocks = List.filter (fun e -> Progval.assoc_opt "block" e <> None) entries in
+      Alcotest.(check int) "one block entry" 1 (List.length blocks)
+  | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+  | Error e -> Alcotest.failf "render: %s" e
+
+let test_tao_driver_smoke () =
+  let c = mk_cluster () in
+  let rng = Xrand.create ~seed:9 () in
+  let g = Graphgen.uniform ~rng ~prefix:"td" ~vertices:60 ~edges:240 () in
+  Loader.fast_install c g;
+  let vertices = Array.of_list (Graphgen.vertex_ids g) in
+  let r = Tao.Driver.run c ~vertices ~clients:8 ~duration:200_000.0 () in
+  Alcotest.(check bool) "ops completed" true (r.Tao.Driver.completed > 50);
+  Alcotest.(check bool) "throughput positive" true (r.Tao.Driver.throughput > 0.0);
+  Alcotest.(check bool) "read latencies collected" true
+    (Weaver_util.Stats.count r.Tao.Driver.read_latencies > 0)
+
+let suites =
+  [
+    ( "workloads.gen",
+      [
+        Alcotest.test_case "uniform" `Quick test_uniform_gen;
+        Alcotest.test_case "rmat skew" `Quick test_rmat_skew;
+        Alcotest.test_case "preferential" `Quick test_preferential;
+        Alcotest.test_case "chain/star" `Quick test_chain_star;
+        Alcotest.test_case "adjacency" `Quick test_adjacency;
+      ] );
+    ( "workloads.tao",
+      [
+        Alcotest.test_case "table1 mix" `Quick test_tao_mix_fractions;
+        Alcotest.test_case "read fraction override" `Quick test_tao_read_fraction_override;
+        Alcotest.test_case "driver smoke" `Quick test_tao_driver_smoke;
+      ] );
+    ( "workloads.load",
+      [
+        Alcotest.test_case "bulk load" `Quick test_bulk_load_and_query;
+        Alcotest.test_case "fast install" `Quick test_fast_install_and_query;
+      ] );
+    ( "workloads.blockchain",
+      [
+        Alcotest.test_case "tx curve" `Quick test_blockchain_txs_curve;
+        Alcotest.test_case "install and render" `Quick test_blockchain_install_and_render;
+      ] );
+  ]
