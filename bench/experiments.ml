@@ -691,6 +691,108 @@ let ablation_freshness () =
   line "(Kineograph buffers updates for its 10 s epochs, par. 7; Weaver's
 refinable timestamps make them visible within a commit round trip)"
 
+(* ------------------------------------------------------------------ *)
+(* Per-request latency breakdown from the causal tracer: where a
+   transaction's latency goes (gatekeeper admission, store round trips,
+   shard queueing, oracle waits) and what it costs in messages. Emits
+   BENCH_breakdown.json next to the console table. *)
+
+let breakdown () =
+  header "Latency breakdown (traced mixed run)";
+  let cfg =
+    {
+      Config.default with
+      Config.n_gatekeepers = 2;
+      Config.n_shards = 4;
+      Config.enable_tracing = true;
+      Config.trace_capacity = 4096;
+    }
+  in
+  let c = mk_cluster cfg in
+  let client = Cluster.client c in
+  let rng = Xrand.create ~seed:11 () in
+  let g = Graphgen.uniform ~rng ~prefix:"bd" ~vertices:500 ~edges:2_000 () in
+  Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let vertices = Array.of_list (Graphgen.vertex_ids g) in
+  let n_txs = 200 and n_progs = 50 in
+  let traces = ref [] in
+  for i = 1 to n_txs do
+    let tx = Client.Tx.begin_ client in
+    let src = Xrand.pick rng vertices in
+    ignore (Client.Tx.create_edge tx ~src ~dst:(Xrand.pick rng vertices));
+    Client.Tx.set_vertex_prop tx ~vid:src ~key:"n" ~value:(string_of_int i);
+    ignore (Client.commit client tx);
+    traces := Client.last_request_id client :: !traces
+  done;
+  for _ = 1 to n_progs do
+    ignore
+      (Client.run_program client ~prog:"get_edges" ~params:Progval.Null
+         ~starts:[ Xrand.pick rng vertices ] ())
+  done;
+  Cluster.run_for c 10_000.0;
+  let m = Cluster.metrics c in
+  let tr = Option.get (Cluster.request_tracer c) in
+  let msgs_per_tx = Stats.create () in
+  List.iter
+    (fun id ->
+      let n = Weaver_obs.Trace.message_count tr id in
+      if n > 0 then Stats.add msgs_per_tx (float_of_int n))
+    !traces;
+  let ctr = Cluster.counters c in
+  let committed = max 1 ctr.Runtime.tx_committed in
+  let announce_per_tx =
+    float_of_int ctr.Runtime.announce_msgs /. float_of_int committed
+  in
+  let phases =
+    [
+      ("admission", "gk.admission_wait");
+      ("store", "gk.store_rtt");
+      ("shard_queue", "shard.queue_wait");
+      ("oracle", "shard.oracle_wait");
+      ("tx_service", "gk.tx_service");
+      ("prog_service", "gk.prog_service");
+    ]
+  in
+  let reservoirs = Weaver_obs.Metrics.reservoirs m in
+  line "%-14s %10s %10s %8s" "phase" "p50 (us)" "p99 (us)" "n";
+  let rows =
+    List.map
+      (fun (label, name) ->
+        match List.assoc_opt name reservoirs with
+        | None ->
+            line "%-14s %10s %10s %8d" label "-" "-" 0;
+            (label, 0, 0.0, 0.0)
+        | Some s ->
+            let p50 = Stats.percentile s 50.0 and p99 = Stats.percentile s 99.0 in
+            line "%-14s %10.1f %10.1f %8d" label p50 p99 (Stats.count s);
+            (label, Stats.count s, p50, p99))
+      phases
+  in
+  line "messages/tx: mean %.1f p99 %.0f | announces/committed tx: %.2f"
+    (Stats.mean msgs_per_tx)
+    (Stats.percentile msgs_per_tx 99.0)
+    announce_per_tx;
+  let oc = open_out "BENCH_breakdown.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n  \"experiment\": \"breakdown\",\n  \"phases\": {";
+  List.iteri
+    (fun i (label, n, p50, p99) ->
+      j "%s\n    \"%s\": {\"n\": %d, \"p50_us\": %.1f, \"p99_us\": %.1f}"
+        (if i = 0 then "" else ",")
+        label n p50 p99)
+    rows;
+  j "\n  },\n";
+  j "  \"messages_per_tx\": {\"mean\": %.2f, \"p50\": %.0f, \"p99\": %.0f},\n"
+    (Stats.mean msgs_per_tx)
+    (Stats.percentile msgs_per_tx 50.0)
+    (Stats.percentile msgs_per_tx 99.0);
+  j "  \"announce_overhead\": {\"announces\": %d, \"per_committed_tx\": %.3f}\n"
+    ctr.Runtime.announce_msgs announce_per_tx;
+  j "}\n";
+  close_out oc;
+  line "wrote BENCH_breakdown.json"
+
 let all =
   [
     ("table1", table1);
@@ -709,4 +811,5 @@ let all =
     ("ablation_replicas", ablation_replicas);
     ("ablation_adaptive_tau", ablation_adaptive_tau);
     ("ablation_freshness", ablation_freshness);
+    ("breakdown", breakdown);
   ]

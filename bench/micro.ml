@@ -67,9 +67,48 @@ let rng_zipf =
   let rng = Xrand.create ~seed:1 () in
   Test.make ~name:"xrand.zipf" (Staged.stage (fun () -> Xrand.zipf rng ~n:100_000 ~theta:0.9))
 
+(* Demand paging under memory pressure: a capacity-bounded shard serving
+   uniform point reads over a working set 8x its capacity, so most queries
+   page a vertex in and evict another. Guards the O(1)-amortized eviction
+   path (a whole-queue scan here is quadratic in touch volume). *)
+let shard_paging =
+  let open Weaver_core in
+  let cfg =
+    {
+      Config.default with
+      Config.n_gatekeepers = 1;
+      Config.n_shards = 1;
+      Config.shard_capacity = Some 64;
+    }
+  in
+  let c = Cluster.create cfg in
+  Weaver_programs.Std_programs.Std.register_all (Cluster.registry c);
+  let rng = Xrand.create ~seed:5 () in
+  let g =
+    Weaver_workloads.Graphgen.uniform ~rng ~prefix:"pg" ~vertices:512 ~edges:1_024 ()
+  in
+  Weaver_workloads.Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let vertices = Array.of_list (Weaver_workloads.Graphgen.vertex_ids g) in
+  let client = Cluster.client c in
+  Test.make ~name:"shard.paging (cap 64, set 512)"
+    (Staged.stage (fun () ->
+         ignore
+           (Client.run_program client ~prog:"get_node" ~params:Progval.Null
+              ~starts:[ Xrand.pick rng vertices ] ())))
+
 let tests =
   Test.make_grouped ~name:"micro"
-    [ vclock_compare; vclock_tick_merge; oracle_order; heap_churn; store_tx; mgraph_snapshot; rng_zipf ]
+    [
+      vclock_compare;
+      vclock_tick_merge;
+      oracle_order;
+      heap_churn;
+      store_tx;
+      mgraph_snapshot;
+      rng_zipf;
+      shard_paging;
+    ]
 
 let run () =
   let instances = Instance.[ monotonic_clock ] in

@@ -4,13 +4,17 @@
      demo        build a small social graph and run sample queries
      tao         run the TAO-mix benchmark with chosen parameters
      coingraph   ingest and query synthetic blocks
-     fault       demonstrate failure detection and recovery *)
+     fault       demonstrate failure detection and recovery
+     stats       mixed run with tracing on; per-phase latency breakdown
+     trace       span tree of one traced transaction and node program *)
 
 open Cmdliner
 open Weaver_core
 module Workloads = Weaver_workloads
+module Metrics = Weaver_obs.Metrics
+module Trace = Weaver_obs.Trace
 
-let mk_cluster ~gatekeepers ~shards ~tau ~seed =
+let mk_cluster ?(tracing = false) ~gatekeepers ~shards ~tau ~seed () =
   let cfg =
     {
       Config.default with
@@ -18,6 +22,7 @@ let mk_cluster ~gatekeepers ~shards ~tau ~seed =
       Config.n_shards = shards;
       Config.tau;
       Config.seed;
+      Config.enable_tracing = tracing;
     }
   in
   let c = Cluster.create cfg in
@@ -40,7 +45,7 @@ let tau =
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
 
 let demo gatekeepers shards tau seed =
-  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed () in
   let client = Cluster.client c in
   let tx = Client.Tx.begin_ client in
   let a = Client.Tx.create_vertex tx ~id:"a" () in
@@ -61,7 +66,7 @@ let demo gatekeepers shards tau seed =
   Printf.printf "virtual time: %.0f us\n" (Cluster.now c)
 
 let tao gatekeepers shards tau seed clients duration_ms read_pct =
-  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed () in
   let rng = Weaver_util.Xrand.create ~seed () in
   let g =
     Workloads.Graphgen.preferential ~rng ~prefix:"u" ~vertices:4_000 ~out_degree:7 ()
@@ -87,7 +92,7 @@ let tao gatekeepers shards tau seed clients duration_ms read_pct =
   print_string (Cluster.report c)
 
 let coingraph gatekeepers shards tau seed height =
-  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed () in
   let cg = Weaver_apps.Coingraph.create c in
   ignore (Weaver_apps.Coingraph.preload_block cg ~height);
   Cluster.run_for c 5_000.0;
@@ -99,7 +104,7 @@ let coingraph gatekeepers shards tau seed height =
   | Error e -> failwith e)
 
 let fault gatekeepers shards tau seed =
-  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed () in
   let client = Cluster.client c in
   let tx = Client.Tx.begin_ client in
   ignore (Client.Tx.create_vertex tx ~id:"survivor" ());
@@ -122,7 +127,7 @@ let sweep gatekeepers shards seed =
   Printf.printf "%-12s %18s %20s\n" "tau (us)" "announces/query" "oracle msgs/query";
   List.iter
     (fun tau ->
-      let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+      let c = mk_cluster ~gatekeepers ~shards ~tau ~seed () in
       let rng = Weaver_util.Xrand.create ~seed () in
       let g = Workloads.Graphgen.uniform ~rng ~prefix:"s" ~vertices:500 ~edges:3_000 () in
       Workloads.Loader.fast_install c g;
@@ -140,7 +145,7 @@ let sweep gatekeepers shards seed =
     [ 10.0; 100.0; 1_000.0; 10_000.0; 100_000.0 ]
 
 let rebalance gatekeepers shards tau seed =
-  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed () in
   let client = Cluster.client c in
   let rng = Weaver_util.Xrand.create ~seed () in
   let g = Workloads.Graphgen.preferential ~rng ~prefix:"p" ~vertices:1_000 ~out_degree:5 () in
@@ -152,7 +157,7 @@ let rebalance gatekeepers shards tau seed =
     r.Rebalance.edge_cut_after
 
 let backup_demo gatekeepers shards tau seed =
-  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed in
+  let c = mk_cluster ~gatekeepers ~shards ~tau ~seed () in
   let client = Cluster.client c in
   let rng = Weaver_util.Xrand.create ~seed () in
   let g = Workloads.Graphgen.uniform ~rng ~prefix:"b" ~vertices:200 ~edges:800 () in
@@ -161,7 +166,7 @@ let backup_demo gatekeepers shards tau seed =
   ignore client;
   let image = Backup.dump c in
   Printf.printf "dumped %d vertices into a %d-byte image\n" 200 (String.length image);
-  let c2 = mk_cluster ~gatekeepers ~shards ~tau ~seed:(seed + 1) in
+  let c2 = mk_cluster ~gatekeepers ~shards ~tau ~seed:(seed + 1) () in
   Backup.restore c2 image;
   Cluster.run_for c2 5_000.0;
   let client2 = Cluster.client c2 in
@@ -171,6 +176,88 @@ let backup_demo gatekeepers shards tau seed =
   with
   | Ok (Progval.Int n) -> Printf.printf "restored cluster reports %d edges\n" n
   | _ -> failwith "restore verification failed"
+
+(* Shared by [stats] and [trace]: a mixed transaction / node-program run
+   against a small preloaded graph, with request tracing on. Returns the
+   trace ids of the issued requests (transactions first). *)
+let run_mixed c ~txs ~progs =
+  let client = Cluster.client c in
+  let rng = Weaver_util.Xrand.create ~seed:7 () in
+  let g = Workloads.Graphgen.uniform ~rng ~prefix:"m" ~vertices:300 ~edges:1_200 () in
+  Workloads.Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let vertices = Array.of_list (Workloads.Graphgen.vertex_ids g) in
+  let tx_traces = ref [] in
+  for i = 1 to txs do
+    let tx = Client.Tx.begin_ client in
+    let src = Weaver_util.Xrand.pick rng vertices in
+    let dst = Weaver_util.Xrand.pick rng vertices in
+    ignore (Client.Tx.create_edge tx ~src ~dst);
+    Client.Tx.set_vertex_prop tx ~vid:src ~key:"touched" ~value:(string_of_int i);
+    ignore (Client.commit client tx);
+    tx_traces := Client.last_request_id client :: !tx_traces
+  done;
+  let prog_traces = ref [] in
+  for _ = 1 to progs do
+    let start = Weaver_util.Xrand.pick rng vertices in
+    ignore
+      (Client.run_program client ~prog:"get_edges" ~params:Progval.Null
+         ~starts:[ start ] ());
+    prog_traces := Client.last_request_id client :: !prog_traces
+  done;
+  Cluster.run_for c 10_000.0;
+  (List.rev !tx_traces, List.rev !prog_traces)
+
+let stats gatekeepers shards tau seed txs progs json =
+  let c = mk_cluster ~tracing:true ~gatekeepers ~shards ~tau ~seed () in
+  let tx_traces, prog_traces = run_mixed c ~txs ~progs in
+  let m = Cluster.metrics c in
+  (* per-request message counts come from the real trace ledgers *)
+  let tr = Option.get (Cluster.request_tracer c) in
+  List.iter
+    (fun id ->
+      let n = Trace.message_count tr id in
+      if n > 0 then Metrics.observe m "req.messages" (float_of_int n))
+    (tx_traces @ prog_traces);
+  if json then print_endline (Metrics.to_json m)
+  else begin
+    Printf.printf "mixed run: %d transactions, %d node programs (%d gks, %d shards)\n\n"
+      txs progs gatekeepers shards;
+    print_string (Metrics.render m);
+    print_newline ();
+    let phase ?(unit = "us") name label =
+      match List.assoc_opt name (Metrics.reservoirs m) with
+      | None -> Printf.printf "%-16s (no samples)\n" label
+      | Some s ->
+          Printf.printf "%-16s p50 %8.1f %s   p99 %8.1f %s   (n=%d)\n" label
+            (Weaver_util.Stats.percentile s 50.0)
+            unit
+            (Weaver_util.Stats.percentile s 99.0)
+            unit
+            (Weaver_util.Stats.count s)
+    in
+    print_endline "per-phase latency breakdown:";
+    phase "gk.admission_wait" "admission";
+    phase "gk.store_rtt" "store";
+    phase "shard.queue_wait" "shard-queue";
+    phase "shard.oracle_wait" "oracle";
+    phase ~unit:"  " "req.messages" "msgs/request"
+  end
+
+let trace_cmd_impl gatekeepers shards tau seed =
+  let c = mk_cluster ~tracing:true ~gatekeepers ~shards ~tau ~seed () in
+  let tx_traces, prog_traces = run_mixed c ~txs:3 ~progs:1 in
+  let tr = Option.get (Cluster.request_tracer c) in
+  (match List.rev tx_traces with
+  | last :: _ ->
+      print_endline "=== transaction ===";
+      print_string (Trace.render tr last)
+  | [] -> ());
+  match prog_traces with
+  | p :: _ ->
+      print_endline "=== node program ===";
+      print_string (Trace.render tr p)
+  | [] -> ()
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Tiny end-to-end demo")
@@ -212,6 +299,24 @@ let backup_cmd =
   Cmd.v (Cmd.info "backup" ~doc:"Backup/restore demo")
     Term.(const backup_demo $ gatekeepers $ shards $ tau $ seed)
 
+let stats_cmd =
+  let txs =
+    Arg.(value & opt int 40 & info [ "txs" ] ~docv:"N" ~doc:"Transactions to issue.")
+  in
+  let progs =
+    Arg.(value & opt int 10 & info [ "progs" ] ~docv:"N" ~doc:"Node programs to issue.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry as JSON.") in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Mixed run with tracing on; metrics registry and per-phase latency breakdown")
+    Term.(const stats $ gatekeepers $ shards $ tau $ seed $ txs $ progs $ json)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Span tree of one traced transaction and node program")
+    Term.(const trace_cmd_impl $ gatekeepers $ shards $ tau $ seed)
+
 let () =
   let info =
     Cmd.info "weaver-cli" ~version:"1.0.0"
@@ -220,4 +325,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ demo_cmd; tao_cmd; coingraph_cmd; fault_cmd; sweep_cmd; rebalance_cmd; backup_cmd ]))
+          [
+            demo_cmd;
+            tao_cmd;
+            coingraph_cmd;
+            fault_cmd;
+            sweep_cmd;
+            rebalance_cmd;
+            backup_cmd;
+            stats_cmd;
+            trace_cmd;
+          ]))

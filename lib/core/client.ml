@@ -58,6 +58,10 @@ let fresh_req t =
   t.next_req <- t.next_req + 1;
   (t.addr * 1_000_000) + t.next_req
 
+(* request ids double as trace ids; expose the newest so callers can look
+   up the request's span tree after the reply *)
+let last_request_id t = (t.addr * 1_000_000) + t.next_req
+
 module Tx = struct
   type tx = { client : t; mutable ops : Txop.t list (* newest first *) }
 

@@ -17,6 +17,12 @@ val create : Runtime.t -> t
 
 val addr : t -> int
 
+val last_request_id : t -> int
+(** Id of this client's most recently issued request (transaction, node
+    program, or migration). Request ids double as trace ids, so this is
+    the key to the request's spans in {!Weaver_obs.Trace} (0 before the
+    first request). *)
+
 (** Transaction blocks (paper Fig. 2). *)
 module Tx : sig
   type tx

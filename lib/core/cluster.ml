@@ -36,6 +36,8 @@ let run_for t dur =
 
 let oracle_queries t = Runtime.oracle_queries_served t.rt
 let epoch t = Membership.epoch t.mgr.membership
+let metrics t = t.rt.Runtime.metrics
+let request_tracer t = t.rt.Runtime.tracer
 
 (* ------------------------------------------------------------------ *)
 (* Cluster manager (§3.2, §4.3): failure detection by heartbeat timeout,
@@ -177,15 +179,19 @@ let shard_queue_depths t sid = Shard.queue_depths t.shards.(sid)
 
 let gk_tau t gid = Gatekeeper.current_tau t.gks.(gid)
 
-(* per-cluster ring buffer of recent messages, enabled on demand *)
+(* per-cluster ring buffer of recent messages, enabled on demand; composes
+   with the observability hook so enabling the debug ring never silences
+   request tracing (the network has a single tracer slot) *)
 let enable_trace t ~capacity =
+  let obs = Runtime.obs_net_hook t.rt in
   Net.set_tracer t.rt.Runtime.net
     (Some
        (fun ~time ~src ~dst msg ->
+         (match obs with Some f -> f ~time ~src ~dst msg | None -> ());
          if Queue.length t.trace_ring >= capacity then ignore (Queue.pop t.trace_ring);
          Queue.push (time, src, dst, Format.asprintf "%a" Msg.pp msg) t.trace_ring))
 
-let disable_trace t = Net.set_tracer t.rt.Runtime.net None
+let disable_trace t = Net.set_tracer t.rt.Runtime.net (Runtime.obs_net_hook t.rt)
 
 let trace t = Queue.fold (fun acc entry -> entry :: acc) [] t.trace_ring |> List.rev
 

@@ -79,10 +79,20 @@ val report : t -> string
 (** Multi-line operational summary: virtual time, epoch, and every
     {!Runtime.counters} field — the text a metrics endpoint would serve. *)
 
+(** {1 Observability} *)
+
+val metrics : t -> Weaver_obs.Metrics.t
+(** The metrics registry: legacy counters as gauges plus the per-phase
+    latency reservoirs fed by the actors. *)
+
+val request_tracer : t -> Weaver_obs.Trace.t option
+(** The causal request tracer; [Some] iff [Config.enable_tracing]. *)
+
 (** {1 Message tracing}
 
     A debugging aid: capture the last N messages crossing the simulated
-    network, with virtual timestamps and rendered payloads. *)
+    network, with virtual timestamps and rendered payloads. Composes with
+    the request tracer (both see every send). *)
 
 val enable_trace : t -> capacity:int -> unit
 val disable_trace : t -> unit

@@ -18,6 +18,8 @@ type t = {
   read_replicas : int;
   adaptive_tau : bool;
   oracle_replicas : int;
+  enable_tracing : bool;
+  trace_capacity : int;
   seed : int;
 }
 
@@ -42,6 +44,8 @@ let default =
     read_replicas = 0;
     adaptive_tau = false;
     oracle_replicas = 1;
+    enable_tracing = false;
+    trace_capacity = 1024;
     seed = 42;
   }
 
@@ -63,4 +67,5 @@ let validate t =
   req "shard_capacity" (match t.shard_capacity with Some n -> n > 0 | None -> true);
   req "page_in_cost" (t.page_in_cost >= 0.0);
   req "read_replicas" (t.read_replicas >= 0);
-  req "oracle_replicas" (t.oracle_replicas >= 1)
+  req "oracle_replicas" (t.oracle_replicas >= 1);
+  req "trace_capacity" (t.trace_capacity >= 1)

@@ -45,6 +45,15 @@ type t = {
   oracle_replicas : int;
       (** chain-replication factor of the timeline oracle (§3.4: "chain
           replicated for fault tolerance"); 1 = a single instance *)
+  enable_tracing : bool;
+      (** per-request causal tracing: thread trace ids through message
+          envelopes and record span trees (admission wait, store round
+          trips, shard queue wait) plus per-request message ledgers in the
+          {!Weaver_obs.Trace} collector. Off by default: tracing records
+          state but never schedules events, yet retaining span data costs
+          memory, so benches opt in explicitly *)
+  trace_capacity : int;
+      (** traces retained by the collector before whole-trace eviction *)
   seed : int;  (** master RNG seed; runs are deterministic per seed *)
 }
 

@@ -10,6 +10,8 @@ type prog_run = {
   pr_params : Progval.t;
   pr_starts : string list;
   pr_ts : Vclock.t;
+  pr_memo_key : string option; (* None: historical run or memoization off *)
+  pr_started : float; (* virtual time the run was admitted, for tracing *)
   mutable pr_outstanding : int;
   mutable pr_acc : Progval.t;
   mutable pr_visited : string list;
@@ -48,6 +50,8 @@ let send t ~dst msg = Net.send t.rt.Runtime.net ~src:t.addr ~dst msg
 
 let cfg t = t.rt.Runtime.cfg
 let counters t = t.rt.Runtime.counters
+let actor t = "gk" ^ string_of_int t.gid
+let now t = Engine.now t.rt.Runtime.engine
 
 (* ------------------------------------------------------------------ *)
 (* Transactions (§4.2): validate and execute on the backing store, then
@@ -237,6 +241,7 @@ let invalidate_memo t written =
 let handle_tx_req t ~client ~tx_id ops =
   let ts = tick t in
   let epoch_at_start = t.epoch in
+  let t0 = now t in
   (* one store round trip to read and buffer, one to validate and commit;
      the gatekeeper keeps serving other requests meanwhile, and other
      transactions may commit between the two phases (OCC) *)
@@ -244,19 +249,34 @@ let handle_tx_req t ~client ~tx_id ops =
     (cfg t).Config.store_op_cost *. float_of_int (1 + List.length ops)
   in
   let reply ?(reads = []) result =
+    let fin = now t in
+    Runtime.observe t.rt "gk.tx_service" (fin -. t0);
+    Runtime.trace_span t.rt ~trace:tx_id ~name:"gk.tx" ~actor:(actor t) ~start:t0
+      ~stop:fin
+      ~meta:[ ("result", match result with Ok () -> "ok" | Error e -> e) ]
+      ();
     send t ~dst:client (Msg.Tx_reply { tx_id; result; reads })
+  in
+  let store_span ~phase ~start =
+    let stop = now t in
+    Runtime.observe t.rt "gk.store_rtt" (stop -. start);
+    Runtime.trace_span t.rt ~trace:tx_id ~name:"store.round_trip" ~actor:"store"
+      ~start ~stop ~meta:[ ("phase", phase) ] ()
   in
   let abort_counted () =
     (counters t).Runtime.tx_aborted <- (counters t).Runtime.tx_aborted + 1;
     reply (Error "conflict")
   in
   Engine.schedule t.rt.Runtime.engine ~delay:phase_cost (fun () ->
+      store_span ~phase:"read" ~start:t0;
       if alive t then
         if t.epoch <> epoch_at_start then reply (Error "epoch-change")
         else begin
           match exec_on_store t ts ops with
           | Ok (stx, shard_ops, written, reads) ->
+              let p2_start = now t in
               Engine.schedule t.rt.Runtime.engine ~delay:phase_cost (fun () ->
+                  store_span ~phase:"commit" ~start:p2_start;
                   if not (alive t) then Store.Tx.abort stx
                   else if t.epoch <> epoch_at_start then begin
                     Store.Tx.abort stx;
@@ -287,7 +307,8 @@ let handle_tx_req t ~client ~tx_id ops =
                               (counters t).Runtime.shard_tx_msgs + 1;
                             send t
                               ~dst:(Runtime.shard_addr t.rt shard)
-                              (Msg.Shard_tx { gk = t.gid; seq = t.seqs.(shard); ts; ops }))
+                              (Msg.Shard_tx
+                                 { gk = t.gid; seq = t.seqs.(shard); ts; ops; trace = tx_id }))
                           by_shard;
                         invalidate_memo t written;
                         reply ~reads (Ok ())
@@ -304,13 +325,33 @@ let handle_tx_req t ~client ~tx_id ops =
    and the new owner to adopt from the backing store. *)
 let handle_migrate_req t ~client ~tx_id ~vid ~to_shard =
   let ts = tick t in
-  let reply result = send t ~dst:client (Msg.Tx_reply { tx_id; result; reads = [] }) in
+  (* like the tx path: remember the epoch the timestamp and the FIFO
+     sequence numbers belong to. An epoch change while the store round
+     trip is in flight zeroes [t.seqs]; completing the migration with the
+     stale stamp would then desynchronize the per-gatekeeper FIFO at both
+     shards, so bail out instead and let the client retry *)
+  let epoch_at_start = t.epoch in
+  let t0 = now t in
+  let reply result =
+    let fin = now t in
+    Runtime.observe t.rt "gk.tx_service" (fin -. t0);
+    Runtime.trace_span t.rt ~trace:tx_id ~name:"gk.migrate" ~actor:(actor t)
+      ~start:t0 ~stop:fin
+      ~meta:[ ("vid", vid); ("result", match result with Ok () -> "ok" | Error e -> e) ]
+      ();
+    send t ~dst:client (Msg.Tx_reply { tx_id; result; reads = [] })
+  in
   if to_shard < 0 || to_shard >= (cfg t).Config.n_shards then
     reply (Error "invalid: no such shard")
   else begin
     let cost = (cfg t).Config.store_op_cost *. 3.0 in
     Engine.schedule t.rt.Runtime.engine ~delay:cost (fun () ->
-        if alive t then begin
+        Runtime.observe t.rt "gk.store_rtt" (now t -. t0);
+        Runtime.trace_span t.rt ~trace:tx_id ~name:"store.round_trip" ~actor:"store"
+          ~start:t0 ~stop:(now t) ~meta:[ ("phase", "migrate") ] ();
+        if alive t then
+          if t.epoch <> epoch_at_start then reply (Error "epoch-change")
+          else begin
           let from_shard = Runtime.shard_of_vertex t.rt vid in
           let stx = Store.Tx.begin_ t.rt.Runtime.store in
           match get_vrec stx vid with
@@ -338,6 +379,7 @@ let handle_migrate_req t ~client ~tx_id ~vid ~to_shard =
                            seq = t.seqs.(from_shard);
                            ts;
                            ops = [ Msg.S_migrate_out vid ];
+                           trace = tx_id;
                          });
                     t.seqs.(to_shard) <- t.seqs.(to_shard) + 1;
                     send t
@@ -348,6 +390,7 @@ let handle_migrate_req t ~client ~tx_id ~vid ~to_shard =
                            seq = t.seqs.(to_shard);
                            ts;
                            ops = [ Msg.S_migrate_in vid ];
+                           trace = tx_id;
                          });
                     (counters t).Runtime.shard_tx_msgs <-
                       (counters t).Runtime.shard_tx_msgs + 2;
@@ -364,8 +407,16 @@ let handle_migrate_req t ~client ~tx_id ~vid ~to_shard =
 (* Node programs (§4.1): stamp, fan out to the shards owning the start
    vertices, count outstanding batches for termination detection. *)
 
-let memo_key prog params starts =
-  prog ^ "?" ^ Progval.key params ^ "@" ^ String.concat "," starts
+(* The memo key must cover everything the result depends on. [weak] runs
+   may observe stale replica state, so they can never share entries with
+   strong runs. Historical runs ([at] set) are pinned to an arbitrary past
+   snapshot: a memo entry computed against the latest state must not
+   answer them — nor may their snapshot-bound result poison the cache for
+   current reads — so they bypass memoization entirely (each [at] stamp
+   is essentially unique; caching per stamp would never hit anyway). *)
+let memo_key prog params starts ~weak =
+  (if weak then "weak!" else "strong!")
+  ^ prog ^ "?" ^ Progval.key params ^ "@" ^ String.concat "," starts
 
 let handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak =
   match Nodeprog.find t.rt.Runtime.registry prog with
@@ -373,18 +424,22 @@ let handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak =
       send t ~dst:client
         (Msg.Prog_reply { prog_id; result = Error ("unknown program: " ^ prog) })
   | Some (module P : Nodeprog.PROGRAM) -> (
-      let mkey = memo_key prog params starts in
+      let historical = Option.is_some at in
+      let memoizable = (cfg t).Config.enable_memoization && not historical in
+      let mkey =
+        if memoizable then Some (memo_key prog params starts ~weak) else None
+      in
       match
-        if (cfg t).Config.enable_memoization then Hashtbl.find_opt t.memo mkey
-        else None
+        match mkey with Some k -> Hashtbl.find_opt t.memo k | None -> None
       with
       | Some entry ->
           (counters t).Runtime.memo_hits <- (counters t).Runtime.memo_hits + 1;
           (counters t).Runtime.progs_completed <-
             (counters t).Runtime.progs_completed + 1;
+          Runtime.trace_span t.rt ~trace:prog_id ~name:"gk.prog" ~actor:(actor t)
+            ~start:(now t) ~stop:(now t) ~meta:[ ("memo", "hit") ] ();
           send t ~dst:client (Msg.Prog_reply { prog_id; result = Ok entry.m_result })
       | None ->
-          let historical = Option.is_some at in
           let ts = match at with Some ts -> ts | None -> tick t in
           let run =
             {
@@ -393,6 +448,8 @@ let handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak =
               pr_params = params;
               pr_starts = starts;
               pr_ts = ts;
+              pr_memo_key = mkey;
+              pr_started = now t;
               pr_outstanding = 0;
               pr_acc = P.empty;
               pr_visited = [];
@@ -450,6 +507,11 @@ let handle_prog_partial t ~prog_id ~sent ~acc ~visited =
             Hashtbl.remove t.active prog_id;
             (counters t).Runtime.progs_completed <-
               (counters t).Runtime.progs_completed + 1;
+            Runtime.observe t.rt "gk.prog_service" (now t -. run.pr_started);
+            Runtime.trace_span t.rt ~trace:prog_id ~name:"gk.prog" ~actor:(actor t)
+              ~start:run.pr_started ~stop:(now t)
+              ~meta:[ ("prog", run.pr_prog) ]
+              ();
             send t ~dst:run.pr_client
               (Msg.Prog_reply { prog_id; result = Ok run.pr_acc });
             (* release per-vertex program state on every shard (§4.5) *)
@@ -461,10 +523,14 @@ let handle_prog_partial t ~prog_id ~sent ~acc ~visited =
                   (Msg.Prog_gc { prog_id })
               done
             done;
-            if (cfg t).Config.enable_memoization then
-              Hashtbl.replace t.memo
-                (memo_key run.pr_prog run.pr_params run.pr_starts)
-                { m_result = run.pr_acc; m_reads = run.pr_visited }
+            (* only non-historical runs ever carry a memo key (see
+               [memo_key]): a snapshot-bound result must not serve, or be
+               served to, current reads *)
+            match run.pr_memo_key with
+            | Some k ->
+                Hashtbl.replace t.memo k
+                  { m_result = run.pr_acc; m_reads = run.pr_visited }
+            | None -> ()
           end)
 
 (* ------------------------------------------------------------------ *)
@@ -504,24 +570,32 @@ let oldest_active_stamp t =
    traffic (announces, partials, epochs) is handled by separate threads in
    the real system and is not charged. This serial admission is what makes
    gatekeepers the bottleneck for vertex-local reads (Fig. 12). *)
-let admit t work =
+let admit t ~trace work =
   t.requests_seen <- t.requests_seen + 1;
-  let now = Engine.now t.rt.Runtime.engine in
-  let start = Float.max now t.busy_until in
+  let arrived = Engine.now t.rt.Runtime.engine in
+  let start = Float.max arrived t.busy_until in
   t.busy_until <- start +. (cfg t).Config.gk_op_cost;
   Engine.schedule_at t.rt.Runtime.engine ~time:t.busy_until (fun () ->
-      if not t.retired then work ())
+      if not t.retired then begin
+        let served = Engine.now t.rt.Runtime.engine in
+        (* wait in the serial admission queue plus the admission service
+           itself — the gatekeeper-bottleneck phase of Fig. 12 *)
+        Runtime.observe t.rt "gk.admission_wait" (served -. arrived);
+        Runtime.trace_span t.rt ~trace ~name:"gk.admission" ~actor:(actor t)
+          ~start:arrived ~stop:served ();
+        work ()
+      end)
 
 let handle t ~src:_ msg =
   if not t.retired then
     match (msg : Msg.t) with
     | Msg.Tx_req { client; tx_id; ops } ->
-        admit t (fun () -> handle_tx_req t ~client ~tx_id ops)
+        admit t ~trace:tx_id (fun () -> handle_tx_req t ~client ~tx_id ops)
     | Msg.Prog_req { client; prog_id; prog; params; starts; at; weak } ->
-        admit t (fun () ->
+        admit t ~trace:prog_id (fun () ->
             handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak)
     | Msg.Migrate_req { client; tx_id; vid; to_shard } ->
-        admit t (fun () -> handle_migrate_req t ~client ~tx_id ~vid ~to_shard)
+        admit t ~trace:tx_id (fun () -> handle_migrate_req t ~client ~tx_id ~vid ~to_shard)
     | Msg.Announce { gk = _; clock } ->
         if clock.Vclock.epoch = t.epoch then t.clock <- Vclock.merge t.clock clock
     | Msg.Prog_partial { prog_id; sent; acc; visited } ->
@@ -572,7 +646,7 @@ let start_timers t =
             t.seqs.(s) <- t.seqs.(s) + 1;
             (counters t).Runtime.nop_msgs <- (counters t).Runtime.nop_msgs + 1;
             send t ~dst:(Runtime.shard_addr rt s)
-              (Msg.Shard_tx { gk = t.gid; seq = t.seqs.(s); ts; ops = [] })
+              (Msg.Shard_tx { gk = t.gid; seq = t.seqs.(s); ts; ops = []; trace = 0 })
           done
         end;
         true

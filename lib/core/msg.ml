@@ -30,7 +30,13 @@ type t =
     }
   | Prog_reply of { prog_id : int; result : (Progval.t, string) result }
   | Announce of { gk : int; clock : Vclock.t }
-  | Shard_tx of { gk : int; seq : int; ts : Vclock.t; ops : shard_op list }
+  | Shard_tx of {
+      gk : int;
+      seq : int;
+      ts : Vclock.t;
+      ops : shard_op list;
+      trace : int; (* originating request's trace id; 0 = untraced (NOPs) *)
+    }
   | Prog_batch of {
       coord : int;
       prog_id : int;
@@ -60,7 +66,7 @@ let pp fmt = function
       Format.fprintf fmt "Prog_reply(#%d,%s)" prog_id
         (match result with Ok _ -> "ok" | Error e -> e)
   | Announce { gk; clock } -> Format.fprintf fmt "Announce(gk%d,%a)" gk Vclock.pp clock
-  | Shard_tx { gk; seq; ts; ops } ->
+  | Shard_tx { gk; seq; ts; ops; trace = _ } ->
       Format.fprintf fmt "Shard_tx(gk%d,seq%d,%a,%d ops)" gk seq Vclock.pp ts
         (List.length ops)
   | Prog_batch { prog_id; prog; items; ts; _ } ->
@@ -74,3 +80,35 @@ let pp fmt = function
   | Epoch_change { epoch } -> Format.fprintf fmt "Epoch_change(%d)" epoch
   | Epoch_ack { server; epoch } -> Format.fprintf fmt "Epoch_ack(%d,e%d)" server epoch
   | Watermark { gk; ts } -> Format.fprintf fmt "Watermark(gk%d,%a)" gk Vclock.pp ts
+
+(* The trace id a message travels on behalf of: client-originated requests
+   use their globally unique request id; derived traffic inherits it
+   (Shard_tx carries it explicitly, program fan-out reuses [prog_id]).
+   [None] for control-plane traffic that belongs to no single request. *)
+let trace_of = function
+  | Tx_req { tx_id; _ } | Tx_reply { tx_id; _ } -> Some tx_id
+  | Prog_req { prog_id; _ }
+  | Prog_reply { prog_id; _ }
+  | Prog_batch { prog_id; _ }
+  | Prog_partial { prog_id; _ }
+  | Prog_gc { prog_id } -> Some prog_id
+  | Migrate_req { tx_id; _ } -> Some tx_id
+  | Shard_tx { trace; _ } -> if trace = 0 then None else Some trace
+  | Announce _ | Heartbeat _ | Epoch_change _ | Epoch_ack _ | Watermark _ -> None
+
+let kind = function
+  | Tx_req _ -> "Tx_req"
+  | Tx_reply _ -> "Tx_reply"
+  | Prog_req _ -> "Prog_req"
+  | Prog_reply _ -> "Prog_reply"
+  | Announce _ -> "Announce"
+  | Shard_tx { ops = []; _ } -> "Shard_tx(nop)"
+  | Shard_tx _ -> "Shard_tx"
+  | Prog_batch _ -> "Prog_batch"
+  | Prog_partial _ -> "Prog_partial"
+  | Prog_gc _ -> "Prog_gc"
+  | Migrate_req _ -> "Migrate_req"
+  | Heartbeat _ -> "Heartbeat"
+  | Epoch_change _ -> "Epoch_change"
+  | Epoch_ack _ -> "Epoch_ack"
+  | Watermark _ -> "Watermark"

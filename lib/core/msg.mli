@@ -49,10 +49,12 @@ type t =
       seq : int;
       ts : Weaver_vclock.Vclock.t;
       ops : shard_op list;
+      trace : int;
     }
       (** gatekeeper → shard: committed transaction ([ops = []] is a NOP
           keeping the queue head fresh, §4.2); [seq] implements the FIFO
-          channel check *)
+          channel check; [trace] carries the originating request's trace
+          id through the envelope (0 = untraced, e.g. NOPs) *)
   | Prog_batch of {
       coord : int;  (** gatekeeper address coordinating the program *)
       prog_id : int;
@@ -90,3 +92,12 @@ type t =
 
 val pp : Format.formatter -> t -> unit
 (** One-line rendering for traces and test failures. *)
+
+val trace_of : t -> int option
+(** The trace (request) id this message travels on behalf of: the client
+    request id for request/reply pairs, [prog_id] for program fan-out,
+    the [trace] field for [Shard_tx]. [None] for control-plane traffic
+    (announces, NOPs, heartbeats, epoch barriers, watermarks). *)
+
+val kind : t -> string
+(** Constructor name, for message ledgers and per-kind counting. *)

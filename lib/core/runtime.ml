@@ -6,6 +6,8 @@ module Oracle = Weaver_oracle.Oracle
 module Chain = Weaver_oracle.Chain
 module Mgraph = Weaver_graph.Mgraph
 module Partition = Weaver_partition.Partition
+module Metrics = Weaver_obs.Metrics
+module Trace = Weaver_obs.Trace
 
 type stored = Vrec of Mgraph.vertex | Stamp of Vclock.t | Dir of int
 
@@ -38,6 +40,8 @@ type t = {
   oracle_chain : Chain.t option;  (* chain replication (§3.4) when > 1 *)
   registry : Nodeprog.registry;
   counters : counters;
+  metrics : Metrics.t;
+  tracer : Trace.t option;  (* Some iff [Config.enable_tracing] *)
   mutable next_client : int;
 }
 
@@ -68,45 +72,106 @@ let oracle_queries_served t =
   | Some chain -> Chain.queries_served chain
   | None -> Oracle.queries_served t.oracle
 
+(* Every legacy [counters] field surfaces in the metrics registry as a
+   read-through gauge, so the registry is the one uniform interface over
+   all measurements without rewriting the existing increment sites. *)
+let register_counter_gauges metrics (c : counters) =
+  let g name f = Metrics.gauge metrics name f in
+  g "tx.committed" (fun () -> c.tx_committed);
+  g "tx.aborted" (fun () -> c.tx_aborted);
+  g "tx.invalid" (fun () -> c.tx_invalid);
+  g "prog.completed" (fun () -> c.progs_completed);
+  g "msg.announce" (fun () -> c.announce_msgs);
+  g "msg.nop" (fun () -> c.nop_msgs);
+  g "msg.shard_tx" (fun () -> c.shard_tx_msgs);
+  g "msg.prog_batch" (fun () -> c.prog_batch_msgs);
+  g "oracle.consults" (fun () -> c.oracle_consults);
+  g "oracle.cache_hits" (fun () -> c.oracle_cache_hits);
+  g "prog.vertices_read" (fun () -> c.vertices_read);
+  g "paging.page_ins" (fun () -> c.page_ins);
+  g "paging.evictions" (fun () -> c.evictions);
+  g "cluster.recoveries" (fun () -> c.recoveries);
+  g "memo.hits" (fun () -> c.memo_hits);
+  g "memo.invalidations" (fun () -> c.memo_invalidations);
+  g "cluster.migrations" (fun () -> c.migrations)
+
+(* the network tracer that feeds the causal trace collector: attribute
+   every wire message to its request's trace id *)
+let obs_net_hook t =
+  match t.tracer with
+  | None -> None
+  | Some tr ->
+      Some
+        (fun ~time ~src ~dst msg ->
+          match Msg.trace_of msg with
+          | Some trace -> Trace.message tr ~trace ~time ~src ~dst ~kind:(Msg.kind msg)
+          | None -> ())
+
 let create cfg =
   Config.validate cfg;
   let engine = Engine.create ~seed:cfg.Config.seed () in
   let latency =
     Net.uniform_latency ~base:cfg.Config.net_base_latency ~jitter:cfg.Config.net_jitter
   in
-  {
-    cfg;
-    engine;
-    net = Net.create engine ~latency;
-    store = Store.create ();
-    oracle = Oracle.create ();
-    oracle_chain =
-      (if cfg.Config.oracle_replicas > 1 then
-         Some (Chain.create ~replicas:cfg.Config.oracle_replicas ())
-       else None);
-    registry = Nodeprog.create_registry ();
-    counters =
-      {
-        tx_committed = 0;
-        tx_aborted = 0;
-        tx_invalid = 0;
-        progs_completed = 0;
-        announce_msgs = 0;
-        nop_msgs = 0;
-        shard_tx_msgs = 0;
-        prog_batch_msgs = 0;
-        oracle_consults = 0;
-        oracle_cache_hits = 0;
-        vertices_read = 0;
-        page_ins = 0;
-        evictions = 0;
-        recoveries = 0;
-        memo_hits = 0;
-        memo_invalidations = 0;
-        migrations = 0;
-      };
-    next_client = 0;
-  }
+  let metrics = Metrics.create () in
+  let t =
+    {
+      cfg;
+      engine;
+      net = Net.create engine ~latency;
+      store = Store.create ();
+      oracle = Oracle.create ();
+      oracle_chain =
+        (if cfg.Config.oracle_replicas > 1 then
+           Some (Chain.create ~replicas:cfg.Config.oracle_replicas ())
+         else None);
+      registry = Nodeprog.create_registry ();
+      counters =
+        {
+          tx_committed = 0;
+          tx_aborted = 0;
+          tx_invalid = 0;
+          progs_completed = 0;
+          announce_msgs = 0;
+          nop_msgs = 0;
+          shard_tx_msgs = 0;
+          prog_batch_msgs = 0;
+          oracle_consults = 0;
+          oracle_cache_hits = 0;
+          vertices_read = 0;
+          page_ins = 0;
+          evictions = 0;
+          recoveries = 0;
+          memo_hits = 0;
+          memo_invalidations = 0;
+          migrations = 0;
+        };
+      metrics;
+      tracer =
+        (if cfg.Config.enable_tracing then
+           Some (Trace.create ~capacity:cfg.Config.trace_capacity)
+         else None);
+      next_client = 0;
+    }
+  in
+  register_counter_gauges metrics t.counters;
+  Metrics.gauge metrics "net.sent" (fun () -> Net.messages_sent t.net);
+  Metrics.gauge metrics "net.delivered" (fun () -> Net.messages_delivered t.net);
+  Metrics.gauge metrics "net.suppressed" (fun () -> Net.messages_suppressed t.net);
+  Metrics.gauge metrics "store.keys" (fun () -> Store.length t.store);
+  Metrics.gauge metrics "store.commits" (fun () -> Store.commits t.store);
+  Metrics.gauge metrics "store.aborts" (fun () -> Store.aborts t.store);
+  Net.set_tracer t.net (obs_net_hook t);
+  t
+
+let observe t name v = Metrics.observe t.metrics name v
+
+(* record a completed span against a trace; a no-op when tracing is off or
+   the traffic is untraced (trace = 0) *)
+let trace_span t ~trace ~name ~actor ~start ~stop ?meta () =
+  match t.tracer with
+  | Some tr when trace <> 0 -> Trace.span tr ~trace ~name ~actor ~start ~stop ?meta ()
+  | _ -> ()
 
 let gk_addr _t i = i
 let shard_addr t j = t.cfg.Config.n_gatekeepers + j

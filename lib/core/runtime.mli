@@ -46,6 +46,13 @@ type t = {
           [Config.oracle_replicas > 1] *)
   registry : Nodeprog.registry;
   counters : counters;
+  metrics : Weaver_obs.Metrics.t;
+      (** uniform registry over every measurement: the legacy [counters]
+          fields (as read-through gauges), network/store totals, and the
+          per-phase latency reservoirs actors feed via {!observe} *)
+  tracer : Weaver_obs.Trace.t option;
+      (** per-request span/message collector; [Some] iff
+          [Config.enable_tracing] *)
   mutable next_client : int;  (** bump via {!fresh_client_addr} only *)
 }
 
@@ -63,6 +70,32 @@ val oracle_gc : t -> watermark:Vclock.t -> int
 val oracle_queries_served : t -> int
 
 val create : Config.t -> t
+
+(** {1 Observability} *)
+
+val observe : t -> string -> float -> unit
+(** Add one sample to the named metrics reservoir (e.g.
+    ["gk.admission_wait"]). Always on — recording never perturbs the
+    simulation. *)
+
+val trace_span :
+  t ->
+  trace:int ->
+  name:string ->
+  actor:string ->
+  start:float ->
+  stop:float ->
+  ?meta:(string * string) list ->
+  unit ->
+  unit
+(** Record a completed span against a request trace. No-op when tracing is
+    disabled or [trace = 0]. *)
+
+val obs_net_hook :
+  t -> (time:float -> src:int -> dst:int -> Msg.t -> unit) option
+(** The network tracer feeding the trace collector (installed by
+    {!create}); exposed so debugging tracers can compose with it instead
+    of replacing it. *)
 
 (** {1 Address plan} — gatekeepers first, then shards, the manager, and
     finally dynamically allocated clients. *)

@@ -5,7 +5,13 @@ module Store = Weaver_store.Store
 module Oracle = Weaver_oracle.Oracle
 module Mgraph = Weaver_graph.Mgraph
 
-type queued_tx = { q_seq : int; q_ts : Vclock.t; q_ops : Msg.shard_op list }
+type queued_tx = {
+  q_seq : int;
+  q_ts : Vclock.t;
+  q_ops : Msg.shard_op list;
+  q_trace : int; (* originating request's trace id (0 for NOPs) *)
+  q_enq : float; (* when it entered this queue, for queue-wait metrics *)
+}
 
 type parked_prog = {
   p_coord : int;
@@ -23,6 +29,9 @@ type t = {
   addr : int;
   graph : (string, Mgraph.vertex) Hashtbl.t;
   lru : string Queue.t; (* approximate recency for demand paging *)
+  lru_count : (string, int) Hashtbl.t;
+      (* occurrences of each vertex in [lru]; lets eviction skip stale
+         duplicate entries in O(1) instead of scanning the whole queue *)
   queues : queued_tx Queue.t array; (* one FIFO per gatekeeper *)
   last_seq : int array;
   seq_epoch : int array; (* epoch in which last_seq was recorded *)
@@ -46,6 +55,8 @@ let queue_depths t = Array.map Queue.length t.queues
 let cfg t = t.rt.Runtime.cfg
 let counters t = t.rt.Runtime.counters
 let send t ~dst msg = Net.send t.rt.Runtime.net ~src:t.addr ~dst msg
+let actor t = "shard" ^ string_of_int t.sid
+let now t = Engine.now t.rt.Runtime.engine
 
 (* the decision procedure for version stamps: vector clocks, then cached or
    fresh oracle decisions; ties prefer the first argument (transactions
@@ -57,18 +68,32 @@ let before t a b = Runtime.before t.cache t.rt a b ~prefer_first_on_tie:true
    miss and evicted in approximate LRU order when over capacity. *)
 
 let touch t vid =
-  if (cfg t).Config.shard_capacity <> None then Queue.push vid t.lru
+  if (cfg t).Config.shard_capacity <> None then begin
+    Queue.push vid t.lru;
+    let n = Option.value ~default:0 (Hashtbl.find_opt t.lru_count vid) in
+    Hashtbl.replace t.lru_count vid (n + 1)
+  end
 
+(* Pop recency entries until under capacity. A popped entry is a genuine
+   LRU victim only when it is the vertex's *last* occurrence in the queue
+   (no fresher touch behind it) — tracked by the per-vertex occurrence
+   count, making each pop O(1) amortized instead of a full queue scan. *)
 let evict_to_capacity t ~keep =
   match (cfg t).Config.shard_capacity with
   | None -> ()
   | Some cap ->
       while Hashtbl.length t.graph > cap && not (Queue.is_empty t.lru) do
         let victim = Queue.pop t.lru in
-        if
-          (not (String.equal victim keep))
-          && Hashtbl.mem t.graph victim
-          && not (Queue.fold (fun acc v -> acc || String.equal v victim) false t.lru)
+        let remaining =
+          match Hashtbl.find_opt t.lru_count victim with
+          | Some n when n > 1 ->
+              Hashtbl.replace t.lru_count victim (n - 1);
+              n - 1
+          | _ ->
+              Hashtbl.remove t.lru_count victim;
+              0
+        in
+        if remaining = 0 && (not (String.equal victim keep)) && Hashtbl.mem t.graph victim
         then begin
           Hashtbl.remove t.graph victim;
           (counters t).Runtime.evictions <- (counters t).Runtime.evictions + 1
@@ -135,6 +160,15 @@ let apply_op t ts (op : Msg.shard_op) =
   | Msg.S_migrate_out vid -> Hashtbl.remove t.graph vid
 
 let apply_tx t (qt : queued_tx) =
+  if qt.q_ops <> [] then begin
+    (* time between arrival on the FIFO queue and execution — the
+       timestamp-ordering wait the paper's Fig. 9 latency includes *)
+    Runtime.observe t.rt "shard.queue_wait" (now t -. qt.q_enq);
+    Runtime.trace_span t.rt ~trace:qt.q_trace ~name:"shard.queue" ~actor:(actor t)
+      ~start:qt.q_enq ~stop:(now t)
+      ~meta:[ ("ops", string_of_int (List.length qt.q_ops)) ]
+      ()
+  end;
   List.iter (apply_op t qt.q_ts) qt.q_ops;
   t.busy_until <-
     Float.max t.busy_until (Engine.now t.rt.Runtime.engine)
@@ -145,7 +179,8 @@ let apply_tx t (qt : queued_tx) =
     for r = 0 to (cfg t).Config.read_replicas - 1 do
       send t
         ~dst:(Runtime.replica_addr t.rt ~shard:t.sid ~replica:r)
-        (Msg.Shard_tx { gk = 0; seq = qt.q_seq; ts = qt.q_ts; ops = qt.q_ops })
+        (Msg.Shard_tx
+           { gk = 0; seq = qt.q_seq; ts = qt.q_ts; ops = qt.q_ops; trace = qt.q_trace })
     done
 
 (* ------------------------------------------------------------------ *)
@@ -170,6 +205,11 @@ let execute_prog_batch t (p : parked_prog) =
       send t ~dst:p.p_coord
         (Msg.Prog_partial { prog_id = p.p_id; sent = 0; acc = Progval.Null; visited = [] })
   | Some (module P : Nodeprog.PROGRAM) ->
+      (* time this batch spent parked behind the refinable-timestamp gate *)
+      Runtime.observe t.rt "shard.prog_gate_wait" (now t -. p.p_since);
+      Runtime.trace_span t.rt ~trace:p.p_id ~name:"shard.prog_gate" ~actor:(actor t)
+        ~start:p.p_since ~stop:(now t) ();
+      let exec_start = now t in
       let states = prog_states t p.p_id in
       (* historical queries pin the snapshot: a version stamp concurrent
          with the snapshot is ordered after it (unless already committed
@@ -230,6 +270,10 @@ let execute_prog_batch t (p : parked_prog) =
       let acc = !acc and visited = !visited in
       Engine.schedule_at t.rt.Runtime.engine ~time:t.busy_until (fun () ->
           if not t.retired then begin
+            Runtime.trace_span t.rt ~trace:p.p_id ~name:"shard.prog_exec"
+              ~actor:(actor t) ~start:exec_start ~stop:(now t)
+              ~meta:[ ("visited", string_of_int (List.length visited)) ]
+              ();
             let sent = Hashtbl.length remote in
             Hashtbl.iter
               (fun hshard items ->
@@ -359,13 +403,14 @@ let rec try_advance t =
             t.waiting_oracle <- true;
             (counters t).Runtime.oracle_consults <-
               (counters t).Runtime.oracle_consults + 1;
+            let oracle_delay = 2.0 *. (cfg t).Config.net_base_latency in
+            Runtime.observe t.rt "shard.oracle_wait" oracle_delay;
             let ts_list =
               List.filter_map
                 (fun (_, h) -> if h.q_ops = [] then None else Some h.q_ts)
                 heads
             in
-            Engine.schedule t.rt.Runtime.engine
-              ~delay:(2.0 *. (cfg t).Config.net_base_latency)
+            Engine.schedule t.rt.Runtime.engine ~delay:oracle_delay
               (fun () ->
                 ignore (Runtime.oracle_serialize t.rt ts_list);
                 t.waiting_oracle <- false;
@@ -397,6 +442,7 @@ let rec try_advance t =
 let reload_from_store t =
   Hashtbl.reset t.graph;
   Queue.clear t.lru;
+  Hashtbl.reset t.lru_count;
   let records = Store.scan_prefix t.rt.Runtime.store ~prefix:"v/" in
   let cap = (cfg t).Config.shard_capacity in
   List.iter
@@ -464,7 +510,7 @@ let handle_watermark t gk ts =
 let handle t ~src:_ msg =
   if not t.retired then
     match (msg : Msg.t) with
-    | Msg.Shard_tx { gk; seq; ts; ops } ->
+    | Msg.Shard_tx { gk; seq; ts; ops; trace } ->
         if ts.Vclock.epoch = t.epoch then begin
           (* FIFO channel check (§4.2): sequence numbers must be contiguous
              within an epoch *)
@@ -476,7 +522,9 @@ let handle t ~src:_ msg =
             assert (seq = t.last_seq.(gk) + 1);
             t.last_seq.(gk) <- seq
           end;
-          Queue.push { q_seq = seq; q_ts = ts; q_ops = ops } t.queues.(gk);
+          Queue.push
+            { q_seq = seq; q_ts = ts; q_ops = ops; q_trace = trace; q_enq = now t }
+            t.queues.(gk);
           try_advance t
         end
         (* other epochs: stale or not-yet-adopted traffic; the store reload
@@ -517,6 +565,7 @@ let spawn rt ~sid ~epoch =
       addr = Runtime.shard_addr rt sid;
       graph = Hashtbl.create 4096;
       lru = Queue.create ();
+      lru_count = Hashtbl.create 4096;
       queues = Array.init n_g (fun _ -> Queue.create ());
       last_seq = Array.make n_g 0;
       seq_epoch = Array.make n_g (-1); (* sentinel: re-baseline per channel *)

@@ -1,0 +1,119 @@
+module Stats = Weaver_util.Stats
+
+type counter = { mutable c : int }
+
+type instrument =
+  | Counter of counter
+  | Gauge of (unit -> int)
+  | Reservoir of Stats.t
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+  | None ->
+      let c = { c = 0 } in
+      Hashtbl.replace t.tbl name (Counter c);
+      c
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge t name f = Hashtbl.replace t.tbl name (Gauge f)
+
+let reservoir t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Reservoir s) -> s
+  | Some _ -> invalid_arg ("Metrics.reservoir: " ^ name ^ " is not a reservoir")
+  | None ->
+      let s = Stats.create () in
+      Hashtbl.replace t.tbl name (Reservoir s);
+      s
+
+let observe t name v = Stats.add (reservoir t name) v
+
+let sorted_bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let int_values t =
+  List.filter_map
+    (fun (name, inst) ->
+      match inst with
+      | Counter c -> Some (name, c.c)
+      | Gauge f -> Some (name, f ())
+      | Reservoir _ -> None)
+    (sorted_bindings t)
+
+let reservoirs t =
+  List.filter_map
+    (fun (name, inst) ->
+      match inst with
+      | Reservoir s when not (Stats.is_empty s) -> Some (name, s)
+      | _ -> None)
+    (sorted_bindings t)
+
+let render t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  (match int_values t with
+  | [] -> ()
+  | ints ->
+      line "%-34s %12s" "counter" "value";
+      List.iter (fun (name, v) -> line "%-34s %12d" name v) ints);
+  (match reservoirs t with
+  | [] -> ()
+  | rs ->
+      line "%-34s %8s %10s %10s %10s %10s" "reservoir" "n" "mean" "p50" "p99" "max";
+      List.iter
+        (fun (name, s) ->
+          line "%-34s %8d %10.1f %10.1f %10.1f %10.1f" name (Stats.count s)
+            (Stats.mean s)
+            (Stats.percentile s 50.0)
+            (Stats.percentile s 99.0)
+            (Stats.max_val s))
+        rs);
+  Buffer.contents b
+
+(* hand-rolled JSON: names are dotted identifiers, values numbers, so no
+   escaping beyond the basics is needed *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    (int_values t);
+  Buffer.add_string b "},\"reservoirs\":{";
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"%s\":{\"n\":%d,\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f,\"max\":%.3f}"
+           (json_escape name) (Stats.count s) (Stats.mean s)
+           (Stats.percentile s 50.0)
+           (Stats.percentile s 90.0)
+           (Stats.percentile s 99.0)
+           (Stats.max_val s)))
+    (reservoirs t);
+  Buffer.add_string b "}}";
+  Buffer.contents b

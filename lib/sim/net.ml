@@ -15,6 +15,7 @@ type 'm t = {
   last_delivery : (addr * addr, float) Hashtbl.t;
   mutable sent : int;
   mutable delivered : int;
+  mutable suppressed : int; (* sends attempted by dead endpoints *)
   mutable tracer : (time:float -> src:addr -> dst:addr -> 'm -> unit) option;
 }
 
@@ -32,6 +33,7 @@ let create engine ~latency =
     last_delivery = Hashtbl.create 256;
     sent = 0;
     delivered = 0;
+    suppressed = 0;
     tracer = None;
   }
 
@@ -55,16 +57,20 @@ let is_alive t addr =
 let set_tracer t tracer = t.tracer <- tracer
 
 let send t ~src ~dst msg =
-  t.sent <- t.sent + 1;
-  (match t.tracer with
-  | Some f -> f ~time:(Engine.now t.engine) ~src ~dst msg
-  | None -> ());
   let src_alive =
     match Hashtbl.find_opt t.endpoints src with
     | Some ep -> ep.alive
     | None -> true (* unregistered senders (e.g. external clients) are fine *)
   in
-  if src_alive then begin
+  (* a dead endpoint's send never reaches the wire: it must not count
+     towards message overhead nor reach the tracer, or the experiments'
+     messages-per-request numbers inflate under failure injection *)
+  if not src_alive then t.suppressed <- t.suppressed + 1
+  else begin
+    t.sent <- t.sent + 1;
+    (match t.tracer with
+    | Some f -> f ~time:(Engine.now t.engine) ~src ~dst msg
+    | None -> ());
     let lat = t.latency t.rng ~src ~dst in
     let arrival = Engine.now t.engine +. Float.max 0.0 lat in
     (* FIFO per channel: never deliver before the previous message *)
@@ -85,3 +91,4 @@ let send t ~src ~dst msg =
 
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
+let messages_suppressed t = t.suppressed

@@ -45,10 +45,18 @@ val set_alive : 'm t -> addr -> bool -> unit
 val is_alive : 'm t -> addr -> bool
 
 val messages_sent : 'm t -> int
-(** Total messages accepted by {!send} (including later drops). *)
+(** Messages that actually entered the network: sends from live (or
+    unregistered) endpoints, including ones later dropped at a dead
+    destination. Sends attempted by dead endpoints are excluded — see
+    {!messages_suppressed}. *)
 
 val messages_delivered : 'm t -> int
 
+val messages_suppressed : 'm t -> int
+(** Sends attempted by a dead endpoint, suppressed before the wire (and
+    before the tracer). Counted separately so failure injection does not
+    inflate message-overhead measurements. *)
+
 val set_tracer : 'm t -> (time:float -> src:addr -> dst:addr -> 'm -> unit) option -> unit
-(** Install (or remove) a callback invoked on every {!send} with the
-    current virtual time — the hook behind message tracing. *)
+(** Install (or remove) a callback invoked on every non-suppressed {!send}
+    with the current virtual time — the hook behind message tracing. *)

@@ -33,6 +33,8 @@ module Codec = Weaver_graph.Codec
 module Partition = Weaver_partition.Partition
 module Engine = Weaver_sim.Engine
 module Net = Weaver_sim.Net
+module Metrics = Weaver_obs.Metrics
+module Trace = Weaver_obs.Trace
 module Xrand = Weaver_util.Xrand
 module Stats = Weaver_util.Stats
 

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "weaver"
-    (Test_util.suites @ Test_sim.suites @ Test_vclock.suites @ Test_oracle.suites @ Test_store.suites @ Test_graph.suites @ Test_partition.suites @ Test_cluster.suites @ Test_core.suites @ Test_workloads.suites @ Test_apps.suites @ Test_baselines.suites @ Test_serializability.suites @ Test_progval.suites @ Test_chain.suites @ Test_programs2.suites @ Test_extra.suites @ Test_backup.suites @ Test_replica.suites @ Test_adaptive.suites @ Test_model.suites @ Test_migration.suites @ Test_chaos.suites @ Test_analytics.suites @ Test_units2.suites)
+    (Test_util.suites @ Test_sim.suites @ Test_vclock.suites @ Test_oracle.suites @ Test_store.suites @ Test_graph.suites @ Test_partition.suites @ Test_cluster.suites @ Test_core.suites @ Test_workloads.suites @ Test_apps.suites @ Test_baselines.suites @ Test_serializability.suites @ Test_progval.suites @ Test_chain.suites @ Test_programs2.suites @ Test_extra.suites @ Test_backup.suites @ Test_replica.suites @ Test_adaptive.suites @ Test_model.suites @ Test_migration.suites @ Test_chaos.suites @ Test_analytics.suites @ Test_units2.suites @ Test_obs.suites)
