@@ -793,6 +793,93 @@ let breakdown () =
   close_out oc;
   line "wrote BENCH_breakdown.json"
 
+(* ------------------------------------------------------------------ *)
+(* Timeline: TAO-mix throughput sampled across a mid-run shard crash —
+   the time-dimension view of the §4.3 recovery story. Emits
+   BENCH_timeline.json with the full ops/s series and a dip/recovery
+   summary. *)
+
+let timeline () =
+  header "Timeline: TAO-mix throughput across a shard crash and recovery";
+  let period = 25_000.0 in
+  let crash_at = 500_000.0 in
+  let duration = 1_500_000.0 in
+  let cfg =
+    {
+      Config.default with
+      Config.n_gatekeepers = 2;
+      Config.n_shards = 4;
+      Config.enable_timeline = true;
+      Config.timeline_period = period;
+    }
+  in
+  let c = mk_cluster cfg in
+  let rng = Xrand.create ~seed:5 () in
+  let g = Graphgen.uniform ~rng ~prefix:"tl" ~vertices:1_000 ~edges:4_000 () in
+  Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let vertices = Array.of_list (Graphgen.vertex_ids g) in
+  let rt = Cluster.runtime c in
+  Weaver_sim.Engine.schedule rt.Runtime.engine
+    ~delay:(crash_at -. Cluster.now c)
+    (fun () ->
+      line "  [%.0f ms] killing shard 0" (crash_at /. 1000.0);
+      Cluster.kill_shard c 0);
+  ignore (Tao.Driver.run c ~vertices ~clients:20 ~duration ());
+  let tl = Option.get (Cluster.timeline c) in
+  let ops_series =
+    (* committed txs + completed programs, as windowed per-second rates *)
+    let progs = Weaver_obs.Timeline.rates tl "prog.completed" in
+    List.map
+      (fun (t, tx_rate) ->
+        let p = match List.assoc_opt t progs with Some v -> v | None -> 0.0 in
+        (t, tx_rate +. p))
+      (Weaver_obs.Timeline.rates tl "tx.committed")
+  in
+  let mean = function
+    | [] -> 0.0
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  let pre =
+    mean (List.filter_map (fun (t, v) -> if t < crash_at then Some v else None) ops_series)
+  in
+  let dip =
+    List.fold_left Float.min Float.infinity
+      (List.filter_map
+         (fun (t, v) ->
+           if t >= crash_at && t <= crash_at +. 300_000.0 then Some v else None)
+         ops_series)
+  in
+  let post =
+    mean
+      (List.filter_map
+         (fun (t, v) -> if t > crash_at +. 500_000.0 then Some v else None)
+         ops_series)
+  in
+  line "pre-crash %.0f ops/s | dip %.0f ops/s | post-recovery %.0f ops/s" pre dip post;
+  line "recoveries: %d | epoch: %d" (Cluster.counters c).Runtime.recoveries
+    (Cluster.epoch c);
+  let oc = open_out "BENCH_timeline.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n  \"experiment\": \"timeline\",\n";
+  j "  \"period_us\": %.0f, \"crash_at_us\": %.0f, \"duration_us\": %.0f,\n" period
+    crash_at duration;
+  j "  \"series\": {\n    \"time_us\": [";
+  List.iteri
+    (fun i (t, _) -> j "%s%.0f" (if i = 0 then "" else ", ") t)
+    ops_series;
+  j "],\n    \"ops_per_s\": [";
+  List.iteri
+    (fun i (_, v) -> j "%s%.0f" (if i = 0 then "" else ", ") v)
+    ops_series;
+  j "]\n  },\n";
+  j "  \"summary\": {\"pre_crash_ops_s\": %.0f, \"dip_ops_s\": %.0f, \
+     \"post_recovery_ops_s\": %.0f, \"recoveries\": %d}\n"
+    pre dip post (Cluster.counters c).Runtime.recoveries;
+  j "}\n";
+  close_out oc;
+  line "wrote BENCH_timeline.json"
+
 let all =
   [
     ("table1", table1);
@@ -812,4 +899,5 @@ let all =
     ("ablation_adaptive_tau", ablation_adaptive_tau);
     ("ablation_freshness", ablation_freshness);
     ("breakdown", breakdown);
+    ("timeline", timeline);
   ]

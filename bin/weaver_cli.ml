@@ -14,7 +14,8 @@ module Workloads = Weaver_workloads
 module Metrics = Weaver_obs.Metrics
 module Trace = Weaver_obs.Trace
 
-let mk_cluster ?(tracing = false) ~gatekeepers ~shards ~tau ~seed () =
+let mk_cluster ?(tracing = false) ?(timeline = false) ?(timeline_period = 10_000.0)
+    ~gatekeepers ~shards ~tau ~seed () =
   let cfg =
     {
       Config.default with
@@ -23,6 +24,8 @@ let mk_cluster ?(tracing = false) ~gatekeepers ~shards ~tau ~seed () =
       Config.tau;
       Config.seed;
       Config.enable_tracing = tracing;
+      Config.enable_timeline = timeline;
+      Config.timeline_period = timeline_period;
     }
   in
   let c = Cluster.create cfg in
@@ -244,6 +247,79 @@ let stats gatekeepers shards tau seed txs progs json =
     phase ~unit:"  " "req.messages" "msgs/request"
   end
 
+(* Timeline: sustained TAO-mix load with registry sampling on; windowed
+   rates and utilization, or the full series as JSON/CSV. *)
+let timeline_cmd_impl gatekeepers shards tau seed clients duration_ms period_ms json csv =
+  let c =
+    mk_cluster ~timeline:true
+      ~timeline_period:(period_ms *. 1000.0)
+      ~gatekeepers ~shards ~tau ~seed ()
+  in
+  let rng = Weaver_util.Xrand.create ~seed () in
+  let g = Workloads.Graphgen.uniform ~rng ~prefix:"t" ~vertices:800 ~edges:3_200 () in
+  Workloads.Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let vertices = Array.of_list (Workloads.Graphgen.vertex_ids g) in
+  ignore
+    (Workloads.Tao.Driver.run c ~vertices ~clients ~duration:(duration_ms *. 1000.0)
+       ~read_fraction:0.95 ());
+  let tl = Option.get (Cluster.timeline c) in
+  if json then print_string (Weaver_obs.Export.timeline_json tl)
+  else if csv then print_string (Weaver_obs.Export.timeline_csv tl)
+  else begin
+    let rate name = Weaver_obs.Timeline.rates tl name in
+    let txs = rate "tx.committed"
+    and progs = rate "prog.completed"
+    and msgs = rate "net.sent"
+    and pages = rate "paging.page_ins"
+    and gk_busy = rate "util.gk0.busy_us"
+    and sh_busy = rate "util.shard0.busy_us" in
+    let at series t =
+      match List.assoc_opt t series with Some v -> v | None -> 0.0
+    in
+    Printf.printf "%d samples every %.0f ms over %.0f ms of virtual time\n\n"
+      (Weaver_obs.Timeline.length tl) period_ms duration_ms;
+    Printf.printf "%10s %10s %10s %10s %10s %8s %8s\n" "time(ms)" "tx/s" "prog/s"
+      "msg/s" "pages/s" "gk0busy" "sh0busy";
+    List.iter
+      (fun (t, tx_rate) ->
+        Printf.printf "%10.1f %10.0f %10.0f %10.0f %10.0f %7.1f%% %7.1f%%\n"
+          (t /. 1000.0) tx_rate (at progs t) (at msgs t) (at pages t)
+          (at gk_busy t /. 10_000.0)
+          (at sh_busy t /. 10_000.0))
+      txs
+  end
+
+(* Export: traced mixed run serialized as Chrome trace-event JSON for
+   Perfetto / chrome://tracing. *)
+let export_cmd_impl gatekeepers shards tau seed txs progs out =
+  let c = mk_cluster ~tracing:true ~gatekeepers ~shards ~tau ~seed () in
+  let tx_traces, prog_traces = run_mixed c ~txs ~progs in
+  let tr = Option.get (Cluster.request_tracer c) in
+  let doc =
+    Weaver_obs.Export.chrome_trace tr
+      ~traces:(tx_traces @ prog_traces)
+      ~actor_of_addr:(Cluster.actor_of_addr c) ()
+  in
+  match out with
+  | "-" -> print_string doc
+  | path ->
+      let oc = open_out path in
+      output_string oc doc;
+      close_out oc;
+      Printf.printf "wrote %s (%d traces, %d bytes)\n" path
+        (List.length tx_traces + List.length prog_traces)
+        (String.length doc)
+
+(* Slow: traced mixed run; the top-K slowest requests with per-phase
+   breakdowns. *)
+let slow_cmd_impl gatekeepers shards tau seed txs progs json =
+  let c = mk_cluster ~tracing:true ~gatekeepers ~shards ~tau ~seed () in
+  ignore (run_mixed c ~txs ~progs);
+  let log = Cluster.slow_log c in
+  if json then print_endline (Weaver_obs.Slowlog.to_json log)
+  else print_string (Weaver_obs.Slowlog.render log)
+
 let trace_cmd_impl gatekeepers shards tau seed =
   let c = mk_cluster ~tracing:true ~gatekeepers ~shards ~tau ~seed () in
   let tx_traces, prog_traces = run_mixed c ~txs:3 ~progs:1 in
@@ -317,6 +393,55 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Span tree of one traced transaction and node program")
     Term.(const trace_cmd_impl $ gatekeepers $ shards $ tau $ seed)
 
+let timeline_cmd =
+  let clients =
+    Arg.(value & opt int 20 & info [ "c"; "clients" ] ~docv:"N" ~doc:"Concurrent clients.")
+  in
+  let duration =
+    Arg.(value & opt float 200.0 & info [ "d"; "duration" ] ~docv:"MS" ~doc:"Virtual ms.")
+  in
+  let period =
+    Arg.(value & opt float 10.0 & info [ "p"; "period" ] ~docv:"MS" ~doc:"Sample period, virtual ms.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the full series as JSON.") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the full series as CSV.") in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Sampled time series (throughput, messages, utilization) under TAO-mix load")
+    Term.(
+      const timeline_cmd_impl $ gatekeepers $ shards $ tau $ seed $ clients $ duration
+      $ period $ json $ csv)
+
+let export_cmd =
+  let txs =
+    Arg.(value & opt int 20 & info [ "txs" ] ~docv:"N" ~doc:"Transactions to issue.")
+  in
+  let progs =
+    Arg.(value & opt int 5 & info [ "progs" ] ~docv:"N" ~doc:"Node programs to issue.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Chrome trace-event JSON of a traced mixed run (open in Perfetto)")
+    Term.(const export_cmd_impl $ gatekeepers $ shards $ tau $ seed $ txs $ progs $ out)
+
+let slow_cmd =
+  let txs =
+    Arg.(value & opt int 40 & info [ "txs" ] ~docv:"N" ~doc:"Transactions to issue.")
+  in
+  let progs =
+    Arg.(value & opt int 10 & info [ "progs" ] ~docv:"N" ~doc:"Node programs to issue.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the log as JSON.") in
+  Cmd.v
+    (Cmd.info "slow"
+       ~doc:"Top-K slowest requests of a traced mixed run, with per-phase breakdowns")
+    Term.(const slow_cmd_impl $ gatekeepers $ shards $ tau $ seed $ txs $ progs $ json)
+
 let () =
   let info =
     Cmd.info "weaver-cli" ~version:"1.0.0"
@@ -335,4 +460,7 @@ let () =
             backup_cmd;
             stats_cmd;
             trace_cmd;
+            timeline_cmd;
+            export_cmd;
+            slow_cmd;
           ]))

@@ -97,8 +97,18 @@ module Tx = struct
   let op_count tx = List.length tx.ops
 end
 
+(* every resolved request (reply or timeout) lands in the slow-request
+   log; recording is pure bookkeeping and cannot affect the simulation *)
+let watch_slow t ~trace ~kind ~issued on_result r =
+  Runtime.slow_record t.rt ~trace ~kind ~start:issued
+    ~stop:(Engine.now t.rt.Runtime.engine)
+    ~result:(match r with Ok _ -> "ok" | Error e -> e);
+  on_result r
+
 let commit_with_reads_async t (tx : Tx.tx) ~on_result =
   let tx_id = fresh_req t in
+  let issued = Engine.now t.rt.Runtime.engine in
+  let on_result = watch_slow t ~trace:tx_id ~kind:"tx" ~issued on_result in
   Hashtbl.replace t.pending_tx tx_id on_result;
   Net.send t.rt.Runtime.net ~src:t.addr ~dst:(next_gk t)
     (Msg.Tx_req { client = t.addr; tx_id; ops = List.rev tx.Tx.ops });
@@ -115,10 +125,14 @@ let commit_async t tx ~on_result =
 let run_program_async t ~prog ~params ~starts ?at ?(consistency = `Strong) ~on_result () =
   let rec attempt tries =
     let prog_id = fresh_req t in
-    let finish r =
-      match r with
-      | Error ("timeout" | "epoch-change") when tries < 3 -> attempt (tries + 1)
-      | r -> on_result r
+    let issued = Engine.now t.rt.Runtime.engine in
+    (* each retry is its own request id, so each attempt (including the
+       timed-out ones being retried) is ranked separately *)
+    let finish =
+      watch_slow t ~trace:prog_id ~kind:"prog" ~issued (fun r ->
+          match r with
+          | Error ("timeout" | "epoch-change") when tries < 3 -> attempt (tries + 1)
+          | r -> on_result r)
     in
     Hashtbl.replace t.pending_prog prog_id finish;
     Net.send t.rt.Runtime.net ~src:t.addr ~dst:(next_gk t)
@@ -135,7 +149,10 @@ let run_program_async t ~prog ~params ~starts ?at ?(consistency = `Strong) ~on_r
 
 let migrate_async t ~vid ~to_shard ~on_result =
   let tx_id = fresh_req t in
-  Hashtbl.replace t.pending_tx tx_id (fun r -> on_result (Result.map ignore r));
+  let issued = Engine.now t.rt.Runtime.engine in
+  Hashtbl.replace t.pending_tx tx_id
+    (watch_slow t ~trace:tx_id ~kind:"migrate" ~issued (fun r ->
+         on_result (Result.map ignore r)));
   Net.send t.rt.Runtime.net ~src:t.addr ~dst:(next_gk t)
     (Msg.Migrate_req { client = t.addr; tx_id; vid; to_shard });
   Engine.schedule t.rt.Runtime.engine ~delay:t.timeout (fun () ->

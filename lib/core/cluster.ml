@@ -38,6 +38,9 @@ let oracle_queries t = Runtime.oracle_queries_served t.rt
 let epoch t = Membership.epoch t.mgr.membership
 let metrics t = t.rt.Runtime.metrics
 let request_tracer t = t.rt.Runtime.tracer
+let timeline t = t.rt.Runtime.timeline
+let slow_log t = t.rt.Runtime.slowlog
+let actor_of_addr t a = Runtime.actor_of_addr t.rt a
 
 (* ------------------------------------------------------------------ *)
 (* Cluster manager (§3.2, §4.3): failure detection by heartbeat timeout,

@@ -88,6 +88,17 @@ val metrics : t -> Weaver_obs.Metrics.t
 val request_tracer : t -> Weaver_obs.Trace.t option
 (** The causal request tracer; [Some] iff [Config.enable_tracing]. *)
 
+val timeline : t -> Weaver_obs.Timeline.t option
+(** Ring-buffered registry samples; [Some] iff [Config.enable_timeline]. *)
+
+val slow_log : t -> Weaver_obs.Slowlog.t
+(** The always-on slow-request log (top [Config.slow_log_capacity]
+    slowest client requests; per-phase breakdowns when tracing is on). *)
+
+val actor_of_addr : t -> int -> string
+(** Name of the actor at a network address ("gk0", "shard2", ...) — the
+    pid naming used by {!Weaver_obs.Export.chrome_trace}. *)
+
 (** {1 Message tracing}
 
     A debugging aid: capture the last N messages crossing the simulated

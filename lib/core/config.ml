@@ -20,6 +20,10 @@ type t = {
   oracle_replicas : int;
   enable_tracing : bool;
   trace_capacity : int;
+  enable_timeline : bool;
+  timeline_period : float;
+  timeline_capacity : int;
+  slow_log_capacity : int;
   seed : int;
 }
 
@@ -46,6 +50,10 @@ let default =
     oracle_replicas = 1;
     enable_tracing = false;
     trace_capacity = 1024;
+    enable_timeline = false;
+    timeline_period = 10_000.0;
+    timeline_capacity = 4096;
+    slow_log_capacity = 32;
     seed = 42;
   }
 
@@ -68,4 +76,7 @@ let validate t =
   req "page_in_cost" (t.page_in_cost >= 0.0);
   req "read_replicas" (t.read_replicas >= 0);
   req "oracle_replicas" (t.oracle_replicas >= 1);
-  req "trace_capacity" (t.trace_capacity >= 1)
+  req "trace_capacity" (t.trace_capacity >= 1);
+  req "timeline_period" (t.timeline_period > 0.0);
+  req "timeline_capacity" (t.timeline_capacity >= 1);
+  req "slow_log_capacity" (t.slow_log_capacity >= 1)

@@ -54,6 +54,20 @@ type t = {
           memory, so benches opt in explicitly *)
   trace_capacity : int;
       (** traces retained by the collector before whole-trace eviction *)
+  enable_timeline : bool;
+      (** periodic sampling of every registry counter/gauge into
+          ring-buffered {!Weaver_obs.Timeline} series. The sampler is a
+          plain periodic engine event that only reads state — it never
+          consumes randomness or reorders other events, so enabling it
+          leaves commit/abort/message counts bit-identical (pinned by a
+          determinism test). Off by default: retaining samples costs
+          memory and sampling costs (real) time *)
+  timeline_period : float;  (** µs between timeline samples *)
+  timeline_capacity : int;
+      (** samples retained before the ring overwrites the oldest *)
+  slow_log_capacity : int;
+      (** slowest client requests retained in the always-on slow-request
+          log (with per-phase breakdowns when tracing is enabled) *)
   seed : int;  (** master RNG seed; runs are deterministic per seed *)
 }
 

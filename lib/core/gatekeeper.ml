@@ -30,6 +30,7 @@ type t = {
   active : (int, prog_run) Hashtbl.t;
   memo : (string, memo_entry) Hashtbl.t;
   mutable busy_until : float;
+  mutable busy_us : float; (* total service time charged — utilization *)
   mutable next_replica : int; (* round-robin over read replicas (§6.4) *)
   mutable cur_tau : float; (* current announce period (adaptive, §3.5) *)
   mutable requests_seen : int; (* client requests since the last window *)
@@ -575,6 +576,7 @@ let admit t ~trace work =
   let arrived = Engine.now t.rt.Runtime.engine in
   let start = Float.max arrived t.busy_until in
   t.busy_until <- start +. (cfg t).Config.gk_op_cost;
+  t.busy_us <- t.busy_us +. (cfg t).Config.gk_op_cost;
   Engine.schedule_at t.rt.Runtime.engine ~time:t.busy_until (fun () ->
       if not t.retired then begin
         let served = Engine.now t.rt.Runtime.engine in
@@ -687,6 +689,7 @@ let spawn rt ~gid ~epoch =
       active = Hashtbl.create 16;
       memo = Hashtbl.create 64;
       busy_until = 0.0;
+      busy_us = 0.0;
       next_replica = 0;
       cur_tau = rt.Runtime.cfg.Config.tau;
       requests_seen = 0;
@@ -694,6 +697,12 @@ let spawn rt ~gid ~epoch =
     }
   in
   Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
+  (* per-actor utilization gauge: busy time accumulated so far, as µs. A
+     replacement spawned at the same address after a crash re-registers
+     the name and restarts from zero *)
+  Weaver_obs.Metrics.gauge rt.Runtime.metrics
+    (Printf.sprintf "util.gk%d.busy_us" gid)
+    (fun () -> int_of_float t.busy_us);
   start_timers t;
   t
 

@@ -13,6 +13,7 @@ type t = {
   cache : Runtime.decision_cache;
   prog_state : (int, (string, Progval.t) Hashtbl.t) Hashtbl.t;
   mutable busy_until : float;
+  mutable busy_us : float; (* total service time charged — utilization *)
   mutable applied : int;
   mutable retired : bool;
 }
@@ -109,6 +110,7 @@ let execute_batch t ~coord ~prog_id ~ts ~prog ~historical ~items =
       let cost = (cfg t).Config.vertex_read_cost *. !cost_units in
       let start = Float.max (Engine.now t.rt.Runtime.engine) t.busy_until in
       t.busy_until <- start +. cost;
+      t.busy_us <- t.busy_us +. cost;
       let acc = !acc and visited = !visited in
       ignore historical;
       Engine.schedule_at t.rt.Runtime.engine ~time:t.busy_until (fun () ->
@@ -160,11 +162,15 @@ let spawn rt ~sid ~rid =
       cache = Runtime.create_cache ();
       prog_state = Hashtbl.create 16;
       busy_until = 0.0;
+      busy_us = 0.0;
       applied = 0;
       retired = false;
     }
   in
   Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
+  Weaver_obs.Metrics.gauge rt.Runtime.metrics
+    (Printf.sprintf "util.replica%d.%d.busy_us" sid rid)
+    (fun () -> int_of_float t.busy_us);
   reload_from_store t;
   t
 

@@ -8,6 +8,8 @@ module Mgraph = Weaver_graph.Mgraph
 module Partition = Weaver_partition.Partition
 module Metrics = Weaver_obs.Metrics
 module Trace = Weaver_obs.Trace
+module Timeline = Weaver_obs.Timeline
+module Slowlog = Weaver_obs.Slowlog
 
 type stored = Vrec of Mgraph.vertex | Stamp of Vclock.t | Dir of int
 
@@ -42,6 +44,8 @@ type t = {
   counters : counters;
   metrics : Metrics.t;
   tracer : Trace.t option;  (* Some iff [Config.enable_tracing] *)
+  timeline : Timeline.t option;  (* Some iff [Config.enable_timeline] *)
+  slowlog : Slowlog.t;  (* always on; phases only when tracing is on *)
   mutable next_client : int;
 }
 
@@ -151,6 +155,11 @@ let create cfg =
         (if cfg.Config.enable_tracing then
            Some (Trace.create ~capacity:cfg.Config.trace_capacity)
          else None);
+      timeline =
+        (if cfg.Config.enable_timeline then
+           Some (Timeline.create ~capacity:cfg.Config.timeline_capacity)
+         else None);
+      slowlog = Slowlog.create ~capacity:cfg.Config.slow_log_capacity;
       next_client = 0;
     }
   in
@@ -161,7 +170,23 @@ let create cfg =
   Metrics.gauge metrics "store.keys" (fun () -> Store.length t.store);
   Metrics.gauge metrics "store.commits" (fun () -> Store.commits t.store);
   Metrics.gauge metrics "store.aborts" (fun () -> Store.aborts t.store);
+  Metrics.gauge metrics "net.in_flight" (fun () -> Net.in_flight t.net);
+  Metrics.gauge metrics "net.in_flight_hwm" (fun () -> Net.in_flight_high_water t.net);
+  Metrics.gauge metrics "net.channel_hwm" (fun () -> Net.channel_high_water t.net);
+  Metrics.gauge metrics "engine.pending" (fun () -> Engine.pending engine);
+  Metrics.gauge metrics "engine.pending_hwm" (fun () -> Engine.max_pending engine);
+  Metrics.gauge metrics "engine.events" (fun () -> Engine.events_processed engine);
   Net.set_tracer t.net (obs_net_hook t);
+  (* the timeline sampler: a periodic event that snapshots the registry.
+     It only reads state — no sends, no RNG, no state mutation outside the
+     ring buffer — so the simulation with sampling on is bit-identical to
+     one without (see the determinism test) *)
+  (match t.timeline with
+  | Some tl ->
+      Engine.every engine ~period:cfg.Config.timeline_period (fun () ->
+          Timeline.record tl ~now:(Engine.now engine) (Metrics.int_values metrics);
+          true)
+  | None -> ());
   t
 
 let observe t name v = Metrics.observe t.metrics name v
@@ -190,6 +215,58 @@ let fresh_client_addr t =
   manager_addr t + t.next_client
 
 let is_gk_addr t a = a >= 0 && a < t.cfg.Config.n_gatekeepers
+
+(* invert the address plan; names match the actors' own span names
+   ("gk0", "shard2") so exported flow events land on the same Perfetto
+   processes as the spans those actors record *)
+let actor_of_addr t a =
+  let n_gk = t.cfg.Config.n_gatekeepers in
+  let n_sh = t.cfg.Config.n_shards in
+  let n_rep = t.cfg.Config.read_replicas in
+  if a < 0 then "addr" ^ string_of_int a
+  else if a < n_gk then "gk" ^ string_of_int a
+  else if a < n_gk + n_sh then "shard" ^ string_of_int (a - n_gk)
+  else if a < n_gk + n_sh + (n_sh * n_rep) then begin
+    let r = a - n_gk - n_sh in
+    Printf.sprintf "replica%d.%d" (r / n_rep) (r mod n_rep)
+  end
+  else if a = manager_addr t then "manager"
+  else "client" ^ string_of_int (a - manager_addr t)
+
+(* record a resolved client request into the slow-request log; when tracing
+   is on the entry carries the per-phase breakdown (durations summed per
+   span name, descending). Pure bookkeeping: never schedules events. *)
+let slow_record t ~trace ~kind ~start ~stop ~result =
+  let phases =
+    match t.tracer with
+    | Some tr when trace <> 0 ->
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun sp ->
+            let d =
+              if Float.is_nan sp.Trace.sp_stop then 0.0
+              else sp.Trace.sp_stop -. sp.Trace.sp_start
+            in
+            let prev =
+              match Hashtbl.find_opt tbl sp.Trace.sp_name with
+              | Some p -> p
+              | None -> 0.0
+            in
+            Hashtbl.replace tbl sp.Trace.sp_name (prev +. d))
+          (Trace.spans tr trace);
+        Hashtbl.fold (fun name d acc -> (name, d) :: acc) tbl []
+        |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+    | _ -> []
+  in
+  Slowlog.record t.slowlog
+    {
+      Slowlog.e_trace = trace;
+      e_kind = kind;
+      e_start = start;
+      e_stop = stop;
+      e_result = result;
+      e_phases = phases;
+    }
 
 let vkey vid = "v/" ^ vid
 let lukey vid = "lu/" ^ vid

@@ -53,6 +53,13 @@ type t = {
   tracer : Weaver_obs.Trace.t option;
       (** per-request span/message collector; [Some] iff
           [Config.enable_tracing] *)
+  timeline : Weaver_obs.Timeline.t option;
+      (** ring-buffered registry samples taken every
+          [Config.timeline_period] µs; [Some] iff [Config.enable_timeline].
+          Sampling only reads state, so outcomes are unaffected *)
+  slowlog : Weaver_obs.Slowlog.t;
+      (** top-K slowest client requests, always on; entries gain per-phase
+          breakdowns when tracing is enabled *)
   mutable next_client : int;  (** bump via {!fresh_client_addr} only *)
 }
 
@@ -100,6 +107,12 @@ val obs_net_hook :
 (** {1 Address plan} — gatekeepers first, then shards, the manager, and
     finally dynamically allocated clients. *)
 
+val slow_record :
+  t -> trace:int -> kind:string -> start:float -> stop:float -> result:string -> unit
+(** Record one resolved client request into the slow-request log, pulling
+    the per-phase breakdown from the tracer when available. Called by the
+    client layer on reply or timeout. *)
+
 val gk_addr : t -> int -> int
 val shard_addr : t -> int -> int
 
@@ -109,6 +122,11 @@ val replica_addr : t -> shard:int -> replica:int -> int
 val manager_addr : t -> int
 val fresh_client_addr : t -> int
 val is_gk_addr : t -> int -> bool
+
+val actor_of_addr : t -> int -> string
+(** Human name of the actor at an address ("gk0", "shard2",
+    "replica1.0", "manager", "client3"), matching the actor names spans
+    carry — the pid naming used by the Perfetto export. *)
 
 (** {1 Vertex placement} *)
 

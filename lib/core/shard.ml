@@ -41,6 +41,7 @@ type t = {
   mutable parked : parked_prog list;
   mutable waiting_oracle : bool;
   mutable busy_until : float;
+  mutable busy_us : float; (* total service time charged — utilization *)
   mutable epoch : int;
   wm : Vclock.t option array; (* latest watermark per gatekeeper *)
   mutable retired : bool;
@@ -173,6 +174,8 @@ let apply_tx t (qt : queued_tx) =
   t.busy_until <-
     Float.max t.busy_until (Engine.now t.rt.Runtime.engine)
     +. ((cfg t).Config.vertex_write_cost *. float_of_int (List.length qt.q_ops));
+  t.busy_us <-
+    t.busy_us +. ((cfg t).Config.vertex_write_cost *. float_of_int (List.length qt.q_ops));
   (* stream the applied transaction to read-only replicas, in this
      primary's execution order (asynchronous fan-out, §6.4) *)
   if qt.q_ops <> [] then
@@ -267,6 +270,7 @@ let execute_prog_batch t (p : parked_prog) =
       let cost = ((cfg t).Config.vertex_read_cost *. !read_cost_units) +. !page_cost in
       let start = Float.max (Engine.now t.rt.Runtime.engine) t.busy_until in
       t.busy_until <- start +. cost;
+      t.busy_us <- t.busy_us +. cost;
       let acc = !acc and visited = !visited in
       Engine.schedule_at t.rt.Runtime.engine ~time:t.busy_until (fun () ->
           if not t.retired then begin
@@ -575,12 +579,21 @@ let spawn rt ~sid ~epoch =
       parked = [];
       waiting_oracle = false;
       busy_until = 0.0;
+      busy_us = 0.0;
       epoch;
       wm = Array.make n_g None;
       retired = false;
     }
   in
   Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
+  (* utilization gauges (see the gatekeeper note on respawn semantics):
+     busy time and the aggregate depth of the per-gatekeeper FIFO queues *)
+  Weaver_obs.Metrics.gauge rt.Runtime.metrics
+    (Printf.sprintf "util.shard%d.busy_us" sid)
+    (fun () -> int_of_float t.busy_us);
+  Weaver_obs.Metrics.gauge rt.Runtime.metrics
+    (Printf.sprintf "util.shard%d.queue_depth" sid)
+    (fun () -> Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues);
   start_timers t;
   if epoch > 0 then reload_from_store t;
   t

@@ -1,0 +1,148 @@
+(* Serializers for offline analysis: span trees + message ledgers as
+   Chrome trace-event JSON (loadable in Perfetto / chrome://tracing), and
+   timelines as CSV or JSON.
+
+   Chrome trace-event mapping:
+   - one pid per actor ("gk0", "shard2", "store", ...), named with an "M"
+     process_name metadata event;
+   - every span is an "X" (complete) event: ts = virtual start µs,
+     dur = span length, tid = the request's trace id, args = span meta;
+   - every ledger message is a flow-event pair: "s" (start) at the sender,
+     "f" (finish) at the receiver, sharing one flow id, so Perfetto draws
+     an arrow per network message. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let chrome_trace tr ~traces ?(actor_of_addr = fun a -> "addr" ^ string_of_int a) () =
+  let spans = List.concat_map (fun id -> Trace.spans tr id) traces in
+  let messages =
+    List.concat_map
+      (fun id -> List.map (fun m -> (id, m)) (Trace.messages tr id))
+      traces
+  in
+  (* stable pid plan: every actor that appears, sorted by name *)
+  let actor_tbl = Hashtbl.create 16 in
+  List.iter (fun sp -> Hashtbl.replace actor_tbl sp.Trace.sp_actor ()) spans;
+  List.iter
+    (fun (_, (_, src, dst, _)) ->
+      Hashtbl.replace actor_tbl (actor_of_addr src) ();
+      Hashtbl.replace actor_tbl (actor_of_addr dst) ())
+    messages;
+  let actors =
+    List.sort String.compare (Hashtbl.fold (fun a () acc -> a :: acc) actor_tbl [])
+  in
+  let pids = Hashtbl.create 16 in
+  List.iteri (fun i a -> Hashtbl.replace pids a (i + 1)) actors;
+  let pid a = try Hashtbl.find pids a with Not_found -> 0 in
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  let event s =
+    if !first then first := false else Buffer.add_string b ",\n  ";
+    Buffer.add_string b s
+  in
+  Buffer.add_string b "{\"traceEvents\": [\n  ";
+  List.iter
+    (fun a ->
+      event
+        (Printf.sprintf
+           "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": %d, \"args\": {\"name\": \"%s\"}}"
+           (pid a) (json_escape a)))
+    actors;
+  List.iter
+    (fun sp ->
+      let stop = sp.Trace.sp_stop in
+      let dur =
+        if Float.is_nan stop then 0.0 else Float.max 0.0 (stop -. sp.Trace.sp_start)
+      in
+      let args =
+        String.concat ", "
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+             (("trace", string_of_int sp.Trace.sp_trace) :: sp.Trace.sp_meta))
+      in
+      event
+        (Printf.sprintf
+           "{\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"span\", \"pid\": %d, \"tid\": %d, \
+            \"ts\": %.3f, \"dur\": %.3f, \"args\": {%s}}"
+           (json_escape sp.Trace.sp_name)
+           (pid sp.Trace.sp_actor) sp.Trace.sp_trace sp.Trace.sp_start dur args))
+    spans;
+  List.iteri
+    (fun flow_id (trace, (time, src, dst, kind)) ->
+      let common =
+        Printf.sprintf
+          "\"name\": \"%s\", \"cat\": \"msg\", \"id\": %d, \"tid\": %d, \"ts\": %.3f"
+          (json_escape kind) (flow_id + 1) trace time
+      in
+      event
+        (Printf.sprintf "{\"ph\": \"s\", %s, \"pid\": %d}" common
+           (pid (actor_of_addr src)));
+      (* the ledger records send time only; stamping the finish at the same
+         instant still draws the src→dst arrow *)
+      event
+        (Printf.sprintf "{\"ph\": \"f\", \"bp\": \"e\", %s, \"pid\": %d}" common
+           (pid (actor_of_addr dst))))
+    messages;
+  Buffer.add_string b "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents b
+
+let timeline_csv tl =
+  let names = Timeline.names tl in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (String.concat "," ("time_us" :: names));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun s ->
+      Buffer.add_string b (Printf.sprintf "%.1f" s.Timeline.s_time);
+      List.iter
+        (fun name ->
+          Buffer.add_char b ',';
+          match
+            Array.find_opt (fun (k, _) -> String.equal k name) s.Timeline.s_values
+          with
+          | Some (_, v) -> Buffer.add_string b (string_of_int v)
+          | None -> ())
+        names;
+      Buffer.add_char b '\n')
+    (Timeline.samples tl);
+  Buffer.contents b
+
+let timeline_json tl =
+  let names = Timeline.names tl in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"times_us\": [";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "%.1f" s.Timeline.s_time))
+    (Timeline.samples tl);
+  Buffer.add_string b "], \"series\": {";
+  List.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": [" (json_escape name));
+      List.iteri
+        (fun j s ->
+          if j > 0 then Buffer.add_string b ", ";
+          match
+            Array.find_opt (fun (k, _) -> String.equal k name) s.Timeline.s_values
+          with
+          | Some (_, v) -> Buffer.add_string b (string_of_int v)
+          | None -> Buffer.add_string b "null")
+        (Timeline.samples tl);
+      Buffer.add_string b "]")
+    names;
+  Buffer.add_string b "}}\n";
+  Buffer.contents b

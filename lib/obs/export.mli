@@ -1,0 +1,22 @@
+(** Offline-analysis serializers for the observability layer.
+
+    {!chrome_trace} turns span trees and message ledgers into Chrome
+    trace-event JSON loadable in Perfetto or [chrome://tracing]: one pid
+    per actor, spans as ["X"] complete events (tid = trace id), and each
+    network message as an ["s"]/["f"] flow-event pair so the UI draws
+    message arrows between actors. {!timeline_csv}/{!timeline_json}
+    flatten a {!Timeline} for spreadsheets and plotting scripts. *)
+
+val chrome_trace :
+  Trace.t -> traces:int list -> ?actor_of_addr:(int -> string) -> unit -> string
+(** Export the given trace ids as one Chrome trace-event document.
+    [actor_of_addr] names the process of each message endpoint (defaults
+    to ["addr<N>"]); span processes use the span's recorded actor. *)
+
+val timeline_csv : Timeline.t -> string
+(** [time_us,<instrument>,...] header plus one row per sample; cells are
+    empty where a sample lacks the instrument. *)
+
+val timeline_json : Timeline.t -> string
+(** [{"times_us": [...], "series": {name: [...]}}] — columnar, [null]
+    where a sample lacks the instrument. *)

@@ -1,0 +1,45 @@
+(** Slow-request log: the top-K slowest client requests with per-phase
+    latency breakdowns, for post-hoc triage ("where did the p99 go?")
+    without holding every trace.
+
+    The client layer records an entry when a reply or timeout resolves a
+    request. When tracing is enabled the entry carries the request's
+    per-phase durations (summed per span name); without tracing the phases
+    are empty but durations are still ranked. Recording never schedules
+    events, so the log cannot perturb the simulation. *)
+
+type entry = {
+  e_trace : int;  (** request/trace id *)
+  e_kind : string;  (** ["tx"], ["prog"], or ["migrate"] *)
+  e_start : float;  (** virtual µs the request was issued *)
+  e_stop : float;  (** virtual µs the reply (or timeout) arrived *)
+  e_result : string;  (** ["ok"] or the error string *)
+  e_phases : (string * float) list;
+      (** span name → total duration in µs, descending *)
+}
+
+type t
+
+val duration : entry -> float
+
+val create : capacity:int -> t
+(** Keep the [capacity] slowest entries. Raises [Invalid_argument] if
+    [capacity <= 0]. *)
+
+val record : t -> entry -> unit
+
+val entries : t -> entry list
+(** Retained entries, slowest first. *)
+
+val recorded : t -> int
+(** Total entries ever offered (including ones since displaced). *)
+
+val threshold : t -> float
+(** Duration a request must exceed to enter the log (0 while not full). *)
+
+val render : t -> string
+(** Human-readable ranking with per-phase breakdowns. *)
+
+val to_json : t -> string
+(** [{"recorded": n, "entries": [{trace, kind, start_us, duration_us,
+    result, phases: {...}}]}]. *)

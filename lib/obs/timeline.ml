@@ -1,0 +1,71 @@
+(* Ring-buffered time series over the metrics registry.
+
+   A timeline does not know about the simulation engine: the runtime calls
+   [record] from a periodic engine event, passing the current virtual time
+   and a snapshot of every counter/gauge. Recording only copies integers —
+   it never schedules events, touches RNG state, or reorders anything, so
+   a run with sampling enabled is bit-identical to one without (pinned by
+   the determinism test in test/test_timeline.ml). *)
+
+type sample = { s_time : float; s_values : (string * int) array }
+
+type t = {
+  capacity : int;
+  ring : sample option array;
+  mutable head : int;  (* next write slot *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Timeline.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; head = 0; len = 0 }
+
+let record t ~now values =
+  t.ring.(t.head) <- Some { s_time = now; s_values = Array.of_list values };
+  t.head <- (t.head + 1) mod t.capacity;
+  if t.len < t.capacity then t.len <- t.len + 1
+
+let length t = t.len
+
+(* oldest first *)
+let samples t =
+  let first = (t.head - t.len + t.capacity) mod t.capacity in
+  List.init t.len (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some s -> s
+      | None -> assert false)
+
+let names t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun s -> Array.iter (fun (n, _) -> Hashtbl.replace tbl n ()) s.s_values)
+    (samples t);
+  List.sort String.compare (Hashtbl.fold (fun n () acc -> n :: acc) tbl [])
+
+let value_of s name =
+  (* snapshots come from Metrics.int_values, sorted by name; a linear scan
+     is fine at the sample counts timelines hold *)
+  let n = Array.length s.s_values in
+  let rec go i =
+    if i >= n then None
+    else
+      let k, v = s.s_values.(i) in
+      if String.equal k name then Some v else go (i + 1)
+  in
+  go 0
+
+let series t name =
+  List.filter_map
+    (fun s -> Option.map (fun v -> (s.s_time, v)) (value_of s name))
+    (samples t)
+
+(* windowed per-second rate between consecutive samples; virtual time is
+   in µs, hence the 1e6. The series is one shorter than [series]. *)
+let rates t name =
+  let rec go = function
+    | (t0, v0) :: ((t1, v1) :: _ as rest) when t1 > t0 ->
+        (t1, float_of_int (v1 - v0) /. (t1 -. t0) *. 1_000_000.0) :: go rest
+    | _ :: rest -> go rest
+    | [] -> []
+  in
+  go (series t name)

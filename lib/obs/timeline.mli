@@ -1,0 +1,38 @@
+(** Ring-buffered time series over the metrics registry — the simulation's
+    time dimension (every figure in the paper's §6 is a series, not a
+    point).
+
+    The runtime samples the registry on a periodic engine event and feeds
+    each snapshot here. Recording only copies integers: it never schedules
+    events or consumes randomness, so enabling a timeline cannot perturb
+    simulation outcomes. Once [capacity] samples are held, the oldest are
+    overwritten. *)
+
+type sample = {
+  s_time : float;  (** virtual µs of the snapshot *)
+  s_values : (string * int) array;  (** counter/gauge values, sorted by name *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** Retain at most [capacity] samples. Raises [Invalid_argument] if
+    [capacity <= 0]. *)
+
+val record : t -> now:float -> (string * int) list -> unit
+(** Append one snapshot (as produced by {!Metrics.int_values}). *)
+
+val length : t -> int
+val samples : t -> sample list  (** Oldest first. *)
+
+val names : t -> string list
+(** Every instrument name appearing in any retained sample, sorted. *)
+
+val series : t -> string -> (float * int) list
+(** [(time, value)] points of one instrument, oldest first; samples that
+    lack the instrument (e.g. a gauge registered mid-run) are skipped. *)
+
+val rates : t -> string -> (float * float) list
+(** Windowed per-second rates between consecutive samples, stamped at the
+    window's end — tx/s, msgs/s, page-ins/s for monotone counters, signed
+    deltas for gauges that can fall. One point shorter than {!series}. *)

@@ -6,6 +6,7 @@ type t = {
   mutable clock : float;
   mutable seq : int;
   mutable processed : int;
+  mutable max_pending : int;
   queue : event Heap.t;
   rng : Weaver_util.Xrand.t;
 }
@@ -19,6 +20,7 @@ let create ?(seed = 1) () =
     clock = 0.0;
     seq = 0;
     processed = 0;
+    max_pending = 0;
     queue = Heap.create ~cmp:cmp_event;
     rng = Weaver_util.Xrand.create ~seed ();
   }
@@ -29,7 +31,8 @@ let rng t = t.rng
 let schedule_at t ~time action =
   let time = Float.max time t.clock in
   t.seq <- t.seq + 1;
-  Heap.push t.queue { time; seq = t.seq; action }
+  Heap.push t.queue { time; seq = t.seq; action };
+  if Heap.length t.queue > t.max_pending then t.max_pending <- Heap.length t.queue
 
 let schedule t ~delay action =
   let delay = Float.max 0.0 delay in
@@ -63,4 +66,5 @@ let run ?until t =
       done
 
 let pending t = Heap.length t.queue
+let max_pending t = t.max_pending
 let events_processed t = t.processed

@@ -40,5 +40,9 @@ val run : ?until:float -> t -> unit
 val pending : t -> int
 (** Number of queued events. *)
 
+val max_pending : t -> int
+(** High-water mark of the event queue since creation — how deep the
+    simulation's backlog ever got (a utilization gauge). *)
+
 val events_processed : t -> int
 (** Total events executed since creation. *)

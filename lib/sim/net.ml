@@ -16,6 +16,13 @@ type 'm t = {
   mutable sent : int;
   mutable delivered : int;
   mutable suppressed : int; (* sends attempted by dead endpoints *)
+  (* queue-depth instrumentation: messages on the wire, globally and per
+     (src,dst) channel, with high-water marks. Decremented when the
+     delivery event fires, whether or not the destination is still alive. *)
+  mutable in_flight : int;
+  mutable in_flight_hwm : int;
+  channel_load : (addr * addr, int) Hashtbl.t;
+  mutable channel_hwm : int;
   mutable tracer : (time:float -> src:addr -> dst:addr -> 'm -> unit) option;
 }
 
@@ -34,6 +41,10 @@ let create engine ~latency =
     sent = 0;
     delivered = 0;
     suppressed = 0;
+    in_flight = 0;
+    in_flight_hwm = 0;
+    channel_load = Hashtbl.create 256;
+    channel_hwm = 0;
     tracer = None;
   }
 
@@ -81,7 +92,17 @@ let send t ~src ~dst msg =
       | None -> arrival
     in
     Hashtbl.replace t.last_delivery key floor_time;
+    t.in_flight <- t.in_flight + 1;
+    if t.in_flight > t.in_flight_hwm then t.in_flight_hwm <- t.in_flight;
+    let load = (match Hashtbl.find_opt t.channel_load key with Some n -> n | None -> 0) + 1 in
+    Hashtbl.replace t.channel_load key load;
+    if load > t.channel_hwm then t.channel_hwm <- load;
     Engine.schedule_at t.engine ~time:floor_time (fun () ->
+        t.in_flight <- t.in_flight - 1;
+        (match Hashtbl.find_opt t.channel_load key with
+        | Some 1 -> Hashtbl.remove t.channel_load key
+        | Some n -> Hashtbl.replace t.channel_load key (n - 1)
+        | None -> ());
         match Hashtbl.find_opt t.endpoints dst with
         | Some ep when ep.alive ->
             t.delivered <- t.delivered + 1;
@@ -92,3 +113,10 @@ let send t ~src ~dst msg =
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let messages_suppressed t = t.suppressed
+let in_flight t = t.in_flight
+let in_flight_high_water t = t.in_flight_hwm
+
+let channel_in_flight t ~src ~dst =
+  match Hashtbl.find_opt t.channel_load (src, dst) with Some n -> n | None -> 0
+
+let channel_high_water t = t.channel_hwm

@@ -57,6 +57,26 @@ val messages_suppressed : 'm t -> int
     before the tracer). Counted separately so failure injection does not
     inflate message-overhead measurements. *)
 
+(** {1 Queue-depth instrumentation}
+
+    Messages in flight — sent but not yet delivered (or dropped at a dead
+    destination). A message leaves the count when its delivery event
+    fires, alive or not. *)
+
+val in_flight : 'm t -> int
+(** Messages currently on the wire, over all channels. *)
+
+val in_flight_high_water : 'm t -> int
+(** Most messages ever simultaneously in flight since creation. *)
+
+val channel_in_flight : 'm t -> src:addr -> dst:addr -> int
+(** In-flight count of one (src, dst) channel. *)
+
+val channel_high_water : 'm t -> int
+(** Deepest any single channel ever got — the congestion hot-spot gauge
+    (a queue building on one gatekeeper→shard channel shows here while
+    the global count stays modest). *)
+
 val set_tracer : 'm t -> (time:float -> src:addr -> dst:addr -> 'm -> unit) option -> unit
 (** Install (or remove) a callback invoked on every non-suppressed {!send}
     with the current virtual time — the hook behind message tracing. *)

@@ -1,0 +1,178 @@
+(* Minimal JSON: just enough to parse back the documents this repository
+   emits (metrics registries, Chrome trace events, timeline exports). The
+   toolchain ships no JSON library, and the emitters are hand-rolled
+   Printf — this parser is the matching validator, used by tests and
+   tools, not by the simulation itself. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let continue = ref true in
+  while !continue do
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance cur
+    | _ -> continue := false
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some d when d = c -> advance cur
+  | _ -> error cur (Printf.sprintf "expected '%c'" c)
+
+let parse_literal cur word value =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = word then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else error cur ("expected " ^ word)
+
+let parse_string cur =
+  expect cur '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> error cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | Some 'n' -> advance cur; Buffer.add_char b '\n'; go ()
+        | Some 't' -> advance cur; Buffer.add_char b '\t'; go ()
+        | Some 'r' -> advance cur; Buffer.add_char b '\r'; go ()
+        | Some 'b' -> advance cur; Buffer.add_char b '\b'; go ()
+        | Some 'f' -> advance cur; Buffer.add_char b '\012'; go ()
+        | Some 'u' ->
+            advance cur;
+            if cur.pos + 4 > String.length cur.src then error cur "bad \\u escape";
+            let hex = String.sub cur.src cur.pos 4 in
+            cur.pos <- cur.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> error cur "bad \\u escape"
+            in
+            (* BMP-only, encoded as UTF-8; surrogate pairs are not emitted
+               by any serializer in this repository *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | Some c -> advance cur; Buffer.add_char b c; go ()
+        | None -> error cur "unterminated escape")
+    | Some c ->
+        advance cur;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number cur =
+  let start = cur.pos in
+  let continue = ref true in
+  while !continue do
+    match peek cur with
+    | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> advance cur
+    | _ -> continue := false
+  done;
+  let s = String.sub cur.src start (cur.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> error cur ("bad number " ^ s)
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> error cur "unexpected end of input"
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin advance cur; Obj [] end
+      else begin
+        let fields = ref [] in
+        let rec member () =
+          skip_ws cur;
+          let key = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          fields := (key, v) :: !fields;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> advance cur; member ()
+          | Some '}' -> advance cur
+          | _ -> error cur "expected ',' or '}'"
+        in
+        member ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin advance cur; List [] end
+      else begin
+        let items = ref [] in
+        let rec element () =
+          let v = parse_value cur in
+          items := v :: !items;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> advance cur; element ()
+          | Some ']' -> advance cur
+          | _ -> error cur "expected ',' or ']'"
+        in
+        element ();
+        List (List.rev !items)
+      end
+  | Some '"' -> Str (parse_string cur)
+  | Some 't' -> parse_literal cur "true" (Bool true)
+  | Some 'f' -> parse_literal cur "false" (Bool false)
+  | Some 'n' -> parse_literal cur "null" Null
+  | Some _ -> Num (parse_number cur)
+
+let parse s =
+  let cur = { src = s; pos = 0 } in
+  match parse_value cur with
+  | v ->
+      skip_ws cur;
+      if cur.pos <> String.length s then Error "trailing garbage" else Ok v
+  | exception Parse_error msg -> Error msg
+
+let parse_exn s =
+  match parse s with Ok v -> v | Error msg -> raise (Parse_error msg)
+
+(* accessors: total functions returning options, so tests read naturally *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List l -> Some l | _ -> None
+let to_string = function Str s -> Some s | _ -> None
+let to_number = function Num f -> Some f | _ -> None
+
+let string_member key v = Option.bind (member key v) to_string
+let number_member key v = Option.bind (member key v) to_number

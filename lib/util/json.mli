@@ -1,0 +1,36 @@
+(** Minimal JSON parser and document accessors.
+
+    The repository emits all of its JSON (metrics registries, Chrome trace
+    events, timeline exports) with hand-rolled [Printf]; this is the
+    matching reader, used by tests to validate those documents round-trip
+    and by tools that consume them. It is deliberately small: UTF-8 pass
+    through, BMP [\u] escapes, no streaming. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** members in document order *)
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document; [Error] carries a message with the
+    byte offset of the failure. *)
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+(** {1 Accessors} — total, option-returning lookups for tests. *)
+
+val member : string -> t -> t option
+(** Object member by key; [None] on non-objects and missing keys. *)
+
+val to_list : t -> t list option
+val to_string : t -> string option
+val to_number : t -> float option
+
+val string_member : string -> t -> string option
+val number_member : string -> t -> float option

@@ -90,7 +90,10 @@ module Histogram = struct
     let n = Array.length h.counts in
     if x <= h.lo then 0
     else if x >= h.hi then n - 1
-    else int_of_float ((x -. h.lo) /. (h.hi -. h.lo) *. float_of_int n)
+    else
+      (* the ratio can round up to exactly 1.0 for x just below hi (e.g.
+         after catastrophic cancellation in x -. lo), yielding index n *)
+      min (n - 1) (int_of_float ((x -. h.lo) /. (h.hi -. h.lo) *. float_of_int n))
 
   let add h x =
     let b = bucket_of h x in

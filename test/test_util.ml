@@ -202,6 +202,66 @@ let test_histogram () =
   Alcotest.(check int) "underflow into first" 2 c.(0);
   Alcotest.(check int) "overflow into last" 2 c.(9)
 
+let test_stats_percentile_edges () =
+  (* empty *)
+  let s = Stats.create () in
+  Alcotest.(check (float 1e-9)) "empty p50" 0.0 (Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "empty p0" 0.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "empty p100" 0.0 (Stats.percentile s 100.0);
+  (* n = 1: every percentile is the single sample *)
+  Stats.add s 7.0;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "n=1 p%g" p)
+        7.0 (Stats.percentile s p))
+    [ 0.0; 1.0; 50.0; 99.0; 100.0 ];
+  (* n = 2: nearest-rank picks the lower sample up to p50, upper above *)
+  Stats.add s 9.0;
+  Alcotest.(check (float 1e-9)) "n=2 p0" 7.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "n=2 p50" 7.0 (Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "n=2 p51" 9.0 (Stats.percentile s 51.0);
+  Alcotest.(check (float 1e-9)) "n=2 p100" 9.0 (Stats.percentile s 100.0);
+  (* out-of-range p clamps rather than raising *)
+  Alcotest.(check (float 1e-9)) "p<0 clamps" 7.0 (Stats.percentile s (-10.0));
+  Alcotest.(check (float 1e-9)) "p>100 clamps" 9.0 (Stats.percentile s 250.0)
+
+let test_stats_cdf_edges () =
+  let s = Stats.create () in
+  Alcotest.(check int) "empty cdf" 0 (List.length (Stats.cdf s ~points:10));
+  Alcotest.(check int) "zero points" 0 (List.length (Stats.cdf s ~points:0));
+  Stats.add s 3.0;
+  let cdf = Stats.cdf s ~points:4 in
+  Alcotest.(check int) "n=1 point count" 4 (List.length cdf);
+  List.iter
+    (fun (v, _) -> Alcotest.(check (float 1e-9)) "n=1 all points" 3.0 v)
+    cdf;
+  Alcotest.(check (float 1e-9)) "n=1 last frac" 1.0 (snd (List.nth cdf 3));
+  Stats.add s 5.0;
+  let cdf2 = Stats.cdf s ~points:2 in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "n=2 two points"
+    [ (3.0, 0.5); (5.0, 1.0) ]
+    cdf2
+
+let test_histogram_bucket_clamp () =
+  let open Stats.Histogram in
+  (* regression: with a huge range, (x - lo) and (hi - lo) collapse to the
+     same float for x just below hi, the ratio rounds to 1.0, and the raw
+     bucket index lands out of bounds at n *)
+  let h = create ~lo:(-1e16) ~hi:0.5 ~buckets:10 in
+  add h 0.49;
+  Alcotest.(check int) "clamped into last bucket" 1 (counts h).(9);
+  (* any in-range x must land in a valid bucket *)
+  let h2 = create ~lo:(-1e12) ~hi:1.0 ~buckets:7 in
+  let r = Xrand.create ~seed:31 () in
+  for _ = 1 to 10_000 do
+    add h2 (Xrand.float r 2.0 -. 1e12 /. Xrand.float r 1e3)
+  done;
+  add h2 0.999999999;
+  add h2 (Float.pred 1.0);
+  Alcotest.(check int) "all samples binned" 10_002 (total h2)
+
 let test_idgen () =
   let g = Idgen.create () in
   Alcotest.(check int) "first" 0 (Idgen.next g);
@@ -272,8 +332,11 @@ let suites =
         Alcotest.test_case "percentile" `Quick test_stats_percentile;
         Alcotest.test_case "percentile after add" `Quick test_stats_percentile_after_add;
         Alcotest.test_case "stddev" `Quick test_stats_stddev;
+        Alcotest.test_case "percentile edges" `Quick test_stats_percentile_edges;
         Alcotest.test_case "cdf" `Quick test_stats_cdf;
+        Alcotest.test_case "cdf edges" `Quick test_stats_cdf_edges;
         Alcotest.test_case "histogram" `Quick test_histogram;
+        Alcotest.test_case "histogram bucket clamp" `Quick test_histogram_bucket_clamp;
         QCheck_alcotest.to_alcotest prop_stats_percentile_bounds;
       ] );
     ("util.idgen", [ Alcotest.test_case "sequence" `Quick test_idgen ]);
