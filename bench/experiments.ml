@@ -880,6 +880,38 @@ let timeline () =
   close_out oc;
   line "wrote BENCH_timeline.json"
 
+(* ------------------------------------------------------------------ *)
+(* Chaos: TAO-style mix under a rolling crash/restart fault plan, client
+   reliability layer off vs on — same seed, same plan, so the availability
+   and recovery-time deltas isolate what retries + failure-aware routing +
+   duplicate suppression buy. Emits BENCH_chaos.json with both runs. *)
+
+let chaos () =
+  header "Chaos: availability under rolling crashes, reliability off vs on";
+  let base = { Chaosbench.default_opts with Chaosbench.co_seed = 42 } in
+  let off = Chaosbench.run { base with Chaosbench.co_reliable = false } in
+  let on_ = Chaosbench.run { base with Chaosbench.co_reliable = true } in
+  let show tag (r : Chaosbench.result) =
+    line "%-4s availability %.3f | ok %d err %d | p99 %.1f ms | recovery %s | retries %d dedup %d late %d"
+      tag r.Chaosbench.r_availability r.Chaosbench.r_total_ok r.Chaosbench.r_total_err
+      (r.Chaosbench.r_p99 /. 1_000.0)
+      (match r.Chaosbench.r_recovery_time with
+      | Some t -> Printf.sprintf "%.0f ms" (t /. 1_000.0)
+      | None -> "never")
+      r.Chaosbench.r_retries r.Chaosbench.r_dedup_hits r.Chaosbench.r_late_replies
+  in
+  show "off" off;
+  show "on" on_;
+  line "availability delta: +%.3f"
+    (on_.Chaosbench.r_availability -. off.Chaosbench.r_availability);
+  let oc = open_out "BENCH_chaos.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"chaos\",\n  \"seed\": %d,\n  \"off\": %s,\n  \"on\": %s\n}\n"
+    base.Chaosbench.co_seed
+    (Chaosbench.to_json off) (Chaosbench.to_json on_);
+  close_out oc;
+  line "wrote BENCH_chaos.json"
+
 let all =
   [
     ("table1", table1);
@@ -900,4 +932,5 @@ let all =
     ("ablation_freshness", ablation_freshness);
     ("breakdown", breakdown);
     ("timeline", timeline);
+    ("chaos", chaos);
   ]

@@ -125,6 +125,49 @@ let fault gatekeepers shards tau seed =
   | Ok v -> Format.printf "unexpected: %a@." Progval.pp v
   | Error e -> failwith e
 
+let chaos gatekeepers shards seed clients duration json =
+  (* TAO-mix under a rolling crash/restart fault plan, client reliability
+     layer off then on — same seed, same plan (see EXPERIMENTS.md) *)
+  let base =
+    {
+      Workloads.Chaosbench.default_opts with
+      Workloads.Chaosbench.co_seed = seed;
+      co_gatekeepers = gatekeepers;
+      co_shards = shards;
+      co_clients = clients;
+      co_duration = duration *. 1_000.0;
+    }
+  in
+  let off =
+    Workloads.Chaosbench.run { base with Workloads.Chaosbench.co_reliable = false }
+  in
+  let on_ =
+    Workloads.Chaosbench.run { base with Workloads.Chaosbench.co_reliable = true }
+  in
+  if json then
+    Printf.printf "{\"experiment\": \"chaos\", \"seed\": %d, \"off\": %s, \"on\": %s}\n"
+      seed
+      (Workloads.Chaosbench.to_json off)
+      (Workloads.Chaosbench.to_json on_)
+  else begin
+    let show tag (r : Workloads.Chaosbench.result) =
+      Printf.printf
+        "reliability %-4s availability %.3f (ok %d, err %d) | p99 %.1f ms | recovery %s | retries %d, late %d\n"
+        tag r.Workloads.Chaosbench.r_availability r.Workloads.Chaosbench.r_total_ok
+        r.Workloads.Chaosbench.r_total_err
+        (r.Workloads.Chaosbench.r_p99 /. 1_000.0)
+        (match r.Workloads.Chaosbench.r_recovery_time with
+        | Some t -> Printf.sprintf "%.0f ms" (t /. 1_000.0)
+        | None -> "never")
+        r.Workloads.Chaosbench.r_retries r.Workloads.Chaosbench.r_late_replies
+    in
+    show "off" off;
+    show "on" on_;
+    Printf.printf "availability delta: +%.3f\n"
+      (on_.Workloads.Chaosbench.r_availability
+      -. off.Workloads.Chaosbench.r_availability)
+  end
+
 let sweep gatekeepers shards seed =
   (* Fig. 14 in miniature: announce vs oracle cost across tau *)
   Printf.printf "%-12s %18s %20s\n" "tau (us)" "announces/query" "oracle msgs/query";
@@ -363,6 +406,21 @@ let fault_cmd =
   Cmd.v (Cmd.info "fault" ~doc:"Failure detection and recovery demo")
     Term.(const fault $ gatekeepers $ shards $ tau $ seed)
 
+let chaos_cmd =
+  let clients =
+    Arg.(value & opt int 8 & info [ "c"; "clients" ] ~docv:"N" ~doc:"Concurrent clients.")
+  in
+  let duration =
+    Arg.(value & opt float 400.0 & info [ "d"; "duration" ] ~docv:"MS" ~doc:"Virtual ms.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit both runs as JSON.") in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Availability under a rolling crash/restart fault plan, client reliability \
+          off vs on")
+    Term.(const chaos $ gatekeepers $ shards $ seed $ clients $ duration $ json)
+
 let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Announce-period sweep (Fig. 14 in miniature)")
     Term.(const sweep $ gatekeepers $ shards $ seed)
@@ -455,6 +513,7 @@ let () =
             tao_cmd;
             coingraph_cmd;
             fault_cmd;
+            chaos_cmd;
             sweep_cmd;
             rebalance_cmd;
             backup_cmd;

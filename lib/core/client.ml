@@ -3,6 +3,76 @@ module Net = Weaver_sim.Net
 module Vclock = Weaver_vclock.Vclock
 module Idgen = Weaver_util.Idgen
 
+(* One retry policy governs all three request paths (transactions, node
+   programs, migrations): attempts, exponential backoff with deterministic
+   jitter, an optional per-request deadline, and failure-aware gatekeeper
+   selection. *)
+type retry_policy = {
+  rp_attempts : int;
+  rp_backoff : float;
+  rp_backoff_cap : float;
+  rp_deadline : float option;
+  rp_retry_conflicts : bool;
+  rp_route_around : bool;
+}
+
+let default_policy =
+  {
+    rp_attempts = 4;
+    rp_backoff = 0.0;
+    rp_backoff_cap = 0.0;
+    rp_deadline = None;
+    rp_retry_conflicts = false;
+    rp_route_around = true;
+  }
+
+let reliable_policy =
+  {
+    rp_attempts = 8;
+    rp_backoff = 2_000.0;
+    rp_backoff_cap = 100_000.0;
+    rp_deadline = None;
+    rp_retry_conflicts = true;
+    rp_route_around = true;
+  }
+
+let no_retry_policy =
+  {
+    rp_attempts = 1;
+    rp_backoff = 0.0;
+    rp_backoff_cap = 0.0;
+    rp_deadline = None;
+    rp_retry_conflicts = false;
+    rp_route_around = false;
+  }
+
+(* timeouts and epoch changes are transient by construction; conflicts only
+   when the policy opts in (a conflicted transaction did not commit, but
+   callers like read-modify-write loops need to re-read first) *)
+let retryable policy = function
+  | "timeout" | "epoch-change" -> true
+  | "conflict" -> policy.rp_retry_conflicts
+  | _ -> false (* "invalid: ...", "unknown program: ...", stalls *)
+
+(* Exponential backoff with deterministic jitter: the spread comes from
+   hashing (request id, attempt), not from the engine RNG — consuming
+   engine randomness here would perturb every other random stream and
+   break bit-reproducibility of runs that differ only in retry timing. *)
+let backoff_delay policy ~id ~attempt =
+  if policy.rp_backoff <= 0.0 then 0.0
+  else begin
+    let d = policy.rp_backoff *. (2.0 ** float_of_int (attempt - 1)) in
+    let d =
+      if policy.rp_backoff_cap > 0.0 then Float.min d policy.rp_backoff_cap else d
+    in
+    let h = Hashtbl.hash (id, attempt) land 0xffff in
+    d *. (0.5 +. (float_of_int h /. 131072.0))
+  end
+
+(* replies that lost the race with the client-side timeout, kept (bounded)
+   so the late reply can still be attributed when it eventually arrives *)
+let timed_out_capacity = 512
+
 type t = {
   rt : Runtime.t;
   addr : int;
@@ -10,24 +80,66 @@ type t = {
   mutable next_req : int;
   mutable rr : int;
   mutable timeout : float;
-  pending_tx : (int, ((string * Progval.t) list, string) result -> unit) Hashtbl.t;
+  mutable policy : retry_policy;
+  mutable pinned : int option; (* tests: force every request to one gk *)
+  suspect_until : float array; (* per-gatekeeper suspicion expiry *)
+  (* pending_tx values carry the attempt number that registered them, so a
+     timeout event from a superseded attempt cannot fail a newer one
+     registered under the same (reused) transaction id *)
+  pending_tx : (int, int * (((string * Progval.t) list, string) result -> unit)) Hashtbl.t;
   pending_prog : (int, (Progval.t, string) result -> unit) Hashtbl.t;
+  timed_out : (int, float * string) Hashtbl.t; (* id -> (issued, kind) *)
+  timed_out_q : int Queue.t;
 }
 
-let handle t ~src:_ msg =
+let counters t = t.rt.Runtime.counters
+
+let note_timed_out t ~id ~issued ~kind =
+  Hashtbl.replace t.timed_out id (issued, kind);
+  Queue.push id t.timed_out_q;
+  while Queue.length t.timed_out_q > timed_out_capacity do
+    Hashtbl.remove t.timed_out (Queue.pop t.timed_out_q)
+  done
+
+(* A reply with no pending entry raced the timeout and lost: the server
+   completed the request but the client already reported failure. Count the
+   divergence and log it — silently dropping it is how server-side
+   tx_committed and client-visible success quietly drift apart. *)
+let note_late t ~id ~result =
+  (counters t).Runtime.late_replies <- (counters t).Runtime.late_replies + 1;
+  match Hashtbl.find_opt t.timed_out id with
+  | Some (issued, kind) ->
+      Hashtbl.remove t.timed_out id;
+      Runtime.slow_record t.rt ~trace:id ~kind ~start:issued
+        ~stop:(Engine.now t.rt.Runtime.engine)
+        ~result:("late:" ^ result)
+  | None -> ()
+
+let clear_suspicion t src =
+  if Runtime.is_gk_addr t.rt src then t.suspect_until.(src) <- 0.0
+
+let handle t ~src msg =
   match (msg : Msg.t) with
   | Msg.Tx_reply { tx_id; result; reads } -> (
+      clear_suspicion t src;
       match Hashtbl.find_opt t.pending_tx tx_id with
-      | Some cb ->
+      | Some (_, cb) ->
           Hashtbl.remove t.pending_tx tx_id;
+          Hashtbl.remove t.timed_out tx_id;
           cb (Result.map (fun () -> reads) result)
-      | None -> ())
+      | None ->
+          note_late t ~id:tx_id
+            ~result:(match result with Ok () -> "ok" | Error e -> e))
   | Msg.Prog_reply { prog_id; result } -> (
+      clear_suspicion t src;
       match Hashtbl.find_opt t.pending_prog prog_id with
       | Some cb ->
           Hashtbl.remove t.pending_prog prog_id;
+          Hashtbl.remove t.timed_out prog_id;
           cb result
-      | None -> ())
+      | None ->
+          note_late t ~id:prog_id
+            ~result:(match result with Ok _ -> "ok" | Error e -> e))
   | _ -> ()
 
 let create rt =
@@ -39,8 +151,13 @@ let create rt =
       next_req = 0;
       rr = 0;
       timeout = 3_000_000.0;
+      policy = default_policy;
+      pinned = None;
+      suspect_until = Array.make rt.Runtime.cfg.Config.n_gatekeepers 0.0;
       pending_tx = Hashtbl.create 16;
       pending_prog = Hashtbl.create 16;
+      timed_out = Hashtbl.create 16;
+      timed_out_q = Queue.create ();
     }
   in
   Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
@@ -48,11 +165,33 @@ let create rt =
 
 let addr t = t.addr
 let set_timeout t d = t.timeout <- d
+let set_retry_policy t p = t.policy <- p
+let retry_policy t = t.policy
+let set_gatekeeper t g = t.pinned <- g
 
-let next_gk t =
-  let g = t.rr mod t.rt.Runtime.cfg.Config.n_gatekeepers in
-  t.rr <- t.rr + 1;
-  Runtime.gk_addr t.rt g
+(* Failure-aware gatekeeper selection: round-robin, but skip gatekeepers
+   under suspicion (a recent timeout). When every gatekeeper is suspected
+   the plain round-robin choice stands — a black hole is still better than
+   not sending, and the probe is what eventually clears the suspicion. *)
+let next_gk t ~route =
+  match t.pinned with
+  | Some g -> g
+  | None ->
+      let n = t.rt.Runtime.cfg.Config.n_gatekeepers in
+      let now = Engine.now t.rt.Runtime.engine in
+      let rec pick tries =
+        let g = t.rr mod n in
+        t.rr <- t.rr + 1;
+        if (not route) || tries >= n || t.suspect_until.(g) <= now then g
+        else pick (tries + 1)
+      in
+      pick 0
+
+let suspect t g =
+  if g >= 0 && g < Array.length t.suspect_until then begin
+    let until = Engine.now t.rt.Runtime.engine +. (2.0 *. t.timeout) in
+    if until > t.suspect_until.(g) then t.suspect_until.(g) <- until
+  end
 
 let fresh_req t =
   t.next_req <- t.next_req + 1;
@@ -97,70 +236,111 @@ module Tx = struct
   let op_count tx = List.length tx.ops
 end
 
-(* every resolved request (reply or timeout) lands in the slow-request
-   log; recording is pure bookkeeping and cannot affect the simulation *)
-let watch_slow t ~trace ~kind ~issued on_result r =
-  Runtime.slow_record t.rt ~trace ~kind ~start:issued
-    ~stop:(Engine.now t.rt.Runtime.engine)
-    ~result:(match r with Ok _ -> "ok" | Error e -> e);
-  on_result r
+let within_deadline policy ~engine ~first_issued =
+  match policy.rp_deadline with
+  | None -> true
+  | Some d -> Engine.now engine -. first_issued < d
 
-let commit_with_reads_async t (tx : Tx.tx) ~on_result =
+(* The transaction/migration submission loop. Every attempt reuses the SAME
+   transaction id: the gatekeepers' duplicate-suppression window keys on
+   (client, tx_id), so a retry of a timed-out-but-committed attempt is
+   answered Ok instead of double-applied — and a late original reply simply
+   resolves the current attempt (same pending-table key). Each resolved
+   attempt (reply or timeout) lands in the slow-request log. *)
+let submit_tx t ~kind ~policy ~mk_msg ~on_result =
+  let engine = t.rt.Runtime.engine in
   let tx_id = fresh_req t in
-  let issued = Engine.now t.rt.Runtime.engine in
-  let on_result = watch_slow t ~trace:tx_id ~kind:"tx" ~issued on_result in
-  Hashtbl.replace t.pending_tx tx_id on_result;
-  Net.send t.rt.Runtime.net ~src:t.addr ~dst:(next_gk t)
-    (Msg.Tx_req { client = t.addr; tx_id; ops = List.rev tx.Tx.ops });
-  Engine.schedule t.rt.Runtime.engine ~delay:t.timeout (fun () ->
-      match Hashtbl.find_opt t.pending_tx tx_id with
-      | Some cb ->
-          Hashtbl.remove t.pending_tx tx_id;
-          cb (Error "timeout")
-      | None -> ())
+  let first_issued = Engine.now engine in
+  let rec attempt n =
+    let issued = Engine.now engine in
+    let gk = next_gk t ~route:policy.rp_route_around in
+    let finish r =
+      Runtime.slow_record t.rt ~trace:tx_id ~kind ~start:issued
+        ~stop:(Engine.now engine)
+        ~result:(match r with Ok _ -> "ok" | Error e -> e);
+      match r with
+      | Error e
+        when retryable policy e
+             && n < policy.rp_attempts
+             && within_deadline policy ~engine ~first_issued ->
+          (counters t).Runtime.client_retries <-
+            (counters t).Runtime.client_retries + 1;
+          Engine.schedule engine
+            ~delay:(backoff_delay policy ~id:tx_id ~attempt:n)
+            (fun () -> attempt (n + 1))
+      | r -> on_result r
+    in
+    Hashtbl.replace t.pending_tx tx_id (n, finish);
+    Net.send t.rt.Runtime.net ~src:t.addr ~dst:(Runtime.gk_addr t.rt gk) (mk_msg tx_id);
+    Engine.schedule engine ~delay:t.timeout (fun () ->
+        match Hashtbl.find_opt t.pending_tx tx_id with
+        | Some (n', cb) when n' = n ->
+            Hashtbl.remove t.pending_tx tx_id;
+            suspect t gk;
+            note_timed_out t ~id:tx_id ~issued ~kind;
+            cb (Error "timeout")
+        | _ -> () (* resolved, or superseded by a newer attempt *))
+  in
+  attempt 1
+
+let commit_with_reads_policy t ~policy (tx : Tx.tx) ~on_result =
+  let ops = List.rev tx.Tx.ops in
+  submit_tx t ~kind:"tx" ~policy
+    ~mk_msg:(fun tx_id -> Msg.Tx_req { client = t.addr; tx_id; ops })
+    ~on_result
+
+let commit_with_reads_async t tx ~on_result =
+  commit_with_reads_policy t ~policy:t.policy tx ~on_result
 
 let commit_async t tx ~on_result =
   commit_with_reads_async t tx ~on_result:(fun r -> on_result (Result.map ignore r))
 
 let run_program_async t ~prog ~params ~starts ?at ?(consistency = `Strong) ~on_result () =
-  let rec attempt tries =
+  let engine = t.rt.Runtime.engine in
+  let policy = t.policy in
+  let first_issued = Engine.now engine in
+  let rec attempt n =
+    (* unlike transactions, each attempt is a fresh request id: programs
+       are read-only, so there is nothing to deduplicate, and distinct ids
+       keep every attempt's trace/slowlog entry separate *)
     let prog_id = fresh_req t in
-    let issued = Engine.now t.rt.Runtime.engine in
-    (* each retry is its own request id, so each attempt (including the
-       timed-out ones being retried) is ranked separately *)
-    let finish =
-      watch_slow t ~trace:prog_id ~kind:"prog" ~issued (fun r ->
-          match r with
-          | Error ("timeout" | "epoch-change") when tries < 3 -> attempt (tries + 1)
-          | r -> on_result r)
+    let issued = Engine.now engine in
+    let gk = next_gk t ~route:policy.rp_route_around in
+    let finish r =
+      Runtime.slow_record t.rt ~trace:prog_id ~kind:"prog" ~start:issued
+        ~stop:(Engine.now engine)
+        ~result:(match r with Ok _ -> "ok" | Error e -> e);
+      match r with
+      | Error e
+        when retryable policy e
+             && n < policy.rp_attempts
+             && within_deadline policy ~engine ~first_issued ->
+          (counters t).Runtime.client_retries <-
+            (counters t).Runtime.client_retries + 1;
+          Engine.schedule engine
+            ~delay:(backoff_delay policy ~id:prog_id ~attempt:n)
+            (fun () -> attempt (n + 1))
+      | r -> on_result r
     in
     Hashtbl.replace t.pending_prog prog_id finish;
-    Net.send t.rt.Runtime.net ~src:t.addr ~dst:(next_gk t)
+    Net.send t.rt.Runtime.net ~src:t.addr ~dst:(Runtime.gk_addr t.rt gk)
       (Msg.Prog_req
          { client = t.addr; prog_id; prog; params; starts; at; weak = consistency = `Weak });
-    Engine.schedule t.rt.Runtime.engine ~delay:t.timeout (fun () ->
+    Engine.schedule engine ~delay:t.timeout (fun () ->
         match Hashtbl.find_opt t.pending_prog prog_id with
         | Some cb ->
             Hashtbl.remove t.pending_prog prog_id;
+            suspect t gk;
+            note_timed_out t ~id:prog_id ~issued ~kind:"prog";
             cb (Error "timeout")
         | None -> ())
   in
-  attempt 0
+  attempt 1
 
 let migrate_async t ~vid ~to_shard ~on_result =
-  let tx_id = fresh_req t in
-  let issued = Engine.now t.rt.Runtime.engine in
-  Hashtbl.replace t.pending_tx tx_id
-    (watch_slow t ~trace:tx_id ~kind:"migrate" ~issued (fun r ->
-         on_result (Result.map ignore r)));
-  Net.send t.rt.Runtime.net ~src:t.addr ~dst:(next_gk t)
-    (Msg.Migrate_req { client = t.addr; tx_id; vid; to_shard });
-  Engine.schedule t.rt.Runtime.engine ~delay:t.timeout (fun () ->
-      match Hashtbl.find_opt t.pending_tx tx_id with
-      | Some cb ->
-          Hashtbl.remove t.pending_tx tx_id;
-          cb (Error "timeout")
-      | None -> ())
+  submit_tx t ~kind:"migrate" ~policy:t.policy
+    ~mk_msg:(fun tx_id -> Msg.Migrate_req { client = t.addr; tx_id; vid; to_shard })
+    ~on_result:(fun r -> on_result (Result.map ignore r))
 
 (* Drive the simulation in bounded slices until the callback fires. The
    engine never idles (periodic server timers), so run in windows. *)
@@ -178,10 +358,16 @@ let commit t tx =
   commit_async t tx ~on_result:(fun r -> result := Some r);
   sync_wait t.rt result
 
-let rec commit_with_retry ?(attempts = 5) t tx =
-  match commit t tx with
-  | Error "conflict" when attempts > 1 -> commit_with_retry ~attempts:(attempts - 1) t tx
-  | r -> r
+let commit_with_retry ?(attempts = 5) t tx =
+  (* the session policy, widened to cover OCC conflicts too (a fresh
+     submission gets a fresh, higher timestamp) and to honour [attempts] *)
+  let policy =
+    { t.policy with rp_attempts = max attempts t.policy.rp_attempts; rp_retry_conflicts = true }
+  in
+  let result = ref None in
+  commit_with_reads_policy t ~policy tx ~on_result:(fun r ->
+      result := Some (Result.map ignore r));
+  sync_wait t.rt result
 
 let commit_with_reads t tx =
   let result = ref None in

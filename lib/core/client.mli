@@ -11,9 +11,55 @@
 
 type t
 
+(** Unified retry policy for all three request paths — transactions, node
+    programs, and migrations. A request is attempted up to [rp_attempts]
+    times; retryable failures ([timeout], [epoch-change], and [conflict]
+    when [rp_retry_conflicts] is set) are resubmitted after an exponential
+    backoff ([rp_backoff] µs base, doubling per attempt, capped at
+    [rp_backoff_cap]) with deterministic jitter derived from the request
+    id — no engine randomness is consumed, so retry timing never perturbs
+    other random streams. [rp_deadline] bounds the total time across
+    attempts. [rp_route_around] enables failure-aware gatekeeper selection:
+    round-robin that skips gatekeepers whose last request timed out
+    (suspicion expires after twice the client timeout, or on any reply).
+
+    Transactions and migrations reuse one transaction id across attempts,
+    so the gatekeepers' duplicate-suppression window answers a retry of a
+    timed-out-but-committed submission with [Ok] instead of re-executing
+    it. *)
+type retry_policy = {
+  rp_attempts : int;
+  rp_backoff : float;
+  rp_backoff_cap : float;
+  rp_deadline : float option;
+  rp_retry_conflicts : bool;
+  rp_route_around : bool;
+}
+
+val default_policy : retry_policy
+(** 4 attempts, no backoff, no deadline, no conflict retry, routing on —
+    the historical behaviour of the node-program path, now applied
+    uniformly. *)
+
+val reliable_policy : retry_policy
+(** 8 attempts, 2 ms exponential backoff capped at 100 ms, conflict retry
+    and routing on — for clients that must ride out failures. *)
+
+val no_retry_policy : retry_policy
+(** Single attempt, no routing — the pre-reliability client, for tests
+    that assert on raw failure behaviour. *)
+
 val create : Runtime.t -> t
 (** New client with its own network address, connecting to gatekeepers
-    round-robin. *)
+    round-robin under {!default_policy}. *)
+
+val set_retry_policy : t -> retry_policy -> unit
+val retry_policy : t -> retry_policy
+
+val set_gatekeeper : t -> int option -> unit
+(** Pin every subsequent request to one gatekeeper (bypassing round-robin
+    and routing), or [None] to unpin. Tests use this to target a specific
+    gatekeeper's memo table. *)
 
 val addr : t -> int
 
@@ -52,9 +98,9 @@ module Tx : sig
 end
 
 val commit_async : t -> Tx.tx -> on_result:((unit, string) result -> unit) -> unit
-(** Submit the batch to a gatekeeper. The callback fires exactly once, with
-    [Error "timeout"] if no reply arrives within the client timeout (e.g.
-    the gatekeeper crashed). *)
+(** Submit the batch to a gatekeeper under the session's retry policy. The
+    callback fires exactly once, with the last attempt's error (e.g.
+    [Error "timeout"]) once retries are exhausted. *)
 
 val commit : t -> Tx.tx -> (unit, string) result
 (** Synchronous {!commit_async}: drives the simulation until the reply. *)
@@ -116,6 +162,7 @@ val migrate : t -> vid:string -> to_shard:int -> (unit, string) result
 (** Synchronous {!migrate_async}. *)
 
 val commit_with_retry : ?attempts:int -> t -> Tx.tx -> (unit, string) result
-(** {!commit} that resubmits on OCC [conflict] aborts (the retry loop §4.2
-    prescribes — a fresh submission gets a fresh, higher timestamp). At
-    most [attempts] tries (default 5); other errors are returned as-is. *)
+(** {!commit} under the session policy widened to also resubmit on OCC
+    [conflict] aborts (the retry loop §4.2 prescribes — a fresh submission
+    gets a fresh, higher timestamp) and to allow at least [attempts] tries
+    (default 5); other errors are returned as-is. *)

@@ -224,10 +224,14 @@ let report t =
     (Store.commits t.rt.Runtime.store)
     (Store.aborts t.rt.Runtime.store)
     (Store.journal_length t.rt.Runtime.store);
-  line "  memory: page-ins %d, evictions %d | memo hits %d, invalidations %d"
+  line "  memory: page-ins %d, evictions %d | memo hits %d, invalidations %d (+%d remote)"
     c.Runtime.page_ins c.Runtime.evictions c.Runtime.memo_hits
-    c.Runtime.memo_invalidations;
-  line "  cluster: recoveries %d, migrations %d" c.Runtime.recoveries c.Runtime.migrations;
+    c.Runtime.memo_invalidations c.Runtime.memo_remote_invalidations;
+  line "  cluster: recoveries %d, migrations %d, fault events %d" c.Runtime.recoveries
+    c.Runtime.migrations c.Runtime.fault_events;
+  line "  reliability: client retries %d, dedup hits %d, dedup dropped %d, late replies %d"
+    c.Runtime.client_retries c.Runtime.dedup_hits c.Runtime.dedup_dropped
+    c.Runtime.late_replies;
   Buffer.contents b
 
 let kill_oracle_replica t i =
@@ -239,3 +243,55 @@ let oracle_live_replicas t =
   match t.rt.Runtime.oracle_chain with
   | Some chain -> Weaver_oracle.Chain.live_count chain
   | None -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans (Weaver_sim.Fault): interpret declarative actions against
+   this deployment. Crashes are network-level (crash-stop: the endpoint
+   neither receives nor sends); restarts revive the SAME instance in
+   place, modelling a fast process restart that beats the failure
+   detector — if the detector fires first, the replacement/epoch-barrier
+   path takes over and the restart finds the endpoint already live. *)
+
+module Fault = Weaver_sim.Fault
+
+let fault_addr t = function
+  | Fault.Gatekeeper g -> Runtime.gk_addr t.rt g
+  | Fault.Shard s -> Runtime.shard_addr t.rt s
+  | Fault.Replica { shard; replica } -> Runtime.replica_addr t.rt ~shard ~replica
+  | Fault.Oracle_replica _ ->
+      (* the oracle chain is not a network actor; no address *)
+      invalid_arg "fault_addr: oracle replicas have no network address"
+
+let apply_fault t action =
+  let rt = t.rt in
+  let net = rt.Runtime.net in
+  rt.Runtime.counters.Runtime.fault_events <-
+    rt.Runtime.counters.Runtime.fault_events + 1;
+  match (action : Fault.action) with
+  | Fault.Crash (Fault.Oracle_replica i) -> (
+      (* protected configurations (unreplicated oracle, last live replica)
+         make this a no-op rather than abort the whole plan *)
+      try kill_oracle_replica t i with Invalid_argument _ -> ())
+  | Fault.Restart (Fault.Oracle_replica _) ->
+      (* the chain has no revive: a killed replica missed the sequence of
+         apply commands, so bringing it back would serve stale decisions.
+         Documented no-op; real recovery is a state-transfer rejoin. *)
+      ()
+  | Fault.Crash target -> Net.set_alive net (fault_addr t target) false
+  | Fault.Restart (Fault.Gatekeeper g as target) ->
+      Gatekeeper.on_revive t.gks.(g);
+      Net.set_alive net (fault_addr t target) true
+  | Fault.Restart (Fault.Shard s as target) ->
+      (* resync BEFORE reviving the endpoint: it re-baselines the FIFO
+         sequence channels, which must happen before any message arrives *)
+      Shard.resync t.shards.(s);
+      Net.set_alive net (fault_addr t target) true
+  | Fault.Restart (Fault.Replica { shard; replica } as target) ->
+      Replica.reload t.replicas.(shard).(replica);
+      Net.set_alive net (fault_addr t target) true
+  | Fault.Net_degrade f -> Net.set_latency_factor net f
+  | Fault.Link_degrade { src; dst; factor } ->
+      Net.set_link_factor net ~src:(fault_addr t src) ~dst:(fault_addr t dst) factor
+
+let install_fault_plan t plan =
+  Fault.install t.rt.Runtime.engine plan ~exec:(apply_fault t)

@@ -50,6 +50,22 @@ val kill_gatekeeper : t -> int -> unit
 
 val kill_shard : t -> int -> unit
 
+val apply_fault : t -> Weaver_sim.Fault.action -> unit
+(** Interpret one fault action against this deployment, immediately.
+    Crashes are crash-stop at the network layer (and chain kills for
+    oracle replicas); restarts revive the same instance in place —
+    gatekeepers drop their memo table ({!Gatekeeper.on_revive}), shards
+    resynchronize their FIFO channels and reload from the store
+    ({!Shard.resync}), replicas reload, and oracle-replica restarts are
+    documented no-ops (the chain has no state-transfer rejoin).
+    [Net_degrade]/[Link_degrade] scale simulated latencies. *)
+
+val install_fault_plan : t -> Weaver_sim.Fault.plan -> int
+(** Schedule every event of a declarative fault plan on the engine
+    (executed via {!apply_fault} at each event's virtual time); returns
+    the number of events installed. Plans are data, so the same seed and
+    plan replay bit-identically. *)
+
 (** {1 Introspection for tests and tools} *)
 
 val shard_vertex : t -> shard:int -> string -> Weaver_graph.Mgraph.vertex option

@@ -13,6 +13,7 @@ type t = {
   failure_timeout : float;
   gc_period : float;
   enable_memoization : bool;
+  dedup_window : int;
   shard_capacity : int option;
   page_in_cost : float;
   read_replicas : int;
@@ -43,6 +44,7 @@ let default =
     failure_timeout = 100_000.0;
     gc_period = 50_000.0;
     enable_memoization = false;
+    dedup_window = 512;
     shard_capacity = None;
     page_in_cost = 150.0;
     read_replicas = 0;
@@ -72,6 +74,7 @@ let validate t =
   req "heartbeat_period" (t.heartbeat_period > 0.0);
   req "failure_timeout" (t.failure_timeout > t.heartbeat_period);
   req "gc_period" (t.gc_period >= 0.0);
+  req "dedup_window" (t.dedup_window >= 0);
   req "shard_capacity" (match t.shard_capacity with Some n -> n > 0 | None -> true);
   req "page_in_cost" (t.page_in_cost >= 0.0);
   req "read_replicas" (t.read_replicas >= 0);

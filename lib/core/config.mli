@@ -28,6 +28,12 @@ type t = {
   enable_memoization : bool;
       (** node-program result caching with write invalidation (§4.6);
           disabled in the headline benches, as in the paper *)
+  dedup_window : int;
+      (** committed [(client, tx_id)] pairs each gatekeeper remembers
+          (FIFO-bounded) so a client retry of an already-committed
+          transaction replies [Ok] instead of double-applying; peers learn
+          commits via [Msg.Commit_note]. 0 disables duplicate
+          suppression *)
   shard_capacity : int option;
       (** max vertices resident in shard memory; [Some n] enables demand
           paging from the backing store (§6.1), [None] = unbounded *)

@@ -29,6 +29,13 @@ type t = {
   cache : Runtime.decision_cache;
   active : (int, prog_run) Hashtbl.t;
   memo : (string, memo_entry) Hashtbl.t;
+  (* duplicate suppression: committed (client, tx_id) pairs — local commits
+     and peers' commit notes — with the reads their Tx_reply carried, so a
+     retry of an already-committed transaction is answered instead of
+     re-executed. FIFO-bounded by [Config.dedup_window]. *)
+  dedup : (int * int, (string * Progval.t) list) Hashtbl.t;
+  dedup_q : (int * int) Queue.t;
+  in_progress : (int * int, unit) Hashtbl.t;
   mutable busy_until : float;
   mutable busy_us : float; (* total service time charged — utilization *)
   mutable next_replica : int; (* round-robin over read replicas (§6.4) *)
@@ -221,28 +228,82 @@ let exec_on_store t ts (ops : Txop.t list) =
         Ok (stx, !shard_ops, written, List.rev !reads)
       end
 
-let invalidate_memo t written =
+let invalidate_memo_where t ~touched ~count =
   if (cfg t).Config.enable_memoization then begin
     let doomed =
       Hashtbl.fold
         (fun key entry acc ->
-          if List.exists (fun vid -> Hashtbl.mem written vid) entry.m_reads then
-            key :: acc
-          else acc)
+          if List.exists touched entry.m_reads then key :: acc else acc)
         t.memo []
     in
     List.iter
       (fun k ->
         Hashtbl.remove t.memo k;
-        (counters t).Runtime.memo_invalidations <-
-          (counters t).Runtime.memo_invalidations + 1)
+        count ())
       doomed
   end
+
+let invalidate_memo t written =
+  invalidate_memo_where t
+    ~touched:(fun vid -> Hashtbl.mem written vid)
+    ~count:(fun () ->
+      (counters t).Runtime.memo_invalidations <-
+        (counters t).Runtime.memo_invalidations + 1)
+
+(* a peer gatekeeper committed a write: its commit note closes the
+   cross-gatekeeper staleness hole — without it, a memo entry filled on
+   this gatekeeper would keep serving strong reads that miss the write *)
+let invalidate_memo_remote t written =
+  invalidate_memo_where t
+    ~touched:(fun vid -> List.mem vid written)
+    ~count:(fun () ->
+      (counters t).Runtime.memo_remote_invalidations <-
+        (counters t).Runtime.memo_remote_invalidations + 1)
+
+let record_dedup t ~client ~tx_id ~reads =
+  let window = (cfg t).Config.dedup_window in
+  if window > 0 then begin
+    let key = (client, tx_id) in
+    if not (Hashtbl.mem t.dedup key) then begin
+      Hashtbl.replace t.dedup key reads;
+      Queue.push key t.dedup_q;
+      while Queue.length t.dedup_q > window do
+        Hashtbl.remove t.dedup (Queue.pop t.dedup_q)
+      done
+    end
+  end
+
+(* tell the peer gatekeepers about a commit: written-vertex set for memo
+   invalidation, (client, tx_id, reads) for duplicate suppression *)
+let broadcast_commit_note t ~client ~tx_id ~written ~reads =
+  let n_g = (cfg t).Config.n_gatekeepers in
+  if n_g > 1 then
+    for g = 0 to n_g - 1 do
+      if g <> t.gid then
+        send t ~dst:(Runtime.gk_addr t.rt g)
+          (Msg.Commit_note { gk = t.gid; client; tx_id; written; reads })
+    done
+
+(* A revival after a network partition (fault-plan [Restart]) may have
+   missed peers' commit notes, so the memo table can hold entries no note
+   will ever invalidate: drop it wholesale. The dedup window stays — its
+   entries record durable commits, which remain true. *)
+let on_revive t = Hashtbl.reset t.memo
+
+(* a duplicate of an already-committed transaction: answer with the
+   original outcome instead of re-executing (the retried create_vertex
+   would otherwise come back "invalid: vertex exists") *)
+let reply_from_dedup t ~client ~tx_id ~name reads =
+  (counters t).Runtime.dedup_hits <- (counters t).Runtime.dedup_hits + 1;
+  Runtime.trace_span t.rt ~trace:tx_id ~name ~actor:(actor t) ~start:(now t)
+    ~stop:(now t) ~meta:[ ("dedup", "hit") ] ();
+  send t ~dst:client (Msg.Tx_reply { tx_id; result = Ok (); reads })
 
 let handle_tx_req t ~client ~tx_id ops =
   let ts = tick t in
   let epoch_at_start = t.epoch in
   let t0 = now t in
+  let key = (client, tx_id) in
   (* one store round trip to read and buffer, one to validate and commit;
      the gatekeeper keeps serving other requests meanwhile, and other
      transactions may commit between the two phases (OCC) *)
@@ -250,6 +311,7 @@ let handle_tx_req t ~client ~tx_id ops =
     (cfg t).Config.store_op_cost *. float_of_int (1 + List.length ops)
   in
   let reply ?(reads = []) result =
+    Hashtbl.remove t.in_progress key;
     let fin = now t in
     Runtime.observe t.rt "gk.tx_service" (fin -. t0);
     Runtime.trace_span t.rt ~trace:tx_id ~name:"gk.tx" ~actor:(actor t) ~start:t0
@@ -268,17 +330,29 @@ let handle_tx_req t ~client ~tx_id ops =
     (counters t).Runtime.tx_aborted <- (counters t).Runtime.tx_aborted + 1;
     reply (Error "conflict")
   in
+  match Hashtbl.find_opt t.dedup key with
+  | Some reads -> reply_from_dedup t ~client ~tx_id ~name:"gk.tx" reads
+  | None when Hashtbl.mem t.in_progress key ->
+      (* the original attempt is still mid-flight on this gatekeeper; its
+         reply (or this client's timeout) resolves the request — executing
+         the duplicate too would double-apply *)
+      (counters t).Runtime.dedup_dropped <- (counters t).Runtime.dedup_dropped + 1
+  | None ->
+  Hashtbl.replace t.in_progress key ();
   Engine.schedule t.rt.Runtime.engine ~delay:phase_cost (fun () ->
       store_span ~phase:"read" ~start:t0;
-      if alive t then
-        if t.epoch <> epoch_at_start then reply (Error "epoch-change")
+      if not (alive t) then Hashtbl.remove t.in_progress key
+      else if t.epoch <> epoch_at_start then reply (Error "epoch-change")
         else begin
           match exec_on_store t ts ops with
           | Ok (stx, shard_ops, written, reads) ->
               let p2_start = now t in
               Engine.schedule t.rt.Runtime.engine ~delay:phase_cost (fun () ->
                   store_span ~phase:"commit" ~start:p2_start;
-                  if not (alive t) then Store.Tx.abort stx
+                  if not (alive t) then begin
+                    Hashtbl.remove t.in_progress key;
+                    Store.Tx.abort stx
+                  end
                   else if t.epoch <> epoch_at_start then begin
                     Store.Tx.abort stx;
                     reply (Error "epoch-change")
@@ -312,6 +386,12 @@ let handle_tx_req t ~client ~tx_id ops =
                                  { gk = t.gid; seq = t.seqs.(shard); ts; ops; trace = tx_id }))
                           by_shard;
                         invalidate_memo t written;
+                        record_dedup t ~client ~tx_id ~reads;
+                        let written_l =
+                          Hashtbl.fold (fun vid () acc -> vid :: acc) written []
+                        in
+                        broadcast_commit_note t ~client ~tx_id ~written:written_l
+                          ~reads;
                         reply ~reads (Ok ())
                   end)
           | Error `Stale_timestamp -> abort_counted ()
@@ -333,7 +413,9 @@ let handle_migrate_req t ~client ~tx_id ~vid ~to_shard =
      shards, so bail out instead and let the client retry *)
   let epoch_at_start = t.epoch in
   let t0 = now t in
+  let key = (client, tx_id) in
   let reply result =
+    Hashtbl.remove t.in_progress key;
     let fin = now t in
     Runtime.observe t.rt "gk.tx_service" (fin -. t0);
     Runtime.trace_span t.rt ~trace:tx_id ~name:"gk.migrate" ~actor:(actor t)
@@ -342,16 +424,22 @@ let handle_migrate_req t ~client ~tx_id ~vid ~to_shard =
       ();
     send t ~dst:client (Msg.Tx_reply { tx_id; result; reads = [] })
   in
+  match Hashtbl.find_opt t.dedup key with
+  | Some _ -> reply_from_dedup t ~client ~tx_id ~name:"gk.migrate" []
+  | None when Hashtbl.mem t.in_progress key ->
+      (counters t).Runtime.dedup_dropped <- (counters t).Runtime.dedup_dropped + 1
+  | None ->
   if to_shard < 0 || to_shard >= (cfg t).Config.n_shards then
     reply (Error "invalid: no such shard")
   else begin
+    Hashtbl.replace t.in_progress key ();
     let cost = (cfg t).Config.store_op_cost *. 3.0 in
     Engine.schedule t.rt.Runtime.engine ~delay:cost (fun () ->
         Runtime.observe t.rt "gk.store_rtt" (now t -. t0);
         Runtime.trace_span t.rt ~trace:tx_id ~name:"store.round_trip" ~actor:"store"
           ~start:t0 ~stop:(now t) ~meta:[ ("phase", "migrate") ] ();
-        if alive t then
-          if t.epoch <> epoch_at_start then reply (Error "epoch-change")
+        if not (alive t) then Hashtbl.remove t.in_progress key
+        else if t.epoch <> epoch_at_start then reply (Error "epoch-change")
           else begin
           let from_shard = Runtime.shard_of_vertex t.rt vid in
           let stx = Store.Tx.begin_ t.rt.Runtime.store in
@@ -396,6 +484,8 @@ let handle_migrate_req t ~client ~tx_id ~vid ~to_shard =
                     (counters t).Runtime.shard_tx_msgs <-
                       (counters t).Runtime.shard_tx_msgs + 2;
                     (counters t).Runtime.migrations <- (counters t).Runtime.migrations + 1;
+                    record_dedup t ~client ~tx_id ~reads:[];
+                    broadcast_commit_note t ~client ~tx_id ~written:[] ~reads:[];
                     reply (Ok ())
               end
           | _ ->
@@ -537,6 +627,13 @@ let handle_prog_partial t ~prog_id ~sent ~acc ~visited =
 (* ------------------------------------------------------------------ *)
 (* Epochs and failure handling (§4.3). *)
 
+(* The memo table deliberately survives the barrier: entries were computed
+   from committed (durable) state, local invalidation covers this
+   gatekeeper's writes, and peers' commit notes — valid across epochs —
+   cover theirs. Only a revival that was partitioned from those notes has
+   to flush ([on_revive]). In-flight transactions clear their own
+   [in_progress] entries through their reply paths (every exit replies or
+   removes explicitly), so no sweep is needed here either. *)
 let handle_epoch_change t new_epoch =
   if new_epoch > t.epoch then begin
     t.epoch <- new_epoch;
@@ -600,6 +697,11 @@ let handle t ~src:_ msg =
         admit t ~trace:tx_id (fun () -> handle_migrate_req t ~client ~tx_id ~vid ~to_shard)
     | Msg.Announce { gk = _; clock } ->
         if clock.Vclock.epoch = t.epoch then t.clock <- Vclock.merge t.clock clock
+    | Msg.Commit_note { gk = _; client; tx_id; written; reads } ->
+        (* control-plane, like announces: handled off the admission queue.
+           Valid across epochs — the note reports a durable store commit *)
+        record_dedup t ~client ~tx_id ~reads;
+        invalidate_memo_remote t written
     | Msg.Prog_partial { prog_id; sent; acc; visited } ->
         handle_prog_partial t ~prog_id ~sent ~acc ~visited
     | Msg.Epoch_change { epoch } -> handle_epoch_change t epoch
@@ -688,6 +790,9 @@ let spawn rt ~gid ~epoch =
       cache = Runtime.create_cache ();
       active = Hashtbl.create 16;
       memo = Hashtbl.create 64;
+      dedup = Hashtbl.create 256;
+      dedup_q = Queue.create ();
+      in_progress = Hashtbl.create 16;
       busy_until = 0.0;
       busy_us = 0.0;
       next_replica = 0;

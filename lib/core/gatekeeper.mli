@@ -29,3 +29,10 @@ val clock : t -> Runtime.Vclock.t
 val current_tau : t -> float
 (** The announce period currently in effect (equals the configured τ
     unless [adaptive_tau] is on, §3.5). *)
+
+val on_revive : t -> unit
+(** Called when a crashed (network-dead) gatekeeper is revived in place by
+    a fault plan, *without* having been replaced: drops the memo table,
+    whose entries may have missed peers' [Commit_note] invalidations while
+    the instance was unreachable. The duplicate-suppression window is
+    kept — it records durable commits. *)

@@ -48,6 +48,13 @@ type t =
   | Prog_partial of { prog_id : int; sent : int; acc : Progval.t; visited : string list }
   | Prog_gc of { prog_id : int }
   | Migrate_req of { client : int; tx_id : int; vid : string; to_shard : int }
+  | Commit_note of {
+      gk : int;
+      client : int;
+      tx_id : int;
+      written : string list;
+      reads : (string * Progval.t) list;
+    }
   | Heartbeat of { server : int }
   | Epoch_change of { epoch : int }
   | Epoch_ack of { server : int; epoch : int }
@@ -76,6 +83,9 @@ let pp fmt = function
       Format.fprintf fmt "Prog_partial(#%d,sent %d)" prog_id sent
   | Prog_gc { prog_id } -> Format.fprintf fmt "Prog_gc(#%d)" prog_id
   | Migrate_req { vid; to_shard; _ } -> Format.fprintf fmt "Migrate_req(%s->s%d)" vid to_shard
+  | Commit_note { gk; client; tx_id; written; _ } ->
+      Format.fprintf fmt "Commit_note(gk%d,c%d,#%d,%d written)" gk client tx_id
+        (List.length written)
   | Heartbeat { server } -> Format.fprintf fmt "Heartbeat(%d)" server
   | Epoch_change { epoch } -> Format.fprintf fmt "Epoch_change(%d)" epoch
   | Epoch_ack { server; epoch } -> Format.fprintf fmt "Epoch_ack(%d,e%d)" server epoch
@@ -93,6 +103,7 @@ let trace_of = function
   | Prog_partial { prog_id; _ }
   | Prog_gc { prog_id } -> Some prog_id
   | Migrate_req { tx_id; _ } -> Some tx_id
+  | Commit_note { tx_id; _ } -> Some tx_id
   | Shard_tx { trace; _ } -> if trace = 0 then None else Some trace
   | Announce _ | Heartbeat _ | Epoch_change _ | Epoch_ack _ | Watermark _ -> None
 
@@ -108,6 +119,7 @@ let kind = function
   | Prog_partial _ -> "Prog_partial"
   | Prog_gc _ -> "Prog_gc"
   | Migrate_req _ -> "Migrate_req"
+  | Commit_note _ -> "Commit_note"
   | Heartbeat _ -> "Heartbeat"
   | Epoch_change _ -> "Epoch_change"
   | Epoch_ack _ -> "Epoch_ack"

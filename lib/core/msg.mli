@@ -82,6 +82,18 @@ type t =
   | Migrate_req of { client : int; tx_id : int; vid : string; to_shard : int }
       (** client → gatekeeper: relocate a vertex (§4.6); acknowledged with
           a [Tx_reply] *)
+  | Commit_note of {
+      gk : int;
+      client : int;
+      tx_id : int;
+      written : string list;
+      reads : (string * Progval.t) list;
+    }
+      (** gatekeeper → peer gatekeepers, after a commit: invalidate memo
+          entries that read any vertex in [written], and remember
+          [(client, tx_id)] in the duplicate-suppression window so a retry
+          of the same transaction routed to a peer replies [Ok] (with the
+          original's [reads]) instead of re-executing *)
   | Heartbeat of { server : int }  (** any server → cluster manager *)
   | Epoch_change of { epoch : int }
       (** manager → all servers: move to a new configuration epoch (§4.3) *)

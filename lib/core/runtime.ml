@@ -30,7 +30,13 @@ type counters = {
   mutable recoveries : int;
   mutable memo_hits : int;
   mutable memo_invalidations : int;
+  mutable memo_remote_invalidations : int;
   mutable migrations : int;
+  mutable dedup_hits : int;
+  mutable dedup_dropped : int;
+  mutable late_replies : int;
+  mutable client_retries : int;
+  mutable fault_events : int;
 }
 
 type t = {
@@ -97,7 +103,13 @@ let register_counter_gauges metrics (c : counters) =
   g "cluster.recoveries" (fun () -> c.recoveries);
   g "memo.hits" (fun () -> c.memo_hits);
   g "memo.invalidations" (fun () -> c.memo_invalidations);
-  g "cluster.migrations" (fun () -> c.migrations)
+  g "memo.remote_invalidations" (fun () -> c.memo_remote_invalidations);
+  g "cluster.migrations" (fun () -> c.migrations);
+  g "tx.dedup_hits" (fun () -> c.dedup_hits);
+  g "tx.dedup_dropped" (fun () -> c.dedup_dropped);
+  g "client.late_replies" (fun () -> c.late_replies);
+  g "client.retries" (fun () -> c.client_retries);
+  g "fault.events" (fun () -> c.fault_events)
 
 (* the network tracer that feeds the causal trace collector: attribute
    every wire message to its request's trace id *)
@@ -148,7 +160,13 @@ let create cfg =
           recoveries = 0;
           memo_hits = 0;
           memo_invalidations = 0;
+          memo_remote_invalidations = 0;
           migrations = 0;
+          dedup_hits = 0;
+          dedup_dropped = 0;
+          late_replies = 0;
+          client_retries = 0;
+          fault_events = 0;
         };
       metrics;
       tracer =

@@ -29,8 +29,23 @@ type counters = {
   mutable evictions : int;
   mutable recoveries : int;
   mutable memo_hits : int;
-  mutable memo_invalidations : int;
+  mutable memo_invalidations : int;  (** local write-set invalidations *)
+  mutable memo_remote_invalidations : int;
+      (** memo entries dropped because a *peer* gatekeeper's commit note
+          reported an overlapping write set *)
   mutable migrations : int;  (** vertex relocations (§4.6) *)
+  mutable dedup_hits : int;
+      (** retried, already-committed transactions answered from the
+          duplicate-suppression window instead of re-executing *)
+  mutable dedup_dropped : int;
+      (** duplicate submissions dropped because the original attempt was
+          still in flight on the same gatekeeper *)
+  mutable late_replies : int;
+      (** replies that arrived after the client-side timeout had already
+          resolved the request (server success and client-visible success
+          diverge here) *)
+  mutable client_retries : int;  (** retry attempts issued by clients *)
+  mutable fault_events : int;  (** fault-plan actions executed *)
 }
 
 type t = {

@@ -601,3 +601,24 @@ let spawn rt ~sid ~epoch =
 let retire t = t.retired <- true
 
 let reload = reload_from_store
+
+(* Crash-restart within the current epoch (fault-plan [Restart] firing
+   before the manager's failure detector noticed): queued work and FIFO
+   bookkeeping from before the crash are meaningless — messages were lost
+   while dead — so drop them, let the next Shard_tx per gatekeeper
+   re-baseline its channel (the [seq_epoch] sentinel), and restore the
+   partition from the backing store, which holds every committed effect
+   including those whose Shard_tx never arrived. Must run before the
+   endpoint is revived, or an in-order-but-gapped sequence number trips
+   the FIFO assertion. Effects committed within one network delay of the
+   restart can be both reloaded and replayed by a still-in-flight
+   Shard_tx; the durable store stays authoritative and the next epoch
+   barrier reconciles the in-memory copy. *)
+let resync t =
+  Array.iter Queue.clear t.queues;
+  Array.fill t.last_seq 0 (Array.length t.last_seq) 0;
+  Array.fill t.seq_epoch 0 (Array.length t.seq_epoch) (-1);
+  Array.fill t.last_applied 0 (Array.length t.last_applied) None;
+  t.parked <- [];
+  t.waiting_oracle <- false;
+  reload_from_store t

@@ -33,3 +33,11 @@ val queue_depths : t -> int array
 val reload : t -> unit
 (** Re-read this shard's partition from the backing store (recovery path;
     also used by bulk preloading). *)
+
+val resync : t -> unit
+(** Crash-restart resynchronization within the current epoch: drop queued
+    transactions and parked programs, re-baseline every per-gatekeeper
+    FIFO channel, and {!reload} from the backing store. Used by fault-plan
+    restarts that revive a shard in place before the failure detector
+    replaces it; must be called before the network endpoint is marked
+    alive again. *)

@@ -24,6 +24,13 @@ type 'm t = {
   channel_load : (addr * addr, int) Hashtbl.t;
   mutable channel_hwm : int;
   mutable tracer : (time:float -> src:addr -> dst:addr -> 'm -> unit) option;
+  (* fault-injection latency degradation: a global multiplier plus optional
+     per-directed-link multipliers, applied on top of the latency model.
+     Factors scale a value the model already drew, so changing them never
+     consumes extra randomness — runs with factors pinned at 1.0 are
+     bit-identical to runs on a network without the feature. *)
+  mutable latency_factor : float;
+  link_factors : (addr * addr, float) Hashtbl.t;
 }
 
 let uniform_latency ~base ~jitter rng ~src:_ ~dst:_ =
@@ -46,6 +53,8 @@ let create engine ~latency =
     channel_load = Hashtbl.create 256;
     channel_hwm = 0;
     tracer = None;
+    latency_factor = 1.0;
+    link_factors = Hashtbl.create 16;
   }
 
 let register t addr handler =
@@ -67,6 +76,18 @@ let is_alive t addr =
 
 let set_tracer t tracer = t.tracer <- tracer
 
+let set_latency_factor t f = t.latency_factor <- Float.max 0.0 f
+let latency_factor t = t.latency_factor
+
+let set_link_factor t ~src ~dst f =
+  if f = 1.0 then Hashtbl.remove t.link_factors (src, dst)
+  else Hashtbl.replace t.link_factors (src, dst) (Float.max 0.0 f)
+
+let link_factor t ~src ~dst =
+  match Hashtbl.find_opt t.link_factors (src, dst) with Some f -> f | None -> 1.0
+
+let clear_link_factors t = Hashtbl.reset t.link_factors
+
 let send t ~src ~dst msg =
   let src_alive =
     match Hashtbl.find_opt t.endpoints src with
@@ -82,7 +103,9 @@ let send t ~src ~dst msg =
     (match t.tracer with
     | Some f -> f ~time:(Engine.now t.engine) ~src ~dst msg
     | None -> ());
-    let lat = t.latency t.rng ~src ~dst in
+    let lat =
+      t.latency t.rng ~src ~dst *. t.latency_factor *. link_factor t ~src ~dst
+    in
     let arrival = Engine.now t.engine +. Float.max 0.0 lat in
     (* FIFO per channel: never deliver before the previous message *)
     let key = (src, dst) in

@@ -80,3 +80,27 @@ val channel_high_water : 'm t -> int
 val set_tracer : 'm t -> (time:float -> src:addr -> dst:addr -> 'm -> unit) option -> unit
 (** Install (or remove) a callback invoked on every non-suppressed {!send}
     with the current virtual time — the hook behind message tracing. *)
+
+(** {1 Latency degradation}
+
+    Fault-injection hooks: multiply modelled latencies globally or per
+    directed link (latency spikes, degraded links). Factors scale a value
+    the latency model already drew, so they never consume randomness —
+    with all factors at 1.0 delivery times are bit-identical to a network
+    without the feature. Messages already in flight keep their original
+    delivery time; per-channel FIFO order is preserved regardless. *)
+
+val set_latency_factor : 'm t -> float -> unit
+(** Global latency multiplier (clamped to ≥ 0; default 1.0). *)
+
+val latency_factor : 'm t -> float
+
+val set_link_factor : 'm t -> src:addr -> dst:addr -> float -> unit
+(** Multiplier for one directed (src, dst) link, composed with the global
+    factor. Setting 1.0 removes the entry. *)
+
+val link_factor : 'm t -> src:addr -> dst:addr -> float
+(** Current per-link multiplier (1.0 when unset). *)
+
+val clear_link_factors : 'm t -> unit
+(** Drop every per-link multiplier. *)

@@ -262,6 +262,10 @@ let test_migrate_epoch_race () =
   let c = mk_cluster cfg in
   let rt = Cluster.runtime c in
   let client = Cluster.client c in
+  (* the default policy would transparently resubmit on "epoch-change" and
+     the second attempt would succeed; this test asserts on the raw
+     abort-on-barrier behaviour, so disable retries *)
+  Client.set_retry_policy client Client.no_retry_policy;
   let tx = Client.Tx.begin_ client in
   ignore (Client.Tx.create_vertex tx ~id:"race" ());
   ok (Client.commit client tx);
