@@ -912,6 +912,184 @@ let chaos () =
   close_out oc;
   line "wrote BENCH_chaos.json"
 
+(* ------------------------------------------------------------------ *)
+(* Contention: write-contention sweep over zipf-skewed keys on a single
+   shard, comparing the historical blocking refinement (one consult
+   freezes the whole shard event loop) against the non-blocking, coalesced
+   path ([Config.oracle_nonblocking]). Writers pin themselves to distinct
+   gatekeepers so their stamps stay mutually concurrent between announce
+   rounds (large tau) and the undecided pairs genuinely reach the shard —
+   same-key races are ordered proactively at the gatekeepers by the
+   last-update check, so the skew knob trades shard-level (cross-key)
+   conflicts against gatekeeper-level (same-key) aborts. Reports oracle
+   consults per committed transaction and the commit-visibility tail
+   (shard enqueue -> apply, the segment refinement stalls inflate; the
+   gatekeeper ack path never waits on the shard, so client-observed ack
+   latency is blind to the difference). Emits BENCH_contention.json. *)
+
+type contention_run = {
+  cr_committed : int;
+  cr_aborted : int;
+  cr_consults : int;
+  cr_batched : int;
+  cr_consults_per_tx : float;
+  cr_p50_apply : float;
+  cr_p99_apply : float;
+  cr_p99_ack : float;
+  cr_fingerprint : int * int * int * int * int * int;
+}
+
+let contention_arm ~nonblocking ~theta ~seed =
+  let cfg =
+    {
+      Config.default with
+      Config.seed;
+      Config.n_gatekeepers = 3;
+      Config.n_shards = 1;
+      Config.tau = 50_000.0;
+      Config.nop_period = 400.0;
+      Config.oracle_nonblocking = nonblocking;
+    }
+  in
+  let c = mk_cluster cfg in
+  let n_keys = 16 in
+  let setup = Cluster.client c in
+  let tx = Client.Tx.begin_ setup in
+  for i = 0 to n_keys - 1 do
+    ignore (Client.Tx.create_vertex tx ~id:(Printf.sprintf "k%d" i) ())
+  done;
+  ok_exn "contention setup" (Client.commit setup tx);
+  let writers = 9 and per_writer = 40 in
+  let ack = Stats.create () in
+  let done_writers = ref 0 in
+  for i = 0 to writers - 1 do
+    let client = Cluster.client c in
+    Client.set_gatekeeper client (Some (i mod cfg.Config.n_gatekeepers));
+    let rng = Xrand.create ~seed:(seed + (1_000 * (i + 1))) () in
+    let committed = ref 0 and attempt = ref 0 in
+    let rec next () =
+      if !committed < per_writer then begin
+        incr attempt;
+        let k = Xrand.zipf rng ~n:n_keys ~theta in
+        let t0 = Cluster.now c in
+        let tx = Client.Tx.begin_ client in
+        Client.Tx.set_vertex_prop tx ~vid:(Printf.sprintf "k%d" k) ~key:"n"
+          ~value:(string_of_int !attempt);
+        Client.commit_async client tx ~on_result:(fun r ->
+            (match r with
+            | Ok () ->
+                incr committed;
+                Stats.add ack (Cluster.now c -. t0)
+            | Error _ -> () (* same-key OCC abort: retry with a fresh stamp *));
+            next ())
+      end
+      else incr done_writers
+    in
+    next ()
+  done;
+  let budget = ref 4_000 in
+  while !done_writers < writers && !budget > 0 do
+    decr budget;
+    Cluster.run_for c 1_000.0
+  done;
+  if !done_writers < writers then failwith "contention: writers stalled";
+  Cluster.run_for c 50_000.0;
+  let ctr = Cluster.counters c in
+  let rt = Cluster.runtime c in
+  let apply =
+    match
+      List.assoc_opt "shard.queue_wait"
+        (Weaver_obs.Metrics.reservoirs (Cluster.metrics c))
+    with
+    | Some s -> s
+    | None -> Stats.create ()
+  in
+  {
+    cr_committed = ctr.Runtime.tx_committed;
+    cr_aborted = ctr.Runtime.tx_aborted;
+    cr_consults = ctr.Runtime.shard_oracle_consults;
+    cr_batched = ctr.Runtime.shard_oracle_batched;
+    cr_consults_per_tx =
+      float_of_int ctr.Runtime.shard_oracle_consults
+      /. float_of_int (max 1 ctr.Runtime.tx_committed);
+    cr_p50_apply = Stats.percentile apply 50.0;
+    cr_p99_apply = Stats.percentile apply 99.0;
+    cr_p99_ack = Stats.percentile ack 99.0;
+    cr_fingerprint =
+      ( ctr.Runtime.tx_committed,
+        ctr.Runtime.tx_aborted,
+        ctr.Runtime.shard_oracle_consults,
+        ctr.Runtime.shard_oracle_batched,
+        Weaver_sim.Net.messages_sent rt.Runtime.net,
+        ctr.Runtime.nop_msgs );
+  }
+
+let contention () =
+  header "Contention: skewed write races, blocking vs non-blocking refinement";
+  let seed = 7 in
+  let thetas = [ 0.0; 0.6; 0.9 ] in
+  let sweep =
+    List.map
+      (fun theta ->
+        let blocking = contention_arm ~nonblocking:false ~theta ~seed in
+        let nonblocking = contention_arm ~nonblocking:true ~theta ~seed in
+        (theta, blocking, nonblocking))
+      thetas
+  in
+  line "%-6s %-12s %10s %9s %8s %12s %13s %13s %12s" "theta" "arm" "committed"
+    "consults" "batched" "consults/tx" "p50 apply us" "p99 apply us"
+    "p99 ack us";
+  List.iter
+    (fun (theta, bl, nb) ->
+      let row tag (r : contention_run) =
+        line "%-6.1f %-12s %10d %9d %8d %12.3f %13.1f %13.1f %12.1f" theta tag
+          r.cr_committed r.cr_consults r.cr_batched r.cr_consults_per_tx
+          r.cr_p50_apply r.cr_p99_apply r.cr_p99_ack
+      in
+      row "blocking" bl;
+      row "nonblocking" nb)
+    sweep;
+  (* determinism: the non-blocking arm at the highest skew reruns to the
+     identical counter fingerprint *)
+  let hot = List.hd (List.rev thetas) in
+  let again = contention_arm ~nonblocking:true ~theta:hot ~seed in
+  let _, _, hot_nb = List.hd (List.rev sweep) in
+  let deterministic = again.cr_fingerprint = hot_nb.cr_fingerprint in
+  line "deterministic rerun (theta %.1f): %b" hot deterministic;
+  if not deterministic then failwith "contention: rerun diverged";
+  List.iter
+    (fun (theta, bl, nb) ->
+      if nb.cr_consults_per_tx >= bl.cr_consults_per_tx then
+        failwith
+          (Printf.sprintf
+             "contention: consults/tx did not decrease at theta %.1f" theta);
+      if nb.cr_p99_apply > bl.cr_p99_apply || nb.cr_p50_apply >= bl.cr_p50_apply
+      then
+        failwith
+          (Printf.sprintf "contention: latency did not improve at theta %.1f"
+             theta))
+    sweep;
+  let oc = open_out "BENCH_contention.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n  \"experiment\": \"contention\",\n  \"seed\": %d,\n" seed;
+  j "  \"workload\": {\"writers\": 9, \"commits_per_writer\": 40, \"keys\": 16, \"shards\": 1, \"gatekeepers\": 3},\n";
+  j "  \"sweep\": [";
+  List.iteri
+    (fun i (theta, bl, nb) ->
+      let arm (r : contention_run) =
+        Printf.sprintf
+          "{\"committed\": %d, \"aborted\": %d, \"consults\": %d, \"batched\": %d, \"consults_per_committed_tx\": %.4f, \"p50_commit_apply_us\": %.1f, \"p99_commit_apply_us\": %.1f, \"p99_commit_ack_us\": %.1f}"
+          r.cr_committed r.cr_aborted r.cr_consults r.cr_batched
+          r.cr_consults_per_tx r.cr_p50_apply r.cr_p99_apply r.cr_p99_ack
+      in
+      j "%s\n    {\"theta\": %.1f,\n     \"blocking\": %s,\n     \"nonblocking\": %s}"
+        (if i = 0 then "" else ",")
+        theta (arm bl) (arm nb))
+    sweep;
+  j "\n  ],\n  \"deterministic_rerun\": %b\n}\n" deterministic;
+  close_out oc;
+  line "wrote BENCH_contention.json"
+
 let all =
   [
     ("table1", table1);
@@ -933,4 +1111,5 @@ let all =
     ("breakdown", breakdown);
     ("timeline", timeline);
     ("chaos", chaos);
+    ("contention", contention);
   ]

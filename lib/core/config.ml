@@ -19,6 +19,7 @@ type t = {
   read_replicas : int;
   adaptive_tau : bool;
   oracle_replicas : int;
+  oracle_nonblocking : bool;
   enable_tracing : bool;
   trace_capacity : int;
   enable_timeline : bool;
@@ -50,6 +51,7 @@ let default =
     read_replicas = 0;
     adaptive_tau = false;
     oracle_replicas = 1;
+    oracle_nonblocking = true;
     enable_tracing = false;
     trace_capacity = 1024;
     enable_timeline = false;

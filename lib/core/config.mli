@@ -51,6 +51,16 @@ type t = {
   oracle_replicas : int;
       (** chain-replication factor of the timeline oracle (§3.4: "chain
           replicated for fault tolerance"); 1 = a single instance *)
+  oracle_nonblocking : bool;
+      (** non-blocking, coalesced refinement on the shard ordering hot path
+          (§3.4, §4.3): an in-flight oracle consult stalls only the
+          gatekeeper queues whose heads are in the undecided conflict set —
+          other queues keep draining and NOP heads keep clearing — and
+          conflicting pairs discovered while a consult is outstanding join
+          its batch instead of issuing another round trip. [false] restores
+          the historical whole-shard stall (one consult at a time, shard
+          event loop frozen for the full round trip); kept as the baseline
+          arm of the contention bench *)
   enable_tracing : bool;
       (** per-request causal tracing: thread trace ids through message
           envelopes and record span trees (admission wait, store round

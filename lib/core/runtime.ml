@@ -24,6 +24,8 @@ type counters = {
   mutable prog_batch_msgs : int;
   mutable oracle_consults : int;
   mutable oracle_cache_hits : int;
+  mutable shard_oracle_consults : int;
+  mutable shard_oracle_batched : int;
   mutable vertices_read : int;
   mutable page_ins : int;
   mutable evictions : int;
@@ -97,6 +99,8 @@ let register_counter_gauges metrics (c : counters) =
   g "msg.prog_batch" (fun () -> c.prog_batch_msgs);
   g "oracle.consults" (fun () -> c.oracle_consults);
   g "oracle.cache_hits" (fun () -> c.oracle_cache_hits);
+  g "shard.oracle_consults" (fun () -> c.shard_oracle_consults);
+  g "shard.oracle_batched" (fun () -> c.shard_oracle_batched);
   g "prog.vertices_read" (fun () -> c.vertices_read);
   g "paging.page_ins" (fun () -> c.page_ins);
   g "paging.evictions" (fun () -> c.evictions);
@@ -154,6 +158,8 @@ let create cfg =
           prog_batch_msgs = 0;
           oracle_consults = 0;
           oracle_cache_hits = 0;
+          shard_oracle_consults = 0;
+          shard_oracle_batched = 0;
           vertices_read = 0;
           page_ins = 0;
           evictions = 0;

@@ -24,6 +24,13 @@ type counters = {
       (** ordering requests that actually reached the timeline oracle —
           the reactive coordination cost (Fig. 14) *)
   mutable oracle_cache_hits : int;  (** answered from a server-local cache *)
+  mutable shard_oracle_consults : int;
+      (** oracle round trips issued by shard event loops on concurrent
+          conflicting queue heads — the denominator of the batching factor *)
+  mutable shard_oracle_batched : int;
+      (** conflict sets that joined an already-in-flight consult instead of
+          issuing their own round trip (coalesced refinement); the batching
+          factor is [1 + batched/consults] *)
   mutable vertices_read : int;  (** node-program vertex visits (Fig. 8) *)
   mutable page_ins : int;
   mutable evictions : int;

@@ -39,7 +39,17 @@ type t = {
   last_applied : Vclock.t option array; (* newest executed stamp per gk *)
   prog_state : (int, (string, Progval.t) Hashtbl.t) Hashtbl.t;
   mutable parked : parked_prog list;
-  mutable waiting_oracle : bool;
+  mutable oracle_inflight : bool;
+      (* a serialize round trip to the timeline oracle is outstanding *)
+  oracle_batch : (string, unit) Hashtbl.t;
+      (* stamps (by key) covered by the in-flight consult: queue heads in
+         here are stalled; everything else keeps draining. Conflicts found
+         while the consult is out join this set instead of issuing another
+         round trip (coalescing). *)
+  mutable oracle_batch_list : Vclock.t list; (* batch in reverse join order *)
+  mutable oracle_gen : int;
+      (* invalidates the scheduled completion callback across epoch changes
+         and crash-restarts *)
   mutable busy_until : float;
   mutable busy_us : float; (* total service time charged — utilization *)
   mutable epoch : int;
@@ -358,10 +368,65 @@ let try_run_parked t =
   List.iter (execute_prog_batch t) runnable
 
 (* ------------------------------------------------------------------ *)
-(* The event loop over gatekeeper queues (§4.2, Fig. 6). *)
+(* The event loop over gatekeeper queues (§4.2, Fig. 6).
 
-let rec try_advance t =
-  if (not t.waiting_oracle) && not t.retired then begin
+   Refinement is non-blocking (when [Config.oracle_nonblocking]): an
+   in-flight oracle consult stalls only the queue heads whose stamps are in
+   the consult's batch — every other queue keeps draining and NOP heads
+   keep clearing while the round trip is out. Conflicting pairs discovered
+   mid-flight join the outstanding batch (one serialize call answers all of
+   them) instead of issuing their own round trip. *)
+
+(* Add a stamp to the in-flight conflict batch; true iff it was new. *)
+let join_batch t ts =
+  let k = Vclock.key ts in
+  if Hashtbl.mem t.oracle_batch k then false
+  else begin
+    Hashtbl.replace t.oracle_batch k ();
+    t.oracle_batch_list <- ts :: t.oracle_batch_list;
+    true
+  end
+
+let rec oracle_done t gen () =
+  if (not t.retired) && t.oracle_inflight && t.oracle_gen = gen then begin
+    (* serialize the whole coalesced batch in join order: one round trip
+       decides every conflict discovered while it was out *)
+    ignore (Runtime.oracle_serialize t.rt (List.rev t.oracle_batch_list));
+    t.oracle_inflight <- false;
+    Hashtbl.reset t.oracle_batch;
+    t.oracle_batch_list <- [];
+    try_advance t
+  end
+
+(* Route a set of conflicting stamps to the oracle: start a consult if none
+   is out, otherwise fold them into the in-flight batch. The simulated round
+   trip honours the network's active latency-degrade factor, like any other
+   message to the oracle's address would. *)
+and begin_or_join_consult t stamps =
+  let fresh =
+    List.fold_left (fun n ts -> if join_batch t ts then n + 1 else n) 0 stamps
+  in
+  let c = counters t in
+  if not t.oracle_inflight then begin
+    t.oracle_inflight <- true;
+    c.Runtime.oracle_consults <- c.Runtime.oracle_consults + 1;
+    c.Runtime.shard_oracle_consults <- c.Runtime.shard_oracle_consults + 1;
+    let oracle_delay =
+      2.0 *. (cfg t).Config.net_base_latency
+      *. Net.latency_factor t.rt.Runtime.net
+    in
+    Runtime.observe t.rt "shard.oracle_wait" oracle_delay;
+    Engine.schedule t.rt.Runtime.engine ~delay:oracle_delay
+      (oracle_done t t.oracle_gen)
+  end
+  else if fresh > 0 then
+    c.Runtime.shard_oracle_batched <- c.Runtime.shard_oracle_batched + 1
+
+and try_advance t =
+  if
+    (not t.retired)
+    && ((cfg t).Config.oracle_nonblocking || not t.oracle_inflight)
+  then begin
     let continue = ref true in
     while !continue do
       continue := false;
@@ -369,12 +434,17 @@ let rec try_advance t =
         let heads =
           Array.to_list (Array.mapi (fun g q -> (g, Queue.peek q)) t.queues)
         in
+        (* a head covered by the in-flight consult must wait for its
+           answer; only those heads are stalled *)
+        let stalled (h : queued_tx) =
+          t.oracle_inflight && Hashtbl.mem t.oracle_batch (Vclock.key h.q_ts)
+        in
         (* [le h h'] — may this head execute no later than that one? A NOP
            carries no effects, so a pair involving one needs no globally
            consistent answer: break the tie deterministically without the
            oracle. Two concurrent *real* transactions sharing this shard
            are exactly the pairs the paper orders reactively (§3.4). *)
-        let need_oracle = ref false in
+        let conflicts = ref [] in
         let le (h : queued_tx) (h' : queued_tx) =
           match Runtime.before_cached t.cache t.rt h.q_ts h'.q_ts with
           | Some d -> d
@@ -385,14 +455,19 @@ let rec try_advance t =
                 match Runtime.before_established t.cache t.rt h.q_ts h'.q_ts with
                 | Some d -> d
                 | None ->
-                    need_oracle := true;
+                    conflicts := (h.q_ts, h'.q_ts) :: !conflicts;
                     false
               end
         in
+        (* popping a non-stalled head requires it ≤ every other head,
+           including batch members, by already-established decisions — an
+           order [serialize] is bound to respect, so executing it during
+           the flight commutes with the consult's outcome *)
         let minimal =
           List.find_opt
             (fun (g, h) ->
-              List.for_all (fun (g', h') -> g = g' || le h h') heads)
+              (not (stalled h))
+              && List.for_all (fun (g', h') -> g = g' || le h h') heads)
             heads
         in
         match minimal with
@@ -401,40 +476,72 @@ let rec try_advance t =
             t.last_applied.(g) <- Some qt.q_ts;
             apply_tx t qt;
             continue := true
-        | None when !need_oracle ->
-            (* concurrent conflicting transactions: ask the timeline oracle
-               to serialize them (one round trip; decisions are cached) *)
-            t.waiting_oracle <- true;
-            (counters t).Runtime.oracle_consults <-
-              (counters t).Runtime.oracle_consults + 1;
-            let oracle_delay = 2.0 *. (cfg t).Config.net_base_latency in
-            Runtime.observe t.rt "shard.oracle_wait" oracle_delay;
-            let ts_list =
-              List.filter_map
-                (fun (_, h) -> if h.q_ops = [] then None else Some h.q_ts)
-                heads
-            in
-            Engine.schedule t.rt.Runtime.engine ~delay:oracle_delay
-              (fun () ->
-                ignore (Runtime.oracle_serialize t.rt ts_list);
-                t.waiting_oracle <- false;
-                try_advance t)
         | None ->
-            (* no definite minimum and no real conflict: a total_compare
-               cycle across mixed pairs cannot happen (it is a total
-               order), so this means a real head is blocked behind
-               undecided state; pop the deterministically smallest NOP *)
-            let nops =
-              List.filter (fun (_, h) -> h.q_ops = []) heads
-            in
-            let cmp (_, a) (_, b) = Vclock.total_compare a.q_ts b.q_ts in
-            (match List.sort cmp nops with
-            | (g, _) :: _ ->
-                let qt = Queue.pop t.queues.(g) in
-                t.last_applied.(g) <- Some qt.q_ts;
-                apply_tx t qt;
-                continue := true
-            | [] -> assert false)
+            let nonblocking = (cfg t).Config.oracle_nonblocking in
+            if !conflicts <> [] then begin
+              (* concurrent conflicting transactions: have the timeline
+                 oracle serialize them (decisions are cached). Non-blocking
+                 mode ships every real head still undecided against some
+                 other real head — the same information a blocking consult
+                 carries, so one round trip decides just as many pairs —
+                 while heads with a fully established order keep draining.
+                 Blocking mode keeps the historical behavior of shipping
+                 every real head and freezing the whole shard. *)
+              let stamps =
+                if nonblocking then begin
+                  (* the closure spans every queued real transaction, not
+                     just the heads: conflicts that would surface a few
+                     pops from now ride the same round trip instead of
+                     paying their own consult once they reach the front *)
+                  let reals =
+                    Array.to_list t.queues
+                    |> List.concat_map (fun q ->
+                           Queue.fold
+                             (fun acc (qt : queued_tx) ->
+                               if qt.q_ops = [] then acc else qt.q_ts :: acc)
+                             [] q
+                           |> List.rev)
+                  in
+                  let arr = Array.of_list reals in
+                  let n = Array.length arr in
+                  let undecided = Array.make n false in
+                  for i = 0 to n - 1 do
+                    for j = i + 1 to n - 1 do
+                      if
+                        Runtime.before_established t.cache t.rt arr.(i) arr.(j)
+                        = None
+                      then begin
+                        undecided.(i) <- true;
+                        undecided.(j) <- true
+                      end
+                    done
+                  done;
+                  List.filteri (fun i _ -> undecided.(i)) reals
+                end
+                else
+                  List.filter_map
+                    (fun (_, h) -> if h.q_ops = [] then None else Some h.q_ts)
+                    heads
+              in
+              begin_or_join_consult t stamps
+            end;
+            if nonblocking || !conflicts = [] then begin
+              (* no executable minimum: pop the deterministically smallest
+                 NOP so effect-free traffic never backs up behind a stall *)
+              let nops = List.filter (fun (_, h) -> h.q_ops = []) heads in
+              let cmp (_, a) (_, b) = Vclock.total_compare a.q_ts b.q_ts in
+              match List.sort cmp nops with
+              | (g, _) :: _ ->
+                  let qt = Queue.pop t.queues.(g) in
+                  t.last_applied.(g) <- Some qt.q_ts;
+                  apply_tx t qt;
+                  continue := true
+              | [] ->
+                  (* every head is real and at least one is stalled or in
+                     conflict: legal only while a consult is in flight,
+                     whose completion re-enters this loop *)
+                  assert (t.oracle_inflight)
+            end
       end
     done;
     try_run_parked t
@@ -474,7 +581,10 @@ let handle_epoch_change t new_epoch =
     Array.fill t.seq_epoch 0 (Array.length t.seq_epoch) (-1);
     Array.fill t.last_applied 0 (Array.length t.last_applied) None;
     t.parked <- [];
-    t.waiting_oracle <- false;
+    t.oracle_inflight <- false;
+    Hashtbl.reset t.oracle_batch;
+    t.oracle_batch_list <- [];
+    t.oracle_gen <- t.oracle_gen + 1;
     reload_from_store t;
     send t ~dst:(Runtime.manager_addr t.rt)
       (Msg.Epoch_ack { server = t.addr; epoch = new_epoch })
@@ -577,7 +687,10 @@ let spawn rt ~sid ~epoch =
       last_applied = Array.make n_g None;
       prog_state = Hashtbl.create 32;
       parked = [];
-      waiting_oracle = false;
+      oracle_inflight = false;
+      oracle_batch = Hashtbl.create 8;
+      oracle_batch_list = [];
+      oracle_gen = 0;
       busy_until = 0.0;
       busy_us = 0.0;
       epoch;
@@ -620,5 +733,8 @@ let resync t =
   Array.fill t.seq_epoch 0 (Array.length t.seq_epoch) (-1);
   Array.fill t.last_applied 0 (Array.length t.last_applied) None;
   t.parked <- [];
-  t.waiting_oracle <- false;
+  t.oracle_inflight <- false;
+  Hashtbl.reset t.oracle_batch;
+  t.oracle_batch_list <- [];
+  t.oracle_gen <- t.oracle_gen + 1;
   reload_from_store t

@@ -14,6 +14,13 @@ type t = {
          vclock-implied hop, which keeps reachability searches linear in
          the number of *ordered* events rather than all events *)
   reach_memo : (string, bool) Hashtbl.t; (* positive reachability only *)
+  neg_memo : (string, int) Hashtbl.t;
+      (* negative reachability, stamped with the generation it was computed
+         in: adding an edge (or collapsing the graph in gc) can turn "not
+         reachable" into "reachable", so an entry is only trusted while its
+         generation matches [gen] — the mirror image of [reach_memo], whose
+         positives survive edge additions but not removals *)
+  mutable gen : int; (* bumped by every edge add, rollback, and gc *)
   mutable edges : int;
   mutable queries : int;
 }
@@ -23,6 +30,8 @@ let create () =
     events = Hashtbl.create 256;
     edge_sources = Hashtbl.create 64;
     reach_memo = Hashtbl.create 1024;
+    neg_memo = Hashtbl.create 1024;
+    gen = 0;
     edges = 0;
     queries = 0;
   }
@@ -49,6 +58,10 @@ let reaches t a b =
   let memo_key = ka ^ "|" ^ kb in
   match Hashtbl.find_opt t.reach_memo memo_key with
   | Some true -> true
+  | _ when (match Hashtbl.find_opt t.neg_memo memo_key with
+            | Some g -> g = t.gen
+            | None -> false) ->
+      false
   | _ ->
       let visited = Hashtbl.create 32 in
       let rec dfs k =
@@ -96,7 +109,8 @@ let reaches t a b =
         (* direct vclock order counts as reachability too *)
         match Vclock.compare_hb a b with Vclock.Before -> true | _ -> false
       in
-      if found then Hashtbl.replace t.reach_memo memo_key true;
+      if found then Hashtbl.replace t.reach_memo memo_key true
+      else Hashtbl.replace t.neg_memo memo_key t.gen;
       found
 
 let query t a b =
@@ -106,8 +120,14 @@ let query t a b =
   match Vclock.compare_hb a b with
   | Vclock.Before -> Some First_first
   | Vclock.After -> Some Second_first
-  | Vclock.Equal when String.equal (Vclock.key a) (Vclock.key b) -> Some First_first
-  | Vclock.Equal | Vclock.Concurrent ->
+  | Vclock.Equal ->
+      (* identical epoch and clocks: no causal chain can ever separate the
+         two, so commit nothing and break the tie by origin — the same
+         tie-break [Vclock.total_compare] uses, so every server resolves
+         the pair identically without an explicit edge *)
+      if a.Vclock.origin <= b.Vclock.origin then Some First_first
+      else Some Second_first
+  | Vclock.Concurrent ->
       if reaches t a b then Some First_first
       else if reaches t b a then Some Second_first
       else None
@@ -124,7 +144,10 @@ let assign t ~before ~after =
       if not (Hashtbl.mem n.succs ka) then begin
         Hashtbl.replace n.succs ka ();
         Hashtbl.replace t.edge_sources kb ();
-        t.edges <- t.edges + 1
+        t.edges <- t.edges + 1;
+        (* a new edge can only create reachability, so cached negatives
+           from earlier generations must no longer be trusted *)
+        t.gen <- t.gen + 1
       end;
       Ok ()
 
@@ -174,50 +197,104 @@ let order t ~first ~second =
           (* cannot happen: query found no order, so no reverse path exists *)
           assert false)
 
+(* Total-order a batch of concurrent events. The old implementation forced
+   an [order] call — and hence potentially an edge commitment — on every one
+   of the n·(n-2)/2 pairs. Committing that much is wasted work: a consistent
+   total order only needs the *adjacent* pairs of the final sequence pinned;
+   everything else follows by transitivity. So: read the already-decided
+   relation (vector clocks + committed chains, no new edges), topologically
+   sort with arrival order as the deterministic tie-break, then commit just
+   the ≤ n-1 adjacent pairs that are still unordered. *)
 let serialize t events =
   let arr = Array.of_list events in
   let n = Array.length arr in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      ignore (order t ~first:arr.(i) ~second:arr.(j))
-    done
-  done;
-  let cmp a b =
-    if String.equal (Vclock.key a) (Vclock.key b) then 0
-    else
-      match query t a b with
-      | Some First_first -> -1
-      | Some Second_first -> 1
-      | None -> assert false (* all pairs were just ordered *)
-  in
-  List.stable_sort cmp events
+  if n <= 1 then events
+  else begin
+    let before = Array.make_matrix n n false in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        match query t arr.(i) arr.(j) with
+        | Some First_first -> before.(i).(j) <- true
+        | Some Second_first -> before.(j).(i) <- true
+        | None -> ()
+      done
+    done;
+    (* Kahn's algorithm, always emitting the lowest-index ready event: the
+       result extends every decided constraint and falls back to arrival
+       order, so it is deterministic given the same batch and oracle state.
+       No cycle is possible — [query] answers through the full transitive
+       closure of the commitment graph, so any path between two batch
+       members (even via events outside the batch) already shows up in
+       [before]. *)
+    let indeg = Array.make n 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if before.(i).(j) then indeg.(j) <- indeg.(j) + 1
+      done
+    done;
+    let placed = Array.make n false in
+    let out = Array.make n 0 in
+    for slot = 0 to n - 1 do
+      let pick = ref (-1) in
+      for i = n - 1 downto 0 do
+        if (not placed.(i)) && indeg.(i) = 0 then pick := i
+      done;
+      assert (!pick >= 0);
+      placed.(!pick) <- true;
+      out.(slot) <- !pick;
+      for j = 0 to n - 1 do
+        if before.(!pick).(j) then indeg.(j) <- indeg.(j) - 1
+      done
+    done;
+    (* pin the chain: only adjacent pairs not already decided cost an edge *)
+    for slot = 0 to n - 2 do
+      let i = out.(slot) and j = out.(slot + 1) in
+      if not before.(i).(j) then
+        match assign t ~before:arr.(i) ~after:arr.(j) with
+        | Ok () -> ()
+        | Error `Cycle -> assert false (* contradicts the topo order *)
+    done;
+    Array.to_list (Array.map (fun i -> arr.(i)) out)
+  end
 
 let gc t ~watermark =
-  let doomed =
-    Hashtbl.fold
-      (fun k node acc ->
-        if Vclock.precedes node.vc watermark then k :: acc else acc)
-      t.events []
-  in
-  List.iter
-    (fun k ->
+  (* membership set, not a list: each surviving node filters its successor
+     edges with O(1) probes instead of rescanning the doomed list, taking a
+     collection round from O(events × doomed) to O(events + edges) *)
+  let doomed = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun k node ->
+      if Vclock.precedes node.vc watermark then Hashtbl.replace doomed k ())
+    t.events;
+  Hashtbl.iter
+    (fun k () ->
       (match Hashtbl.find_opt t.events k with
       | Some node -> t.edges <- t.edges - Hashtbl.length node.succs
       | None -> ());
       Hashtbl.remove t.events k;
       Hashtbl.remove t.edge_sources k)
     doomed;
-  (* drop dangling explicit edges and all memoised reachability *)
+  (* drop dangling explicit edges; collect first — a hashtable must not be
+     mutated while folding over it *)
+  let emptied = ref [] in
   Hashtbl.iter
     (fun src node ->
+      let dead =
+        Hashtbl.fold
+          (fun k () acc -> if Hashtbl.mem doomed k then k :: acc else acc)
+          node.succs []
+      in
       List.iter
         (fun k ->
-          if Hashtbl.mem node.succs k then begin
-            Hashtbl.remove node.succs k;
-            t.edges <- t.edges - 1
-          end)
-        doomed;
-      if Hashtbl.length node.succs = 0 then Hashtbl.remove t.edge_sources src)
+          Hashtbl.remove node.succs k;
+          t.edges <- t.edges - 1)
+        dead;
+      if Hashtbl.length node.succs = 0 then emptied := src :: !emptied)
     t.events;
+  List.iter (fun src -> Hashtbl.remove t.edge_sources src) !emptied;
+  (* edge removal invalidates positives; the graph collapse also shifts what
+     the implied-hop search can see, so distrust cached negatives too *)
   Hashtbl.reset t.reach_memo;
-  List.length doomed
+  Hashtbl.reset t.neg_memo;
+  t.gen <- t.gen + 1;
+  Hashtbl.length doomed

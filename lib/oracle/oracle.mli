@@ -33,7 +33,10 @@ val edge_count : t -> int
 val query : t -> Weaver_vclock.Vclock.t -> Weaver_vclock.Vclock.t -> decision option
 (** Pre-established order between two events, if any: by vector clock, by
     explicit commitment, or by any transitive chain mixing the two. [None]
-    means the pair is still unordered. *)
+    means the pair is still unordered. Two timestamps with identical epoch
+    and clocks ([Vclock.Equal]) can never be separated by a causal chain, so
+    they are ordered by origin — the {!Weaver_vclock.Vclock.total_compare}
+    tie-break — without committing an edge. *)
 
 val assign : t -> before:Weaver_vclock.Vclock.t -> after:Weaver_vclock.Vclock.t ->
   (unit, [ `Cycle ]) result
@@ -58,9 +61,12 @@ val order : t -> first:Weaver_vclock.Vclock.t -> second:Weaver_vclock.Vclock.t -
 
 val serialize : t -> Weaver_vclock.Vclock.t list -> Weaver_vclock.Vclock.t list
 (** Put a set of (typically mutually concurrent) events into a total order
-    consistent with every existing commitment, establishing the missing
-    pairwise orders. List position breaks remaining ties (arrival order).
-    Used by shard servers on concurrent queue heads (paper Fig. 6). *)
+    consistent with every existing commitment. List position breaks
+    remaining ties (arrival order). Only the adjacent pairs of the result
+    that are not already decided commit new edges (≤ n-1 of them); every
+    other pair is ordered transitively through that chain, so later queries
+    on any pair of the batch answer consistently. Used by shard servers on
+    concurrent queue heads (paper Fig. 6). *)
 
 val gc : t -> watermark:Weaver_vclock.Vclock.t -> int
 (** Drop every event strictly happens-before the watermark (paper §4.5);

@@ -126,15 +126,23 @@ let test_serialize_total_order_consistency () =
   check sorted
 
 let test_same_clocks_distinct_origin () =
-  (* two distinct events can carry identical clock arrays (different origin);
-     the oracle must treat them as concurrent and order them on demand *)
+  (* two distinct events can carry identical clock arrays (different
+     origin). No causal chain can ever separate them, so the oracle must
+     not wait for (or commit) an explicit edge: it breaks the tie by origin
+     — the same tie-break [Vclock.total_compare] uses — identically on
+     every server and in both argument orders *)
   let t = Oracle.create () in
   let a = vc 0 [| 1; 1 |] and b = vc 1 [| 1; 1 |] in
-  Alcotest.(check (option decision_testable)) "unordered" None (Oracle.query t a b);
-  Alcotest.check decision_testable "established" Oracle.First_first
+  let edges0 = Oracle.edge_count t in
+  Alcotest.(check (option decision_testable))
+    "lower origin first" (Some Oracle.First_first) (Oracle.query t a b);
+  Alcotest.(check (option decision_testable))
+    "antisymmetric" (Some Oracle.Second_first) (Oracle.query t b a);
+  Alcotest.check decision_testable "order agrees" Oracle.First_first
     (Oracle.order t ~first:a ~second:b);
-  Alcotest.check decision_testable "sticky reverse" Oracle.Second_first
-    (Oracle.order t ~first:b ~second:a)
+  Alcotest.check decision_testable "order agrees reversed" Oracle.Second_first
+    (Oracle.order t ~first:b ~second:a);
+  Alcotest.(check int) "no explicit edge committed" edges0 (Oracle.edge_count t)
 
 let test_gc_drops_old_keeps_new () =
   let t = Oracle.create () in
@@ -187,6 +195,64 @@ let test_assign_all_respects_existing () =
   Alcotest.(check (option decision_testable))
     "prior edge intact" (Some Oracle.First_first) (Oracle.query t (e 2) (e 0));
   Alcotest.(check (option decision_testable)) "batch rolled back" None (Oracle.query t (e 0) (e 1))
+
+let test_negative_memo_invalidation () =
+  (* a cached "unreachable" answer must stop being trusted as soon as new
+     edges exist: reachability can only grow. This fails if the negative
+     memo is not generation-stamped. *)
+  let t = Oracle.create () in
+  let e i =
+    let clocks = Array.make 4 0 in
+    clocks.(i) <- 1;
+    vc i clocks
+  in
+  Alcotest.(check (option decision_testable))
+    "initially unordered (negative cached)" None (Oracle.query t (e 0) (e 3));
+  (match Oracle.assign_all t [ (e 0, e 1); (e 1, e 2); (e 2, e 3) ] with
+  | Ok () -> ()
+  | Error `Cycle -> Alcotest.fail "chain refused");
+  Alcotest.(check (option decision_testable))
+    "chain visible despite cached negative" (Some Oracle.First_first)
+    (Oracle.query t (e 0) (e 3));
+  Alcotest.(check (option decision_testable))
+    "reverse too" (Some Oracle.Second_first) (Oracle.query t (e 3) (e 0));
+  (* repeated queries (memo-hit path) stay consistent *)
+  Alcotest.(check (option decision_testable))
+    "stable on re-query" (Some Oracle.First_first) (Oracle.query t (e 0) (e 3))
+
+let test_gc_stress () =
+  (* 10k events, half below the watermark: a collection round must both
+     come back quickly (doomed-set membership is O(1), not a list rescan
+     per surviving node) and leave exactly the hand-computed survivors *)
+  let t = Oracle.create () in
+  let n = 10_000 in
+  (* pairwise concurrent: first component rises, second falls *)
+  let ev = Array.init n (fun i -> vc (i mod 2) [| i + 1; n - i |]) in
+  Array.iter (Oracle.add_event t) ev;
+  (* explicit chain edges every 100th pair, on both sides of the cut *)
+  let assigned = ref 0 in
+  let i = ref 0 in
+  while !i < n - 1 do
+    (match Oracle.assign t ~before:ev.(!i) ~after:ev.(!i + 1) with
+    | Ok () -> incr assigned
+    | Error `Cycle -> Alcotest.fail "unexpected cycle");
+    i := !i + 100
+  done;
+  Alcotest.(check int) "100 edges assigned" 100 !assigned;
+  (* dooms exactly e_0..e_4999: e_4999 = [|5000; 5001|] ≺ w, while
+     e_5000 = [|5001; 5000|] has a component above it *)
+  let w = vc 0 [| 5_000; n + 1 |] in
+  let removed = Oracle.gc t ~watermark:w in
+  Alcotest.(check int) "half removed" (n / 2) removed;
+  Alcotest.(check int) "half remain" (n / 2) (Oracle.event_count t);
+  (* surviving edges: sources 5000, 5100, …, 9900 — the 50 whose endpoints
+     both survive; same count the list-based collector produced *)
+  Alcotest.(check int) "surviving edges" 50 (Oracle.edge_count t);
+  Alcotest.(check (option decision_testable))
+    "surviving decision intact" (Some Oracle.First_first)
+    (Oracle.query t ev.(5_000) ev.(5_001));
+  Alcotest.(check (option decision_testable))
+    "collected pair forgotten" None (Oracle.query t ev.(100) ev.(101))
 
 let test_query_counter () =
   let t = Oracle.create () in
@@ -287,6 +353,9 @@ let suites =
         Alcotest.test_case "assign_all atomic" `Quick test_assign_all_atomic;
         Alcotest.test_case "assign_all respects existing" `Quick test_assign_all_respects_existing;
         Alcotest.test_case "gc" `Quick test_gc_drops_old_keeps_new;
+        Alcotest.test_case "negative memo invalidation" `Quick
+          test_negative_memo_invalidation;
+        Alcotest.test_case "gc stress 10k events" `Quick test_gc_stress;
         Alcotest.test_case "query counter" `Quick test_query_counter;
         QCheck_alcotest.to_alcotest prop_no_cycles;
         QCheck_alcotest.to_alcotest prop_serialize_is_permutation;

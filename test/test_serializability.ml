@@ -17,20 +17,34 @@ module Programs = Weaver_programs.Std_programs
 type read_obs = { r_invoked : float; r_responded : float; r_degree : int }
 type write_obs = { w_invoked : float; w_responded : float }
 
-let run_race ~seed ~writers ~readers ~writes_per_writer =
-  let cfg = { Config.default with Config.seed; Config.n_shards = 4 } in
+let run_race ?cfg ?(side_writers = 0) ?(pin_hub_writers = false) ~seed ~writers
+    ~readers ~writes_per_writer () =
+  let cfg =
+    match cfg with
+    | Some c -> { c with Config.seed }
+    | None -> { Config.default with Config.seed; Config.n_shards = 4 }
+  in
   let c = Cluster.create cfg in
   Programs.Std.register_all (Cluster.registry c);
   let setup = Cluster.client c in
   let tx = Client.Tx.begin_ setup in
   ignore (Client.Tx.create_vertex tx ~id:"hub" ());
   ignore (Client.Tx.create_vertex tx ~id:"leaf" ());
+  for i = 0 to side_writers - 1 do
+    ignore (Client.Tx.create_vertex tx ~id:(Printf.sprintf "side%d" i) ())
+  done;
   (match Client.commit setup tx with Ok () -> () | Error e -> Alcotest.failf "setup: %s" e);
   let reads : read_obs list ref = ref [] in
   let writes : write_obs list ref = ref [] in
-  (* writers: sequential edge creations on the hub, retrying on conflicts *)
+  (* writers: sequential edge creations on the hub, retrying on conflicts.
+     When pinned, all hub traffic (writers and readers alike) goes through
+     gatekeeper 0: the hub's last-update stamp checks then order it by
+     vector clock alone, so the timeline oracle accumulates no hub-driven
+     edges — cross-gatekeeper conflicts between the side writers must be
+     refined reactively at the shard instead *)
   for _ = 1 to writers do
     let client = Cluster.client c in
+    if pin_hub_writers then Client.set_gatekeeper client (Some 0);
     let remaining = ref writes_per_writer in
     let rec next () =
       if !remaining > 0 then begin
@@ -52,6 +66,7 @@ let run_race ~seed ~writers ~readers ~writes_per_writer =
   let stop = ref false in
   for _ = 1 to readers do
     let client = Cluster.client c in
+    if pin_hub_writers then Client.set_gatekeeper client (Some 0);
     let rec next () =
       if not !stop then begin
         let invoked = Cluster.now c in
@@ -66,6 +81,27 @@ let run_race ~seed ~writers ~readers ~writes_per_writer =
             | _ -> ());
             next ())
           ()
+      end
+    in
+    next ()
+  done;
+  (* side writers: single-vertex property writes on distinct vertices
+     through pinned, distinct gatekeepers. Same-vertex write-write races
+     are ordered proactively at the gatekeepers via the last-update stamp
+     check, so they never reach a shard undecided; cross-vertex races on
+     one shard have no such gate — concurrent queue heads from different
+     gatekeepers are exactly the pairs the shard must refine reactively. *)
+  for i = 0 to side_writers - 1 do
+    let client = Cluster.client c in
+    Client.set_gatekeeper client (Some (i mod cfg.Config.n_gatekeepers));
+    let vid = Printf.sprintf "side%d" i in
+    let k = ref 0 in
+    let rec next () =
+      if not !stop then begin
+        incr k;
+        let tx = Client.Tx.begin_ client in
+        Client.Tx.set_vertex_prop tx ~vid ~key:"n" ~value:(string_of_int !k);
+        Client.commit_async client tx ~on_result:(fun _ -> next ())
       end
     in
     next ()
@@ -116,7 +152,9 @@ let check_strict_serializability reads writes =
     reads
 
 let test_race seed () =
-  let c, reads, writes = run_race ~seed ~writers:3 ~readers:2 ~writes_per_writer:5 in
+  let c, reads, writes =
+    run_race ~seed ~writers:3 ~readers:2 ~writes_per_writer:5 ()
+  in
   Alcotest.(check bool) "some reads observed" true (List.length reads > 3);
   check_strict_serializability reads writes;
   (* final state: hub degree equals total committed creates, on the shard
@@ -131,6 +169,82 @@ let test_race seed () =
   match Cluster.stored_vertex c "hub" with
   | Some v -> Alcotest.(check int) "durable degree" 15 (List.length v.Weaver_graph.Mgraph.out)
   | None -> Alcotest.fail "hub missing from store"
+
+(* Forced-coalescing configuration: three gatekeepers hammer the same hub
+   vertex while announcements are rare (large τ), so gatekeeper clocks stay
+   mutually concurrent and the proactive stage decides almost nothing —
+   shard event loops repeatedly hit undecided head pairs, including while a
+   consult is already in flight, which exercises the batch-join path under
+   real traffic. Frequent NOPs keep every queue fed so the loop keeps
+   confronting those heads instead of idling. *)
+let coalesce_cfg =
+  {
+    Config.default with
+    Config.n_gatekeepers = 3;
+    Config.n_shards = 1;
+    Config.tau = 50_000.0;
+    Config.nop_period = 400.0;
+  }
+
+let coalesce_fingerprint c =
+  let ctr = Cluster.counters c in
+  let rt = Cluster.runtime c in
+  ( ( ctr.Runtime.tx_committed,
+      ctr.Runtime.tx_aborted,
+      ctr.Runtime.oracle_consults,
+      ctr.Runtime.shard_oracle_consults,
+      ctr.Runtime.shard_oracle_batched ),
+    ( Weaver_sim.Net.messages_sent rt.Runtime.net,
+      Weaver_sim.Net.messages_delivered rt.Runtime.net,
+      Runtime.oracle_queries_served rt,
+      ctr.Runtime.nop_msgs ) )
+
+let test_coalesced_race seed () =
+  let writers = 3 and readers = 2 and writes_per_writer = 5 in
+  let c, reads, writes =
+    run_race ~cfg:coalesce_cfg ~side_writers:6 ~pin_hub_writers:true ~seed
+      ~writers ~readers ~writes_per_writer ()
+  in
+  (* the configuration must actually exercise the refinement path *)
+  Alcotest.(check bool) "oracle consulted" true
+    ((Cluster.counters c).Runtime.shard_oracle_consults > 0);
+  (* capture before the extra final-degree read below advances c's engine:
+     both fingerprints must describe the same logical point (end of race) *)
+  let fp = coalesce_fingerprint c in
+  Alcotest.(check bool) "some reads observed" true (List.length reads > 3);
+  check_strict_serializability reads writes;
+  (let client = Cluster.client c in
+   match
+     Client.run_program client ~prog:"count_edges" ~params:Progval.Null
+       ~starts:[ "hub" ] ()
+   with
+   | Ok (Progval.Int d) ->
+       Alcotest.(check int) "final degree" (writers * writes_per_writer) d
+   | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+   | Error e -> Alcotest.failf "final read: %s" e);
+  (* coalesced refinement must stay bit-for-bit deterministic: the same
+     seed reruns to the identical counter fingerprint *)
+  let c2, _, _ =
+    run_race ~cfg:coalesce_cfg ~side_writers:6 ~pin_hub_writers:true ~seed
+      ~writers ~readers ~writes_per_writer ()
+  in
+  Alcotest.(check bool) "bit-identical rerun" true
+    (fp = coalesce_fingerprint c2)
+
+let test_coalescing_observed () =
+  (* across the seed sweep, at least one run must have folded a mid-flight
+     conflict into an outstanding consult — otherwise the suite is not
+     testing coalescing at all *)
+  let total = ref 0 in
+  List.iter
+    (fun seed ->
+      let c, _, _ =
+        run_race ~cfg:coalesce_cfg ~side_writers:6 ~pin_hub_writers:true ~seed
+          ~writers:3 ~readers:2 ~writes_per_writer:5 ()
+      in
+      total := !total + (Cluster.counters c).Runtime.shard_oracle_batched)
+    [ 404; 505; 606 ];
+  Alcotest.(check bool) "batch joins happened" true (!total > 0)
 
 let test_write_skew_prevented () =
   (* two transactions each read both flags and flip one; under strict
@@ -167,6 +281,10 @@ let suites =
         Alcotest.test_case "race seed 1" `Quick (test_race 101);
         Alcotest.test_case "race seed 2" `Quick (test_race 202);
         Alcotest.test_case "race seed 3" `Quick (test_race 303);
+        Alcotest.test_case "coalesced race seed 1" `Quick (test_coalesced_race 404);
+        Alcotest.test_case "coalesced race seed 2" `Quick (test_coalesced_race 505);
+        Alcotest.test_case "coalesced race seed 3" `Quick (test_coalesced_race 606);
+        Alcotest.test_case "coalescing observed" `Quick test_coalescing_observed;
         Alcotest.test_case "write skew prevented" `Quick test_write_skew_prevented;
       ] );
   ]
