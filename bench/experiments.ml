@@ -1090,6 +1090,99 @@ let contention () =
   close_out oc;
   line "wrote BENCH_contention.json"
 
+(* ------------------------------------------------------------------ *)
+(* Overload: open-loop offered-load sweep across the admission-capacity
+   knee, flow control (admission limit + deadline shedding + shard
+   credits, §DESIGN 11) off vs on. The off arm collapses past saturation
+   (every queued request eventually times out); the on arm sheds the
+   excess early and keeps goodput at capacity with a bounded tail.
+   Control traffic (NOPs, heartbeats) is exempt from shedding, so its
+   counters must match across arms. Emits BENCH_overload.json. *)
+
+let overload () =
+  header "Overload: open-loop goodput sweep, flow control off vs on";
+  let base = Overloadbench.default_opts in
+  let sat =
+    Overloadbench.saturation_rate ~gatekeepers:base.Overloadbench.ov_gatekeepers
+      ~gk_op_cost:Config.default.Config.gk_op_cost
+  in
+  line "saturation ~= %.0f req/s (%d gatekeepers x %.0f us/admit)" sat
+    base.Overloadbench.ov_gatekeepers Config.default.Config.gk_op_cost;
+  let mults = [ 0.25; 0.5; 1.0; 2.0; 4.0 ] in
+  let arm ~flow mult =
+    Overloadbench.run
+      { base with Overloadbench.ov_flow = flow; Overloadbench.ov_rate = sat *. mult }
+  in
+  let sweep =
+    List.map (fun mult -> (mult, arm ~flow:false mult, arm ~flow:true mult)) mults
+  in
+  line "%-6s %-5s %9s %9s %8s %8s %8s %10s %10s %9s" "load" "arm" "offered"
+    "ok" "shed" "timeout" "goodput" "p50 us" "p99 us" "shed%";
+  List.iter
+    (fun (mult, off, on_) ->
+      let row tag (r : Overloadbench.result) =
+        line "%-6.2f %-5s %9d %9d %8d %8d %8.0f %10.1f %10.1f %9.1f" mult tag
+          r.Overloadbench.v_offered r.Overloadbench.v_ok r.Overloadbench.v_shed
+          r.Overloadbench.v_timeout r.Overloadbench.v_goodput
+          r.Overloadbench.v_p50 r.Overloadbench.v_p99
+          (100.0 *. r.Overloadbench.v_shed_rate)
+      in
+      row "off" off;
+      row "on" on_)
+    sweep;
+  let find mult = List.find (fun (m, _, _) -> m = mult) sweep in
+  (* peak-capacity goodput: the on arm at the knee *)
+  let _, _, on_1x = find 1.0 in
+  let _, off_2x, on_2x = find 2.0 in
+  let peak = on_1x.Overloadbench.v_goodput in
+  line "at 2x: goodput on %.0f (peak %.0f) vs off %.0f | p99 on %.1f us vs off %.1f us"
+    on_2x.Overloadbench.v_goodput peak off_2x.Overloadbench.v_goodput
+    on_2x.Overloadbench.v_p99 off_2x.Overloadbench.v_p99;
+  if on_2x.Overloadbench.v_goodput < 0.9 *. peak then
+    failwith "overload: on-arm goodput at 2x fell below 90% of peak";
+  if off_2x.Overloadbench.v_goodput > 0.7 *. peak then
+    failwith "overload: off arm did not collapse at 2x saturation";
+  if on_2x.Overloadbench.v_p99 > 10.0 *. on_1x.Overloadbench.v_p99 then
+    failwith "overload: on-arm p99 not bounded at 2x saturation";
+  (* control traffic is never shed: NOP and heartbeat counts are timer
+     driven and must be identical across arms at every offered load *)
+  List.iter
+    (fun (mult, off, on_) ->
+      if
+        off.Overloadbench.v_nop_msgs <> on_.Overloadbench.v_nop_msgs
+        || off.Overloadbench.v_heartbeats <> on_.Overloadbench.v_heartbeats
+      then
+        failwith
+          (Printf.sprintf "overload: control traffic diverged at %.2fx" mult))
+    sweep;
+  (* determinism: the on arm at 2x reruns to the identical fingerprint *)
+  let again = arm ~flow:true 2.0 in
+  let deterministic =
+    again.Overloadbench.v_fingerprint = on_2x.Overloadbench.v_fingerprint
+  in
+  line "deterministic rerun (2x, flow on): %b" deterministic;
+  if not deterministic then failwith "overload: rerun diverged";
+  let oc = open_out "BENCH_overload.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n  \"experiment\": \"overload\",\n  \"seed\": %d,\n"
+    base.Overloadbench.ov_seed;
+  j "  \"saturation_rps\": %.0f,\n" sat;
+  j "  \"knobs\": {\"admission_limit\": %d, \"deadline_budget_us\": %.0f, \"shard_credits\": %d},\n"
+    base.Overloadbench.ov_admission_limit base.Overloadbench.ov_deadline_budget
+    base.Overloadbench.ov_shard_credits;
+  j "  \"sweep\": [";
+  List.iteri
+    (fun i (mult, off, on_) ->
+      j "%s\n    {\"load_multiplier\": %.2f,\n     \"off\": %s,\n     \"on\": %s}"
+        (if i = 0 then "" else ",")
+        mult
+        (Overloadbench.to_json off)
+        (Overloadbench.to_json on_))
+    sweep;
+  j "\n  ],\n  \"deterministic_rerun\": %b\n}\n" deterministic;
+  close_out oc;
+  line "wrote BENCH_overload.json"
+
 let all =
   [
     ("table1", table1);
@@ -1112,4 +1205,5 @@ let all =
     ("timeline", timeline);
     ("chaos", chaos);
     ("contention", contention);
+    ("overload", overload);
   ]

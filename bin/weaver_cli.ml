@@ -7,7 +7,8 @@
      fault       demonstrate failure detection and recovery
      stats       mixed run with tracing on; per-phase latency breakdown
      trace       span tree of one traced transaction and node program
-     contention  blocking vs non-blocking refinement under write skew *)
+     contention  blocking vs non-blocking refinement under write skew
+     overload    open-loop saturation quick-look, flow control off vs on *)
 
 open Cmdliner
 open Weaver_core
@@ -119,6 +120,12 @@ let fault gatekeepers shards tau seed =
   Cluster.run_for c 400_000.0;
   Printf.printf "cluster epoch now %d; recoveries: %d\n" (Cluster.epoch c)
     (Cluster.counters c).Runtime.recoveries;
+  let net = (Cluster.runtime c).Runtime.net in
+  Printf.printf "messages dropped while the endpoint was dead: %d\n"
+    (Weaver_sim.Net.messages_dropped net);
+  List.iter
+    (fun (dst, n) -> Printf.printf "  -> %-10s %d\n" (Cluster.actor_of_addr c dst) n)
+    (Weaver_sim.Net.drops_by_dst net);
   match
     Client.run_program client ~prog:"get_node" ~params:Progval.Null ~starts:[ "survivor" ] ()
   with
@@ -281,6 +288,59 @@ let contention gatekeepers shards seed theta json =
     row "nonblocking" nc nco nb np50 np99
   end
 
+let overload gatekeepers shards seed mult duration_ms json =
+  (* one point of the `bench overload` sweep: the same offered load pushed
+     through both arms, so the goodput/p99/shed deltas isolate what the
+     flow-control subsystem (admission + deadline shedding + credits) buys *)
+  let sat =
+    Workloads.Overloadbench.saturation_rate ~gatekeepers
+      ~gk_op_cost:Config.default.Config.gk_op_cost
+  in
+  let base =
+    {
+      Workloads.Overloadbench.default_opts with
+      Workloads.Overloadbench.ov_seed = seed;
+      ov_gatekeepers = gatekeepers;
+      ov_shards = shards;
+      ov_rate = sat *. mult;
+      ov_duration = duration_ms *. 1_000.0;
+    }
+  in
+  let off =
+    Workloads.Overloadbench.run { base with Workloads.Overloadbench.ov_flow = false }
+  in
+  let on_ =
+    Workloads.Overloadbench.run { base with Workloads.Overloadbench.ov_flow = true }
+  in
+  if json then
+    Printf.printf
+      "{\"experiment\": \"overload\", \"seed\": %d, \"load_multiplier\": %.2f, \
+       \"off\": %s, \"on\": %s}\n"
+      seed mult
+      (Workloads.Overloadbench.to_json off)
+      (Workloads.Overloadbench.to_json on_)
+  else begin
+    Printf.printf "offered %.0f req/s (%.2fx of ~%.0f req/s saturation)\n"
+      base.Workloads.Overloadbench.ov_rate mult sat;
+    let show tag (r : Workloads.Overloadbench.result) =
+      Printf.printf
+        "flow %-4s goodput %6.0f req/s | ok %d shed %d timeout %d | p50 %.1f ms p99 %.1f ms | shed %.1f%%\n"
+        tag r.Workloads.Overloadbench.v_goodput r.Workloads.Overloadbench.v_ok
+        r.Workloads.Overloadbench.v_shed r.Workloads.Overloadbench.v_timeout
+        (r.Workloads.Overloadbench.v_p50 /. 1_000.0)
+        (r.Workloads.Overloadbench.v_p99 /. 1_000.0)
+        (100.0 *. r.Workloads.Overloadbench.v_shed_rate)
+    in
+    show "off" off;
+    show "on" on_;
+    Printf.printf
+      "shed reasons (on): queue %d, deadline %d, credit %d | credit msgs %d\n"
+      on_.Workloads.Overloadbench.v_shed_queue
+      on_.Workloads.Overloadbench.v_shed_deadline
+      on_.Workloads.Overloadbench.v_shed_credit
+      on_.Workloads.Overloadbench.v_credit_msgs
+  end
+
 let rebalance gatekeepers shards tau seed =
   let c = mk_cluster ~gatekeepers ~shards ~tau ~seed () in
   let client = Cluster.client c in
@@ -378,7 +438,14 @@ let stats gatekeepers shards tau seed txs progs json =
     phase "gk.store_rtt" "store";
     phase "shard.queue_wait" "shard-queue";
     phase "shard.oracle_wait" "oracle";
-    phase ~unit:"  " "req.messages" "msgs/request"
+    phase ~unit:"  " "req.messages" "msgs/request";
+    let net = (Cluster.runtime c).Runtime.net in
+    Printf.printf "\nmessages dropped at dead endpoints: %d\n"
+      (Weaver_sim.Net.messages_dropped net);
+    List.iter
+      (fun (dst, n) ->
+        Printf.printf "  -> %-10s %d\n" (Cluster.actor_of_addr c dst) n)
+      (Weaver_sim.Net.drops_by_dst net)
   end
 
 (* Timeline: sustained TAO-mix load with registry sampling on; windowed
@@ -527,6 +594,25 @@ let contention_cmd =
          "Blocking vs non-blocking, coalesced timestamp refinement under skewed           write contention")
     Term.(const contention $ gatekeepers $ shards $ seed $ theta $ json)
 
+let overload_cmd =
+  let mult =
+    Arg.(
+      value & opt float 2.0
+      & info [ "m"; "mult" ] ~docv:"X" ~doc:"Offered load as a multiple of saturation.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 200.0
+      & info [ "d"; "duration" ] ~docv:"MS" ~doc:"Issuance window, virtual ms.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit both arms as JSON.") in
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:
+         "Open-loop saturation quick-look: goodput, tail latency, and shed rate \
+          with flow control (admission + deadline shedding + credits) off vs on")
+    Term.(const overload $ gatekeepers $ shards $ seed $ mult $ duration $ json)
+
 let rebalance_cmd =
   Cmd.v (Cmd.info "rebalance" ~doc:"Dynamic re-partitioning demo (par. 4.6)")
     Term.(const rebalance $ gatekeepers $ shards $ tau $ seed)
@@ -618,6 +704,7 @@ let () =
             chaos_cmd;
             sweep_cmd;
             contention_cmd;
+            overload_cmd;
             rebalance_cmd;
             backup_cmd;
             stats_cmd;

@@ -46,25 +46,45 @@ let no_retry_policy =
     rp_route_around = false;
   }
 
-(* timeouts and epoch changes are transient by construction; conflicts only
-   when the policy opts in (a conflicted transaction did not commit, but
-   callers like read-modify-write loops need to re-read first) *)
+(* an [Msg.Overloaded] rejection, surfaced as Error "shed:<reason>" *)
+let is_shed e = String.length e >= 5 && String.equal (String.sub e 0 5) "shed:"
+
+(* timeouts and epoch changes are transient by construction; a shed request
+   was rejected before consuming anything, so retrying (after backing off —
+   see [backoff_delay]) is always safe; conflicts only when the policy opts
+   in (a conflicted transaction did not commit, but callers like
+   read-modify-write loops need to re-read first) *)
 let retryable policy = function
   | "timeout" | "epoch-change" -> true
   | "conflict" -> policy.rp_retry_conflicts
-  | _ -> false (* "invalid: ...", "unknown program: ...", stalls *)
+  | e -> is_shed e (* else "invalid: ...", "unknown program: ...", stalls *)
+
+(* Retrying a shed request immediately would re-arrive at a gatekeeper
+   still saturated (the admission queue drains at gk_op_cost per request):
+   overload backoff needs a real floor even under policies configured with
+   no backoff at all. 2 ms is two full admission queues at the default
+   limit. *)
+let overload_backoff_floor = 2_000.0
 
 (* Exponential backoff with deterministic jitter: the spread comes from
    hashing (request id, attempt), not from the engine RNG — consuming
    engine randomness here would perturb every other random stream and
-   break bit-reproducibility of runs that differ only in retry timing. *)
-let backoff_delay policy ~id ~attempt =
-  if policy.rp_backoff <= 0.0 then 0.0
+   break bit-reproducibility of runs that differ only in retry timing.
+   [error] selects the overload floor for "shed:..." rejections. *)
+let backoff_delay ?(error = "") policy ~id ~attempt =
+  let base =
+    if is_shed error then Float.max policy.rp_backoff overload_backoff_floor
+    else policy.rp_backoff
+  in
+  if base <= 0.0 then 0.0
   else begin
-    let d = policy.rp_backoff *. (2.0 ** float_of_int (attempt - 1)) in
-    let d =
-      if policy.rp_backoff_cap > 0.0 then Float.min d policy.rp_backoff_cap else d
+    let d = base *. (2.0 ** float_of_int (attempt - 1)) in
+    let cap =
+      if policy.rp_backoff_cap > 0.0 then policy.rp_backoff_cap
+      else if is_shed error then overload_backoff_floor *. 64.0
+      else 0.0
     in
+    let d = if cap > 0.0 then Float.min d cap else d in
     let h = Hashtbl.hash (id, attempt) land 0xffff in
     d *. (0.5 +. (float_of_int h /. 131072.0))
   end
@@ -140,6 +160,24 @@ let handle t ~src msg =
       | None ->
           note_late t ~id:prog_id
             ~result:(match result with Ok _ -> "ok" | Error e -> e))
+  | Msg.Overloaded { req_id; reason } -> (
+      (* shed at admission (overload management): resolve whichever pending
+         table holds the request. Deliberately NOT [clear_suspicion]: an
+         Overloaded reply proves the gatekeeper is alive but says nothing
+         good about sending it more traffic right now. *)
+      let err = "shed:" ^ reason in
+      match Hashtbl.find_opt t.pending_tx req_id with
+      | Some (_, cb) ->
+          Hashtbl.remove t.pending_tx req_id;
+          Hashtbl.remove t.timed_out req_id;
+          cb (Error err)
+      | None -> (
+          match Hashtbl.find_opt t.pending_prog req_id with
+          | Some cb ->
+              Hashtbl.remove t.pending_prog req_id;
+              Hashtbl.remove t.timed_out req_id;
+              cb (Error err)
+          | None -> note_late t ~id:req_id ~result:err))
   | _ -> ()
 
 let create rt =
@@ -266,7 +304,7 @@ let submit_tx t ~kind ~policy ~mk_msg ~on_result =
           (counters t).Runtime.client_retries <-
             (counters t).Runtime.client_retries + 1;
           Engine.schedule engine
-            ~delay:(backoff_delay policy ~id:tx_id ~attempt:n)
+            ~delay:(backoff_delay ~error:e policy ~id:tx_id ~attempt:n)
             (fun () -> attempt (n + 1))
       | r -> on_result r
     in
@@ -318,7 +356,7 @@ let run_program_async t ~prog ~params ~starts ?at ?(consistency = `Strong) ~on_r
           (counters t).Runtime.client_retries <-
             (counters t).Runtime.client_retries + 1;
           Engine.schedule engine
-            ~delay:(backoff_delay policy ~id:prog_id ~attempt:n)
+            ~delay:(backoff_delay ~error:e policy ~id:prog_id ~attempt:n)
             (fun () -> attempt (n + 1))
       | r -> on_result r
     in

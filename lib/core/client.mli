@@ -49,6 +49,16 @@ val no_retry_policy : retry_policy
 (** Single attempt, no routing — the pre-reliability client, for tests
     that assert on raw failure behaviour. *)
 
+val retryable : retry_policy -> string -> bool
+(** Whether the policy resubmits after the given error string. [timeout]
+    and [epoch-change] always; [conflict] iff [rp_retry_conflicts];
+    overload rejections ([shed:queue] / [shed:deadline] / [shed:credit],
+    from [Msg.Overloaded]) always — they were refused before consuming
+    anything, and the retry backs off by at least a 2 ms floor (doubling,
+    deterministically jittered) even under zero-backoff policies, which is
+    what makes shedding an effective backpressure signal rather than a
+    retry storm. *)
+
 val create : Runtime.t -> t
 (** New client with its own network address, connecting to gatekeepers
     round-robin under {!default_policy}. *)

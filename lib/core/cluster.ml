@@ -182,6 +182,8 @@ let shard_queue_depths t sid = Shard.queue_depths t.shards.(sid)
 
 let gk_tau t gid = Gatekeeper.current_tau t.gks.(gid)
 
+let gk_credits t ~gid ~shard = Gatekeeper.credits_available t.gks.(gid) shard
+
 (* per-cluster ring buffer of recent messages, enabled on demand; composes
    with the observability hook so enabling the debug ring never silences
    request tracing (the network has a single tracer slot) *)
@@ -232,6 +234,12 @@ let report t =
   line "  reliability: client retries %d, dedup hits %d, dedup dropped %d, late replies %d"
     c.Runtime.client_retries c.Runtime.dedup_hits c.Runtime.dedup_dropped
     c.Runtime.late_replies;
+  line "  overload: shed %d (queue %d, deadline %d, credit %d) | credit msgs %d"
+    (c.Runtime.shed_queue_full + c.Runtime.shed_deadline + c.Runtime.shed_credit)
+    c.Runtime.shed_queue_full c.Runtime.shed_deadline c.Runtime.shed_credit
+    c.Runtime.credit_msgs;
+  line "  net: dropped at dead endpoints %d"
+    (Net.messages_dropped t.rt.Runtime.net);
   Buffer.contents b
 
 let kill_oracle_replica t i =
@@ -285,6 +293,9 @@ let apply_fault t action =
       (* resync BEFORE reviving the endpoint: it re-baselines the FIFO
          sequence channels, which must happen before any message arrives *)
       Shard.resync t.shards.(s);
+      (* the dropped queues held Shard_txs whose flow-control credits will
+         never be refunded: refill that column at every gatekeeper *)
+      Array.iter (fun gk -> Gatekeeper.on_shard_restart gk s) t.gks;
       Net.set_alive net (fault_addr t target) true
   | Fault.Restart (Fault.Replica { shard; replica } as target) ->
       Replica.reload t.replicas.(shard).(replica);

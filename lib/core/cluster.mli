@@ -91,6 +91,10 @@ val replica_applied : t -> shard:int -> replica:int -> int
 val gk_tau : t -> int -> float
 (** Gatekeeper [i]'s current announce period (§3.5 adaptive τ). *)
 
+val gk_credits : t -> gid:int -> shard:int -> int
+(** Flow-control credits gatekeeper [gid] currently holds towards [shard]
+    ([Config.shard_credits] when flow control is off); for tests. *)
+
 val report : t -> string
 (** Multi-line operational summary: virtual time, epoch, and every
     {!Runtime.counters} field — the text a metrics endpoint would serve. *)

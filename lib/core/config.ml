@@ -26,6 +26,9 @@ type t = {
   timeline_period : float;
   timeline_capacity : int;
   slow_log_capacity : int;
+  admission_limit : int;
+  deadline_budget : float;
+  shard_credits : int;
   seed : int;
 }
 
@@ -58,6 +61,9 @@ let default =
     timeline_period = 10_000.0;
     timeline_capacity = 4096;
     slow_log_capacity = 32;
+    admission_limit = 0;
+    deadline_budget = 0.0;
+    shard_credits = 0;
     seed = 42;
   }
 
@@ -84,4 +90,7 @@ let validate t =
   req "trace_capacity" (t.trace_capacity >= 1);
   req "timeline_period" (t.timeline_period > 0.0);
   req "timeline_capacity" (t.timeline_capacity >= 1);
-  req "slow_log_capacity" (t.slow_log_capacity >= 1)
+  req "slow_log_capacity" (t.slow_log_capacity >= 1);
+  req "admission_limit" (t.admission_limit >= 0);
+  req "deadline_budget" (t.deadline_budget >= 0.0);
+  req "shard_credits" (t.shard_credits >= 0)

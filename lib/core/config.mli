@@ -84,6 +84,26 @@ type t = {
   slow_log_capacity : int;
       (** slowest client requests retained in the always-on slow-request
           log (with per-phase breakdowns when tracing is enabled) *)
+  admission_limit : int;
+      (** overload management ({!Weaver_flow.Flow}): max client requests
+          waiting in a gatekeeper's serial admission queue before new ones
+          are shed with an [Overloaded] reply. 0 (the default) disables the
+          bound — today's unbounded behavior, kept as the bench baseline
+          arm. Control traffic (NOPs, heartbeats, announces, commit notes)
+          is never queued there and never shed *)
+  deadline_budget : float;
+      (** µs of projected admission-queue wait a client request may face
+          before being shed up front — rejecting early beats letting the
+          request time out downstream after consuming resources. 0.0
+          disables deadline-based shedding *)
+  shard_credits : int;
+      (** credit-based gatekeeper→shard flow control: each gatekeeper holds
+          this many send credits per shard, spends one per forwarded
+          [Shard_tx], and gets them back as the shard applies them
+          ([Msg.Credit]). A slow or latency-degraded shard drains its
+          column and admission sheds writes bound for it instead of
+          growing the FIFO without bound. NOPs ride for free (control
+          class). 0 disables flow control *)
   seed : int;  (** master RNG seed; runs are deterministic per seed *)
 }
 

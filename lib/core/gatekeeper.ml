@@ -3,6 +3,7 @@ module Engine = Weaver_sim.Engine
 module Net = Weaver_sim.Net
 module Store = Weaver_store.Store
 module Mgraph = Weaver_graph.Mgraph
+module Flow = Weaver_flow.Flow
 
 type prog_run = {
   pr_client : int;
@@ -38,6 +39,11 @@ type t = {
   in_progress : (int * int, unit) Hashtbl.t;
   mutable busy_until : float;
   mutable busy_us : float; (* total service time charged — utilization *)
+  (* overload management: the admission gate and the per-shard credit
+     ledger. Both are inert (pure reads, no sheds) with the default
+     all-zero Config knobs, keeping the baseline arm bit-identical. *)
+  adm : Flow.Admission.t;
+  credits : Flow.Credits.t;
   mutable next_replica : int; (* round-robin over read replicas (§6.4) *)
   mutable cur_tau : float; (* current announce period (adaptive, §3.5) *)
   mutable requests_seen : int; (* client requests since the last window *)
@@ -380,6 +386,9 @@ let handle_tx_req t ~client ~tx_id ops =
                             t.seqs.(shard) <- t.seqs.(shard) + 1;
                             (counters t).Runtime.shard_tx_msgs <-
                               (counters t).Runtime.shard_tx_msgs + 1;
+                            (* spend a flow-control credit; the shard
+                               refunds it when it applies the tx *)
+                            Flow.Credits.consume t.credits shard;
                             send t
                               ~dst:(Runtime.shard_addr t.rt shard)
                               (Msg.Shard_tx
@@ -460,6 +469,7 @@ let handle_migrate_req t ~client ~tx_id ~vid ~to_shard =
                     reply (Error "conflict")
                 | Ok () ->
                     t.seqs.(from_shard) <- t.seqs.(from_shard) + 1;
+                    Flow.Credits.consume t.credits from_shard;
                     send t
                       ~dst:(Runtime.shard_addr t.rt from_shard)
                       (Msg.Shard_tx
@@ -471,6 +481,7 @@ let handle_migrate_req t ~client ~tx_id ~vid ~to_shard =
                            trace = tx_id;
                          });
                     t.seqs.(to_shard) <- t.seqs.(to_shard) + 1;
+                    Flow.Credits.consume t.credits to_shard;
                     send t
                       ~dst:(Runtime.shard_addr t.rt to_shard)
                       (Msg.Shard_tx
@@ -641,6 +652,9 @@ let handle_epoch_change t new_epoch =
       Vclock.make ~epoch:new_epoch ~origin:t.gid
         (Array.make (cfg t).Config.n_gatekeepers 0);
     Array.fill t.seqs 0 (Array.length t.seqs) 0;
+    (* the barrier cleared every shard queue: outstanding Shard_txs (and
+       the refunds they owed) are gone, so refill the credit ledger *)
+    Flow.Credits.reset t.credits;
     (* in-flight programs are lost; clients re-submit (§4.3) *)
     Hashtbl.iter
       (fun prog_id run ->
@@ -685,16 +699,93 @@ let admit t ~trace work =
         work ()
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Overload management (Weaver_flow): decide, per client request and
+   BEFORE the serial admission queue, whether to shed it. Shedding early
+   answers the client in one network round trip while the request has
+   consumed nothing but this check — the alternative is a downstream
+   timeout after the request held a queue slot, store round trips, and
+   shard FIFO space. Only the three client request kinds pass through
+   here: everything else is control traffic (Flow.priority_of_kind =
+   Control) and is never shed, so refinement (announces, NOPs), failure
+   detection (heartbeats), and commit propagation keep flowing at any
+   offered load. *)
+
+let shed t ~client ~req_id ~reason =
+  let c = counters t in
+  (match reason with
+  | "queue" -> c.Runtime.shed_queue_full <- c.Runtime.shed_queue_full + 1
+  | "deadline" -> c.Runtime.shed_deadline <- c.Runtime.shed_deadline + 1
+  | _ -> c.Runtime.shed_credit <- c.Runtime.shed_credit + 1);
+  Runtime.trace_span t.rt ~trace:req_id ~name:"gk.shed" ~actor:(actor t)
+    ~start:(now t) ~stop:(now t) ~meta:[ ("reason", reason) ] ();
+  send t ~dst:client (Msg.Overloaded { req_id; reason })
+
+(* [target_shards] is a thunk: resolving write targets reads the store
+   directory, which is pointless (and avoidable work) unless credits are
+   actually configured *)
+let flow_gate t ~target_shards =
+  match Flow.Admission.decide t.adm ~now:(now t) ~busy_until:t.busy_until with
+  | Flow.Admission.Shed_queue_full -> Some "queue"
+  | Flow.Admission.Shed_deadline -> Some "deadline"
+  | Flow.Admission.Admit ->
+      if
+        Flow.Credits.enabled t.credits
+        && List.exists (Flow.Credits.exhausted t.credits) (target_shards ())
+      then Some "credit"
+      else None
+
+(* the shards a transaction's writes will fan out to if it commits — the
+   columns whose credits must not already be exhausted *)
+let tx_target_shards t ops () =
+  List.filter_map Txop.written_vertex ops
+  |> List.map (Runtime.shard_of_vertex t.rt)
+  |> List.sort_uniq compare
+
+let migrate_target_shards t ~vid ~to_shard () =
+  let from_shard = Runtime.shard_of_vertex t.rt vid in
+  if to_shard >= 0 && to_shard < (cfg t).Config.n_shards then
+    List.sort_uniq compare [ from_shard; to_shard ]
+  else [ from_shard ]
+
+(* a retry of a known (committed or in-flight) transaction bypasses the
+   gate: it is answered from the dedup window or dropped, both cheap, and
+   shedding it would make duplicate suppression racy under load *)
+let known_duplicate t ~client ~tx_id =
+  Hashtbl.mem t.dedup (client, tx_id) || Hashtbl.mem t.in_progress (client, tx_id)
+
 let handle t ~src:_ msg =
   if not t.retired then
     match (msg : Msg.t) with
-    | Msg.Tx_req { client; tx_id; ops } ->
-        admit t ~trace:tx_id (fun () -> handle_tx_req t ~client ~tx_id ops)
-    | Msg.Prog_req { client; prog_id; prog; params; starts; at; weak } ->
-        admit t ~trace:prog_id (fun () ->
-            handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak)
-    | Msg.Migrate_req { client; tx_id; vid; to_shard } ->
-        admit t ~trace:tx_id (fun () -> handle_migrate_req t ~client ~tx_id ~vid ~to_shard)
+    | Msg.Tx_req { client; tx_id; ops } -> (
+        let verdict =
+          if known_duplicate t ~client ~tx_id then None
+          else flow_gate t ~target_shards:(tx_target_shards t ops)
+        in
+        match verdict with
+        | Some reason -> shed t ~client ~req_id:tx_id ~reason
+        | None -> admit t ~trace:tx_id (fun () -> handle_tx_req t ~client ~tx_id ops))
+    | Msg.Prog_req { client; prog_id; prog; params; starts; at; weak } -> (
+        (* read-only: no shard credits at stake, admission limits only *)
+        match flow_gate t ~target_shards:(fun () -> []) with
+        | Some reason -> shed t ~client ~req_id:prog_id ~reason
+        | None ->
+            admit t ~trace:prog_id (fun () ->
+                handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak))
+    | Msg.Migrate_req { client; tx_id; vid; to_shard } -> (
+        let verdict =
+          if known_duplicate t ~client ~tx_id then None
+          else flow_gate t ~target_shards:(migrate_target_shards t ~vid ~to_shard)
+        in
+        match verdict with
+        | Some reason -> shed t ~client ~req_id:tx_id ~reason
+        | None ->
+            admit t ~trace:tx_id (fun () ->
+                handle_migrate_req t ~client ~tx_id ~vid ~to_shard))
+    | Msg.Credit { shard; gk = _; n } ->
+        (* control-plane, like announces: a shard applied [n] of our
+           forwarded transactions; their flow-control credits return *)
+        Flow.Credits.refund t.credits shard n
     | Msg.Announce { gk = _; clock } ->
         if clock.Vclock.epoch = t.epoch then t.clock <- Vclock.merge t.clock clock
     | Msg.Commit_note { gk = _; client; tx_id; written; reads } ->
@@ -759,8 +850,11 @@ let start_timers t =
   Engine.every engine ~period:(cfg t).Config.heartbeat_period (fun () ->
       if t.retired then false
       else begin
-        if alive t then
-          send t ~dst:(Runtime.manager_addr rt) (Msg.Heartbeat { server = t.addr });
+        if alive t then begin
+          (counters t).Runtime.heartbeat_msgs <-
+            (counters t).Runtime.heartbeat_msgs + 1;
+          send t ~dst:(Runtime.manager_addr rt) (Msg.Heartbeat { server = t.addr })
+        end;
         true
       end);
   (* GC watermark gossip (§4.5) *)
@@ -795,6 +889,13 @@ let spawn rt ~gid ~epoch =
       in_progress = Hashtbl.create 16;
       busy_until = 0.0;
       busy_us = 0.0;
+      adm =
+        Flow.Admission.create ~limit:rt.Runtime.cfg.Config.admission_limit
+          ~deadline_budget:rt.Runtime.cfg.Config.deadline_budget
+          ~op_cost:rt.Runtime.cfg.Config.gk_op_cost;
+      credits =
+        Flow.Credits.create ~peers:rt.Runtime.cfg.Config.n_shards
+          ~credits:rt.Runtime.cfg.Config.shard_credits;
       next_replica = 0;
       cur_tau = rt.Runtime.cfg.Config.tau;
       requests_seen = 0;
@@ -814,3 +915,10 @@ let spawn rt ~gid ~epoch =
 let retire t = t.retired <- true
 
 let current_tau t = t.cur_tau
+
+let credits_available t shard = Flow.Credits.available t.credits shard
+
+(* a shard restarted in place and dropped its queues: the credits our
+   in-flight Shard_txs carried will never be refunded — refill the column
+   or admission towards that shard wedges shut permanently *)
+let on_shard_restart t shard = Flow.Credits.reset_peer t.credits shard

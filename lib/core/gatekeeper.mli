@@ -36,3 +36,13 @@ val on_revive : t -> unit
     whose entries may have missed peers' [Commit_note] invalidations while
     the instance was unreachable. The duplicate-suppression window is
     kept — it records durable commits. *)
+
+val credits_available : t -> int -> int
+(** Flow-control credits currently available towards the given shard
+    ([Config.shard_credits] when the mechanism is disabled); for tests
+    and introspection. *)
+
+val on_shard_restart : t -> int -> unit
+(** Called when a shard is restarted in place by a fault plan: its queues
+    (holding our un-applied [Shard_tx]s) were dropped, so the credits they
+    carried can never come back — refill that shard's credit column. *)

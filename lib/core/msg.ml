@@ -59,6 +59,8 @@ type t =
   | Epoch_change of { epoch : int }
   | Epoch_ack of { server : int; epoch : int }
   | Watermark of { gk : int; ts : Vclock.t }
+  | Overloaded of { req_id : int; reason : string }
+  | Credit of { shard : int; gk : int; n : int }
 
 let pp fmt = function
   | Tx_req { client; tx_id; ops } ->
@@ -90,6 +92,9 @@ let pp fmt = function
   | Epoch_change { epoch } -> Format.fprintf fmt "Epoch_change(%d)" epoch
   | Epoch_ack { server; epoch } -> Format.fprintf fmt "Epoch_ack(%d,e%d)" server epoch
   | Watermark { gk; ts } -> Format.fprintf fmt "Watermark(gk%d,%a)" gk Vclock.pp ts
+  | Overloaded { req_id; reason } ->
+      Format.fprintf fmt "Overloaded(#%d,%s)" req_id reason
+  | Credit { shard; gk; n } -> Format.fprintf fmt "Credit(s%d->gk%d,%d)" shard gk n
 
 (* The trace id a message travels on behalf of: client-originated requests
    use their globally unique request id; derived traffic inherits it
@@ -105,7 +110,9 @@ let trace_of = function
   | Migrate_req { tx_id; _ } -> Some tx_id
   | Commit_note { tx_id; _ } -> Some tx_id
   | Shard_tx { trace; _ } -> if trace = 0 then None else Some trace
-  | Announce _ | Heartbeat _ | Epoch_change _ | Epoch_ack _ | Watermark _ -> None
+  | Overloaded { req_id; _ } -> Some req_id
+  | Announce _ | Heartbeat _ | Epoch_change _ | Epoch_ack _ | Watermark _ | Credit _ ->
+      None
 
 let kind = function
   | Tx_req _ -> "Tx_req"
@@ -124,3 +131,5 @@ let kind = function
   | Epoch_change _ -> "Epoch_change"
   | Epoch_ack _ -> "Epoch_ack"
   | Watermark _ -> "Watermark"
+  | Overloaded _ -> "Overloaded"
+  | Credit _ -> "Credit"

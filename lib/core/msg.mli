@@ -101,6 +101,17 @@ type t =
   | Watermark of { gk : int; ts : Weaver_vclock.Vclock.t }
       (** gatekeeper → shards and manager: oldest timestamp still in use,
           for multi-version GC (§4.5) *)
+  | Overloaded of { req_id : int; reason : string }
+      (** gatekeeper → client: the request was shed at admission (overload
+          management, {!Weaver_flow.Flow}). [reason] is ["queue"] (the
+          admission bound), ["deadline"] (projected wait exceeds the
+          deadline budget), or ["credit"] (a target shard's flow-control
+          credits are exhausted). Clients surface it as
+          [Error "shed:<reason>"], which retry policies treat as a backoff
+          signal *)
+  | Credit of { shard : int; gk : int; n : int }
+      (** shard → gatekeeper, control-plane: [n] forwarded transactions
+          were applied; return their flow-control credits *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line rendering for traces and test failures. *)

@@ -39,6 +39,11 @@ type counters = {
   mutable late_replies : int;
   mutable client_retries : int;
   mutable fault_events : int;
+  mutable heartbeat_msgs : int;
+  mutable credit_msgs : int;
+  mutable shed_queue_full : int;
+  mutable shed_deadline : int;
+  mutable shed_credit : int;
 }
 
 type t = {
@@ -113,7 +118,12 @@ let register_counter_gauges metrics (c : counters) =
   g "tx.dedup_dropped" (fun () -> c.dedup_dropped);
   g "client.late_replies" (fun () -> c.late_replies);
   g "client.retries" (fun () -> c.client_retries);
-  g "fault.events" (fun () -> c.fault_events)
+  g "fault.events" (fun () -> c.fault_events);
+  g "msg.heartbeat" (fun () -> c.heartbeat_msgs);
+  g "flow.credit_msgs" (fun () -> c.credit_msgs);
+  g "flow.shed_queue_full" (fun () -> c.shed_queue_full);
+  g "flow.shed_deadline" (fun () -> c.shed_deadline);
+  g "flow.shed_credit" (fun () -> c.shed_credit)
 
 (* the network tracer that feeds the causal trace collector: attribute
    every wire message to its request's trace id *)
@@ -173,6 +183,11 @@ let create cfg =
           late_replies = 0;
           client_retries = 0;
           fault_events = 0;
+          heartbeat_msgs = 0;
+          credit_msgs = 0;
+          shed_queue_full = 0;
+          shed_deadline = 0;
+          shed_credit = 0;
         };
       metrics;
       tracer =
@@ -191,6 +206,7 @@ let create cfg =
   Metrics.gauge metrics "net.sent" (fun () -> Net.messages_sent t.net);
   Metrics.gauge metrics "net.delivered" (fun () -> Net.messages_delivered t.net);
   Metrics.gauge metrics "net.suppressed" (fun () -> Net.messages_suppressed t.net);
+  Metrics.gauge metrics "net.dropped" (fun () -> Net.messages_dropped t.net);
   Metrics.gauge metrics "store.keys" (fun () -> Store.length t.store);
   Metrics.gauge metrics "store.commits" (fun () -> Store.commits t.store);
   Metrics.gauge metrics "store.aborts" (fun () -> Store.aborts t.store);

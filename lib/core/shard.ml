@@ -170,7 +170,7 @@ let apply_op t ts (op : Msg.shard_op) =
       | _ -> ())
   | Msg.S_migrate_out vid -> Hashtbl.remove t.graph vid
 
-let apply_tx t (qt : queued_tx) =
+let apply_tx t ~gk (qt : queued_tx) =
   if qt.q_ops <> [] then begin
     (* time between arrival on the FIFO queue and execution — the
        timestamp-ordering wait the paper's Fig. 9 latency includes *)
@@ -188,13 +188,20 @@ let apply_tx t (qt : queued_tx) =
     t.busy_us +. ((cfg t).Config.vertex_write_cost *. float_of_int (List.length qt.q_ops));
   (* stream the applied transaction to read-only replicas, in this
      primary's execution order (asynchronous fan-out, §6.4) *)
-  if qt.q_ops <> [] then
+  if qt.q_ops <> [] then begin
     for r = 0 to (cfg t).Config.read_replicas - 1 do
       send t
         ~dst:(Runtime.replica_addr t.rt ~shard:t.sid ~replica:r)
         (Msg.Shard_tx
            { gk = 0; seq = qt.q_seq; ts = qt.q_ts; ops = qt.q_ops; trace = qt.q_trace })
-    done
+    done;
+    (* flow control: return the credit this transaction spent at its
+       gatekeeper. NOPs never carried one (control class). *)
+    if (cfg t).Config.shard_credits > 0 then begin
+      (counters t).Runtime.credit_msgs <- (counters t).Runtime.credit_msgs + 1;
+      send t ~dst:(Runtime.gk_addr t.rt gk) (Msg.Credit { shard = t.sid; gk; n = 1 })
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Node program execution (§4.1). *)
@@ -474,7 +481,7 @@ and try_advance t =
         | Some (g, _) ->
             let qt = Queue.pop t.queues.(g) in
             t.last_applied.(g) <- Some qt.q_ts;
-            apply_tx t qt;
+            apply_tx t ~gk:g qt;
             continue := true
         | None ->
             let nonblocking = (cfg t).Config.oracle_nonblocking in
@@ -534,7 +541,7 @@ and try_advance t =
               | (g, _) :: _ ->
                   let qt = Queue.pop t.queues.(g) in
                   t.last_applied.(g) <- Some qt.q_ts;
-                  apply_tx t qt;
+                  apply_tx t ~gk:g qt;
                   continue := true
               | [] ->
                   (* every head is real and at least one is stalled or in
@@ -665,8 +672,11 @@ let start_timers t =
   Engine.every t.rt.Runtime.engine ~period:(cfg t).Config.heartbeat_period (fun () ->
       if t.retired then false
       else begin
-        if Net.is_alive t.rt.Runtime.net t.addr then
-          send t ~dst:(Runtime.manager_addr t.rt) (Msg.Heartbeat { server = t.addr });
+        if Net.is_alive t.rt.Runtime.net t.addr then begin
+          (counters t).Runtime.heartbeat_msgs <-
+            (counters t).Runtime.heartbeat_msgs + 1;
+          send t ~dst:(Runtime.manager_addr t.rt) (Msg.Heartbeat { server = t.addr })
+        end;
         true
       end)
 

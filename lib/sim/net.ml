@@ -16,6 +16,11 @@ type 'm t = {
   mutable sent : int;
   mutable delivered : int;
   mutable suppressed : int; (* sends attempted by dead endpoints *)
+  (* messages whose delivery event found the destination dead (or never
+     registered): genuine loss, as opposed to latency. Kept per destination
+     so chaos runs can see which endpoint was black-holing traffic. *)
+  mutable dropped : int;
+  drops_by_dst : (addr, int) Hashtbl.t;
   (* queue-depth instrumentation: messages on the wire, globally and per
      (src,dst) channel, with high-water marks. Decremented when the
      delivery event fires, whether or not the destination is still alive. *)
@@ -48,6 +53,8 @@ let create engine ~latency =
     sent = 0;
     delivered = 0;
     suppressed = 0;
+    dropped = 0;
+    drops_by_dst = Hashtbl.create 16;
     in_flight = 0;
     in_flight_hwm = 0;
     channel_load = Hashtbl.create 256;
@@ -130,12 +137,22 @@ let send t ~src ~dst msg =
         | Some ep when ep.alive ->
             t.delivered <- t.delivered + 1;
             ep.handler ~src msg
-        | _ -> ())
+        | _ ->
+            t.dropped <- t.dropped + 1;
+            let n =
+              match Hashtbl.find_opt t.drops_by_dst dst with Some n -> n | None -> 0
+            in
+            Hashtbl.replace t.drops_by_dst dst (n + 1))
   end
 
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let messages_suppressed t = t.suppressed
+let messages_dropped t = t.dropped
+
+let drops_by_dst t =
+  Hashtbl.fold (fun dst n acc -> (dst, n) :: acc) t.drops_by_dst []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 let in_flight t = t.in_flight
 let in_flight_high_water t = t.in_flight_hwm
 

@@ -57,6 +57,16 @@ val messages_suppressed : 'm t -> int
     before the tracer). Counted separately so failure injection does not
     inflate message-overhead measurements. *)
 
+val messages_dropped : 'm t -> int
+(** Messages whose delivery event found the destination dead or never
+    registered — genuine loss at the receiving end, as opposed to latency.
+    Disjoint from {!messages_suppressed} (which never reach the wire);
+    [sent = delivered + dropped + in_flight] always holds. *)
+
+val drops_by_dst : 'm t -> (addr * int) list
+(** Per-destination breakdown of {!messages_dropped}, sorted by address —
+    which endpoint was black-holing traffic during a chaos run. *)
+
 (** {1 Queue-depth instrumentation}
 
     Messages in flight — sent but not yet delivered (or dropped at a dead

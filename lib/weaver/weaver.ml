@@ -35,6 +35,7 @@ module Codec = Weaver_graph.Codec
 module Partition = Weaver_partition.Partition
 module Engine = Weaver_sim.Engine
 module Net = Weaver_sim.Net
+module Flow = Weaver_flow.Flow
 module Metrics = Weaver_obs.Metrics
 module Trace = Weaver_obs.Trace
 module Xrand = Weaver_util.Xrand
