@@ -8,7 +8,8 @@
      stats       mixed run with tracing on; per-phase latency breakdown
      trace       span tree of one traced transaction and node program
      contention  blocking vs non-blocking refinement under write skew
-     overload    open-loop saturation quick-look, flow control off vs on *)
+     overload    open-loop saturation quick-look, flow control off vs on
+     snapshot    pinned historical analytics vs live writes, snapshots off vs on *)
 
 open Cmdliner
 open Weaver_core
@@ -341,6 +342,121 @@ let overload gatekeepers shards seed mult duration_ms json =
       on_.Workloads.Overloadbench.v_credit_msgs
   end
 
+let snapshot gatekeepers shards seed duration_ms json =
+  (* `bench snapshot` in miniature: historical multi-start reads at a
+     captured cut race a live write mix, versioned snapshot store off vs
+     on. Capacity-limited shards make the off arm pay demand paging and
+     the ordering gate; a "snapshot-gced" reply re-captures the cut. *)
+  let run snap =
+    let cfg =
+      {
+        Config.default with
+        Config.n_gatekeepers = gatekeepers;
+        Config.n_shards = shards;
+        Config.seed;
+        Config.snapshot_reads = snap;
+        Config.gc_period = 5_000.0;
+        Config.shard_capacity = Some 60;
+      }
+    in
+    let c = Cluster.create cfg in
+    Weaver_programs.Std_programs.Std.register_all (Cluster.registry c);
+    let n_vertices = 300 in
+    let vid i = Printf.sprintf "s%03d" i in
+    let setup = Cluster.client c in
+    let i = ref 0 in
+    while !i < n_vertices do
+      let tx = Client.Tx.begin_ setup in
+      for k = !i to min (n_vertices - 1) (!i + 49) do
+        ignore (Client.Tx.create_vertex tx ~id:(vid k) ())
+      done;
+      i := !i + 50;
+      match Client.commit setup tx with Ok () -> () | Error e -> failwith e
+    done;
+    Cluster.run_for c 30_000.0;
+    let at = ref (Cluster.gk_clock c 0) in
+    let starts = List.init 48 (fun k -> vid (k * 7 mod n_vertices)) in
+    let stop = ref false in
+    let writes = ref 0 in
+    for w = 0 to 1 do
+      let client = Cluster.client c in
+      Client.set_gatekeeper client (Some (w mod gatekeepers));
+      let rng = Weaver_util.Xrand.create ~seed:(seed + (1_000 * (w + 1))) () in
+      let n = ref 0 in
+      let rec next () =
+        if not !stop then begin
+          incr n;
+          let tx = Client.Tx.begin_ client in
+          Client.Tx.set_vertex_prop tx
+            ~vid:(vid (Weaver_util.Xrand.int rng n_vertices))
+            ~key:"n" ~value:(string_of_int !n);
+          Client.commit_async client tx ~on_result:(fun r ->
+              (match r with Ok () -> incr writes | Error _ -> ());
+              next ())
+        end
+      in
+      next ()
+    done;
+    let lat = Weaver_util.Stats.create () in
+    let reads = ref 0 and gced = ref 0 in
+    let analyst = Cluster.client c in
+    Client.set_retry_policy analyst Client.no_retry_policy;
+    let rec read_next () =
+      if not !stop then begin
+        let t0 = Cluster.now c in
+        Client.run_program_async analyst ~prog:"get_node" ~params:Progval.Null
+          ~starts ~at:!at
+          ~on_result:(fun r ->
+            (match r with
+            | Ok _ ->
+                incr reads;
+                Weaver_util.Stats.add lat (Cluster.now c -. t0)
+            | Error "snapshot-gced" ->
+                incr gced;
+                at := Cluster.gk_clock c 0
+            | Error e -> failwith ("analytics: " ^ e));
+            read_next ())
+          ()
+      end
+    in
+    read_next ();
+    Cluster.run_for c (duration_ms *. 1_000.0);
+    stop := true;
+    Cluster.run_for c 30_000.0;
+    let ctr = Cluster.counters c in
+    ( !writes,
+      !reads,
+      !gced,
+      Weaver_util.Stats.percentile lat 50.0,
+      Weaver_util.Stats.percentile lat 99.0,
+      ctr.Runtime.snap_published,
+      ctr.Runtime.snap_pinned_reads,
+      ctr.Runtime.snap_gc_deferred )
+  in
+  let off = run false and on_ = run true in
+  if json then begin
+    let arm (w, r, g, p50, p99, pub, pin, def) =
+      Printf.sprintf
+        "{\"writes\": %d, \"reads\": %d, \"cut_recaptures\": %d, \
+         \"p50_read_us\": %.1f, \"p99_read_us\": %.1f, \"snapshots_published\": \
+         %d, \"pinned_reads\": %d, \"gc_deferred\": %d}"
+        w r g p50 p99 pub pin def
+    in
+    Printf.printf
+      "{\"experiment\": \"snapshot\", \"seed\": %d, \"off\": %s, \"on\": %s}\n"
+      seed (arm off) (arm on_)
+  end
+  else begin
+    Printf.printf "%-4s %8s %7s %6s %12s %12s %10s %8s %9s\n" "arm" "writes"
+      "reads" "gced" "p50 us" "p99 us" "published" "pinned" "deferred";
+    let row tag (w, r, g, p50, p99, pub, pin, def) =
+      Printf.printf "%-4s %8d %7d %6d %12.1f %12.1f %10d %8d %9d\n" tag w r g
+        p50 p99 pub pin def
+    in
+    row "off" off;
+    row "on" on_
+  end
+
 let rebalance gatekeepers shards tau seed =
   let c = mk_cluster ~gatekeepers ~shards ~tau ~seed () in
   let client = Cluster.client c in
@@ -613,6 +729,20 @@ let overload_cmd =
           with flow control (admission + deadline shedding + credits) off vs on")
     Term.(const overload $ gatekeepers $ shards $ seed $ mult $ duration $ json)
 
+let snapshot_cmd =
+  let duration =
+    Arg.(
+      value & opt float 150.0
+      & info [ "d"; "duration" ] ~docv:"MS" ~doc:"Race window, virtual ms.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit both arms as JSON.") in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Historical analytics vs live writes quick-look: versioned snapshot \
+          store (pinned lock-free reads) off vs on")
+    Term.(const snapshot $ gatekeepers $ shards $ seed $ duration $ json)
+
 let rebalance_cmd =
   Cmd.v (Cmd.info "rebalance" ~doc:"Dynamic re-partitioning demo (par. 4.6)")
     Term.(const rebalance $ gatekeepers $ shards $ tau $ seed)
@@ -705,6 +835,7 @@ let () =
             sweep_cmd;
             contention_cmd;
             overload_cmd;
+            snapshot_cmd;
             rebalance_cmd;
             backup_cmd;
             stats_cmd;

@@ -56,6 +56,10 @@ let is_shed e = String.length e >= 5 && String.equal (String.sub e 0 5) "shed:"
    read-modify-write loops need to re-read first) *)
 let retryable policy = function
   | "timeout" | "epoch-change" -> true
+  | "snapshot-gced" ->
+      (* the requested historical timestamp was compacted away on some
+         shard; the caller picks a fresher [at] and the retry succeeds *)
+      true
   | "conflict" -> policy.rp_retry_conflicts
   | e -> is_shed e (* else "invalid: ...", "unknown program: ...", stalls *)
 

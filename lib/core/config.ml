@@ -29,6 +29,8 @@ type t = {
   admission_limit : int;
   deadline_budget : float;
   shard_credits : int;
+  snapshot_reads : bool;
+  snapshot_retain : int;
   seed : int;
 }
 
@@ -64,6 +66,8 @@ let default =
     admission_limit = 0;
     deadline_budget = 0.0;
     shard_credits = 0;
+    snapshot_reads = false;
+    snapshot_retain = 4;
     seed = 42;
   }
 
@@ -93,4 +97,8 @@ let validate t =
   req "slow_log_capacity" (t.slow_log_capacity >= 1);
   req "admission_limit" (t.admission_limit >= 0);
   req "deadline_budget" (t.deadline_budget >= 0.0);
-  req "shard_credits" (t.shard_credits >= 0)
+  req "shard_credits" (t.shard_credits >= 0);
+  req "snapshot_retain" (t.snapshot_retain >= 1);
+  (* snapshots are published at watermark boundaries, which only exist
+     while the GC gossip timer runs *)
+  req "snapshot_reads" ((not t.snapshot_reads) || t.gc_period > 0.0)

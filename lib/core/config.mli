@@ -104,6 +104,23 @@ type t = {
           column and admission sheds writes bound for it instead of
           growing the FIFO without bound. NOPs ride for free (control
           class). 0 disables flow control *)
+  snapshot_reads : bool;
+      (** versioned snapshot store for lock-free analytics
+          ({!Weaver_store.Snapshot}): at each GC watermark boundary a shard
+          publishes a refcounted immutable snapshot of its partition,
+          rebuilt from the durable store (which keeps full version
+          history). A historical node program whose [at] timestamp
+          precedes a published snapshot pins that snapshot and runs
+          against it — skipping the per-gatekeeper queue gate, per-vertex
+          OCC/paging and the LRU entirely, so whole-graph analytics never
+          block writers and writers never evict the snapshot's reads.
+          Pinned snapshots clamp the shard's compaction watermark (they
+          are never compacted out from under a running program). Off by
+          default; requires [gc_period > 0] *)
+  snapshot_retain : int;
+      (** published snapshots each shard retains beyond the pinned set
+          (≥ 1); older unpinned snapshots are pruned as the watermark
+          window rolls forward *)
   seed : int;  (** master RNG seed; runs are deterministic per seed *)
 }
 

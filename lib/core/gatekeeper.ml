@@ -12,6 +12,7 @@ type prog_run = {
   pr_starts : string list;
   pr_ts : Vclock.t;
   pr_memo_key : string option; (* None: historical run or memoization off *)
+  pr_historical : bool; (* [at] was set: pinned to a past snapshot *)
   pr_started : float; (* virtual time the run was admitted, for tracing *)
   mutable pr_outstanding : int;
   mutable pr_acc : Progval.t;
@@ -551,6 +552,7 @@ let handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak =
               pr_starts = starts;
               pr_ts = ts;
               pr_memo_key = mkey;
+              pr_historical = historical;
               pr_started = now t;
               pr_outstanding = 0;
               pr_acc = P.empty;
@@ -566,10 +568,15 @@ let handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak =
               Hashtbl.replace by_shard shard ((vid, params) :: l))
             starts;
           (* weak reads rotate across the primary and its read replicas,
-             so every replica adds read capacity (§6.4) *)
+             so every replica adds read capacity (§6.4) — except historical
+             reads when snapshot serving is on: only primaries publish and
+             pin snapshots, so route those to the primary where they run
+             lock-free instead of against a replica's unversioned-floor
+             state *)
           let n_replicas = (cfg t).Config.read_replicas in
+          let snapshot_routed = historical && (cfg t).Config.snapshot_reads in
           let slot =
-            if weak && n_replicas > 0 then begin
+            if weak && n_replicas > 0 && not snapshot_routed then begin
               t.next_replica <- (t.next_replica + 1) mod (n_replicas + 1);
               t.next_replica
             end
@@ -585,7 +592,16 @@ let handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak =
                 else Runtime.shard_addr t.rt shard
               in
               send t ~dst
-                (Msg.Prog_batch { coord = t.addr; prog_id; ts; prog; historical; items }))
+                (Msg.Prog_batch
+                   {
+                     coord = t.addr;
+                     prog_id;
+                     ts;
+                     prog;
+                     historical;
+                     items;
+                     sent_at = now t;
+                   }))
             by_shard;
           if run.pr_outstanding = 0 then begin
             (* no live start vertices: answer immediately *)
@@ -595,10 +611,32 @@ let handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak =
             send t ~dst:client (Msg.Prog_reply { prog_id; result = Ok P.empty })
           end)
 
-let handle_prog_partial t ~prog_id ~sent ~acc ~visited =
+let handle_prog_partial t ~prog_id ~sent ~acc ~visited ~error =
   match Hashtbl.find_opt t.active prog_id with
   | None -> () (* stale partial from a pre-epoch run *)
   | Some run -> (
+      match error with
+      | Some reason ->
+          (* a shard failed the whole run (e.g. "snapshot-gced": the
+             requested historical timestamp fell below its compaction
+             floor). Fail fast and retryably; partials from other shards
+             arriving after the removal are dropped as stale. *)
+          Hashtbl.remove t.active prog_id;
+          Runtime.trace_span t.rt ~trace:prog_id ~name:"gk.prog" ~actor:(actor t)
+            ~start:run.pr_started ~stop:(now t)
+            ~meta:[ ("prog", run.pr_prog); ("error", reason) ]
+            ();
+          send t ~dst:run.pr_client
+            (Msg.Prog_reply { prog_id; result = Error reason });
+          for s = 0 to (cfg t).Config.n_shards - 1 do
+            send t ~dst:(Runtime.shard_addr t.rt s) (Msg.Prog_gc { prog_id });
+            for r = 0 to (cfg t).Config.read_replicas - 1 do
+              send t
+                ~dst:(Runtime.replica_addr t.rt ~shard:s ~replica:r)
+                (Msg.Prog_gc { prog_id })
+            done
+          done
+      | None -> (
       match Nodeprog.find t.rt.Runtime.registry run.pr_prog with
       | None -> ()
       | Some (module P : Nodeprog.PROGRAM) ->
@@ -633,7 +671,7 @@ let handle_prog_partial t ~prog_id ~sent ~acc ~visited =
                 Hashtbl.replace t.memo k
                   { m_result = run.pr_acc; m_reads = run.pr_visited }
             | None -> ()
-          end)
+          end))
 
 (* ------------------------------------------------------------------ *)
 (* Epochs and failure handling (§4.3). *)
@@ -669,11 +707,21 @@ let handle_epoch_change t new_epoch =
 (* ------------------------------------------------------------------ *)
 
 let oldest_active_stamp t =
+  (* With snapshot serving on, historical runs do NOT hold the watermark
+     back: their reads come from pinned immutable snapshots (or fail with
+     the retryable "snapshot-gced" when none covers them — by then the
+     shard has published a snapshot that does, so the retry pins it).
+     This is the point of the subsystem: a long-running analytics query at
+     an old timestamp no longer stalls multi-version GC cluster-wide.
+     Without snapshots they keep today's behavior and clamp the gossip. *)
+  let snap = (cfg t).Config.snapshot_reads in
   Hashtbl.fold
     (fun _ run acc ->
-      match acc with
-      | None -> Some run.pr_ts
-      | Some m -> Some (Runtime.stamp_min m run.pr_ts))
+      if snap && run.pr_historical then acc
+      else
+        match acc with
+        | None -> Some run.pr_ts
+        | Some m -> Some (Runtime.stamp_min m run.pr_ts))
     t.active None
   |> Option.value ~default:t.clock
 
@@ -793,8 +841,8 @@ let handle t ~src:_ msg =
            Valid across epochs — the note reports a durable store commit *)
         record_dedup t ~client ~tx_id ~reads;
         invalidate_memo_remote t written
-    | Msg.Prog_partial { prog_id; sent; acc; visited } ->
-        handle_prog_partial t ~prog_id ~sent ~acc ~visited
+    | Msg.Prog_partial { prog_id; sent; acc; visited; error } ->
+        handle_prog_partial t ~prog_id ~sent ~acc ~visited ~error
     | Msg.Epoch_change { epoch } -> handle_epoch_change t epoch
     | _ -> ()
 

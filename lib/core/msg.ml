@@ -44,8 +44,15 @@ type t =
       prog : string;
       historical : bool;
       items : (string * Progval.t) list;
+      sent_at : float;
     }
-  | Prog_partial of { prog_id : int; sent : int; acc : Progval.t; visited : string list }
+  | Prog_partial of {
+      prog_id : int;
+      sent : int;
+      acc : Progval.t;
+      visited : string list;
+      error : string option;
+    }
   | Prog_gc of { prog_id : int }
   | Migrate_req of { client : int; tx_id : int; vid : string; to_shard : int }
   | Commit_note of {
@@ -81,8 +88,9 @@ let pp fmt = function
   | Prog_batch { prog_id; prog; items; ts; _ } ->
       Format.fprintf fmt "Prog_batch(#%d,%s,%a,%d items)" prog_id prog Vclock.pp ts
         (List.length items)
-  | Prog_partial { prog_id; sent; _ } ->
-      Format.fprintf fmt "Prog_partial(#%d,sent %d)" prog_id sent
+  | Prog_partial { prog_id; sent; error; _ } ->
+      Format.fprintf fmt "Prog_partial(#%d,sent %d%s)" prog_id sent
+        (match error with None -> "" | Some e -> "," ^ e)
   | Prog_gc { prog_id } -> Format.fprintf fmt "Prog_gc(#%d)" prog_id
   | Migrate_req { vid; to_shard; _ } -> Format.fprintf fmt "Migrate_req(%s->s%d)" vid to_shard
   | Commit_note { gk; client; tx_id; written; _ } ->

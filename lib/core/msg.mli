@@ -62,6 +62,7 @@ type t =
       prog : string;
       historical : bool;
       items : (string * Progval.t) list;  (** (vertex, params) to visit *)
+      sent_at : float;  (** send time, for the [shard.prog_hop] span *)
     }
       (** gatekeeper → shard (start) or shard → shard (hop propagation);
           [historical] marks a query pinned to a past snapshot: reads
@@ -73,6 +74,12 @@ type t =
       sent : int;  (** further [Prog_batch] messages this batch spawned *)
       acc : Progval.t;
       visited : string list;
+      error : string option;
+          (** [Some reason] fails the whole program run (e.g.
+              ["snapshot-gced"]: the requested historical timestamp fell
+              below the shard's compaction floor with no pinned snapshot
+              covering it); the gatekeeper replies [Error reason] and GCs
+              the run *)
     }
       (** shard → coordinating gatekeeper: batch finished; drives
           termination detection by message counting *)

@@ -71,7 +71,8 @@ let execute_batch t ~coord ~prog_id ~ts ~prog ~historical ~items =
   match Nodeprog.find t.rt.Runtime.registry prog with
   | None ->
       send t ~dst:coord
-        (Msg.Prog_partial { prog_id; sent = 0; acc = Progval.Null; visited = [] })
+        (Msg.Prog_partial
+           { prog_id; sent = 0; acc = Progval.Null; visited = []; error = None })
   | Some (module P : Nodeprog.PROGRAM) ->
       let states = prog_states t prog_id in
       let bf = before t in
@@ -122,9 +123,19 @@ let execute_batch t ~coord ~prog_id ~ts ~prog ~historical ~items =
                   (counters t).Runtime.prog_batch_msgs + 1;
                 send t
                   ~dst:(Runtime.replica_addr t.rt ~shard:hshard ~replica:t.rid)
-                  (Msg.Prog_batch { coord; prog_id; ts; prog; historical; items }))
+                  (Msg.Prog_batch
+                     {
+                       coord;
+                       prog_id;
+                       ts;
+                       prog;
+                       historical;
+                       items;
+                       sent_at = Engine.now t.rt.Runtime.engine;
+                     }))
               remote;
-            send t ~dst:coord (Msg.Prog_partial { prog_id; sent; acc; visited })
+            send t ~dst:coord
+              (Msg.Prog_partial { prog_id; sent; acc; visited; error = None })
           end)
 
 let handle t ~src:_ msg =
@@ -135,7 +146,14 @@ let handle t ~src:_ msg =
           t.applied <- t.applied + 1;
           List.iter (apply_op t ts) ops
         end
-    | Msg.Prog_batch { coord; prog_id; ts; prog; historical; items } ->
+    | Msg.Prog_batch { coord; prog_id; ts; prog; historical; items; sent_at } ->
+        Runtime.observe t.rt "shard.prog_hop_wait"
+          (Engine.now t.rt.Runtime.engine -. sent_at);
+        Runtime.trace_span t.rt ~trace:prog_id ~name:"shard.prog_hop"
+          ~actor:(Printf.sprintf "replica%d.%d" t.sid t.rid)
+          ~start:sent_at
+          ~stop:(Engine.now t.rt.Runtime.engine)
+          ();
         execute_batch t ~coord ~prog_id ~ts ~prog ~historical ~items
     | Msg.Prog_gc { prog_id } -> Hashtbl.remove t.prog_state prog_id
     | _ -> ()

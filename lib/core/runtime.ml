@@ -44,6 +44,9 @@ type counters = {
   mutable shed_queue_full : int;
   mutable shed_deadline : int;
   mutable shed_credit : int;
+  mutable snap_published : int;
+  mutable snap_pinned_reads : int;
+  mutable snap_gc_deferred : int;
 }
 
 type t = {
@@ -123,7 +126,10 @@ let register_counter_gauges metrics (c : counters) =
   g "flow.credit_msgs" (fun () -> c.credit_msgs);
   g "flow.shed_queue_full" (fun () -> c.shed_queue_full);
   g "flow.shed_deadline" (fun () -> c.shed_deadline);
-  g "flow.shed_credit" (fun () -> c.shed_credit)
+  g "flow.shed_credit" (fun () -> c.shed_credit);
+  g "snap.published" (fun () -> c.snap_published);
+  g "snap.pinned_reads" (fun () -> c.snap_pinned_reads);
+  g "snap.gc_deferred" (fun () -> c.snap_gc_deferred)
 
 (* the network tracer that feeds the causal trace collector: attribute
    every wire message to its request's trace id *)
@@ -188,6 +194,9 @@ let create cfg =
           shed_queue_full = 0;
           shed_deadline = 0;
           shed_credit = 0;
+          snap_published = 0;
+          snap_pinned_reads = 0;
+          snap_gc_deferred = 0;
         };
       metrics;
       tracer =

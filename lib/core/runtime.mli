@@ -63,6 +63,15 @@ type counters = {
   mutable shed_credit : int;
       (** requests shed at admission: a target shard's flow-control
           credits exhausted ([Config.shard_credits]) *)
+  mutable snap_published : int;
+      (** immutable graph snapshots published by shards at watermark
+          boundaries ([Config.snapshot_reads]) *)
+  mutable snap_pinned_reads : int;
+      (** historical node-program batches executed against a pinned
+          snapshot instead of per-vertex version resolution *)
+  mutable snap_gc_deferred : int;
+      (** compaction rounds whose watermark was clamped because a pinned
+          snapshot was older than the gossiped watermark *)
 }
 
 type t = {

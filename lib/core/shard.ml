@@ -2,6 +2,7 @@ module Vclock = Weaver_vclock.Vclock
 module Engine = Weaver_sim.Engine
 module Net = Weaver_sim.Net
 module Store = Weaver_store.Store
+module Snapshot = Weaver_store.Snapshot
 module Oracle = Weaver_oracle.Oracle
 module Mgraph = Weaver_graph.Mgraph
 
@@ -13,6 +14,16 @@ type queued_tx = {
   q_enq : float; (* when it entered this queue, for queue-wait metrics *)
 }
 
+(* An immutable copy of this shard's partition as of [sg_ts], rebuilt from
+   the durable store at a watermark boundary. The store keeps the full
+   version history (only in-memory copies are ever compacted) and vertex
+   records are functional, so sharing them here is safe and the snapshot
+   answers any read at [at ≺ sg_ts] exactly. *)
+type snap_graph = {
+  sg_ts : Vclock.t;
+  sg_graph : (string, Mgraph.vertex) Hashtbl.t;
+}
+
 type parked_prog = {
   p_coord : int;
   p_id : int;
@@ -21,6 +32,8 @@ type parked_prog = {
   p_historical : bool;
   p_items : (string * Progval.t) list;
   p_since : float;  (* when this batch was parked *)
+  p_snap : snap_graph Snapshot.entry option;
+      (* pinned snapshot this batch reads from; None = live graph *)
 }
 
 type t = {
@@ -54,6 +67,13 @@ type t = {
   mutable busy_us : float; (* total service time charged — utilization *)
   mutable epoch : int;
   wm : Vclock.t option array; (* latest watermark per gatekeeper *)
+  snaps : snap_graph Snapshot.t; (* published partition snapshots *)
+  pins : (int, snap_graph Snapshot.entry) Hashtbl.t; (* prog_id -> pin *)
+  mutable gc_floor : Vclock.t option;
+      (* effective watermark of the last compaction: versions strictly
+         below it are gone from the in-memory copies, so a historical read
+         below it (with no pinned snapshot) must fail retryably instead of
+         silently reading post-compaction state *)
   mutable retired : bool;
 }
 
@@ -61,7 +81,15 @@ let sid t = t.sid
 let epoch t = t.epoch
 let vertex t vid = Hashtbl.find_opt t.graph vid
 let resident_vertices t = Hashtbl.length t.graph
+
+let resident_ids t =
+  Hashtbl.fold (fun vid _ acc -> vid :: acc) t.graph []
+  |> List.sort String.compare
+
 let queue_depths t = Array.map Queue.length t.queues
+let snapshots_retained t = Snapshot.count t.snaps
+let snapshots_pinned t = List.length (Snapshot.pinned t.snaps)
+let gc_floor t = t.gc_floor
 
 let cfg t = t.rt.Runtime.cfg
 let counters t = t.rt.Runtime.counters
@@ -218,12 +246,35 @@ let prog_states t prog_id =
    shard are processed in the same batch, hops elsewhere are grouped into
    per-shard messages. Results are delivered after the modelled CPU cost. *)
 let execute_prog_batch t (p : parked_prog) =
+  (* historical read below the compaction floor with no pinned snapshot:
+     the versions it needs are gone from the in-memory copy, and reading
+     post-compaction state would silently violate the query's timestamp.
+     Fail the whole run retryably instead. *)
+  let gced =
+    p.p_historical
+    && (match p.p_snap with None -> true | Some _ -> false)
+    && match t.gc_floor with
+       | Some floor -> Vclock.precedes p.p_ts floor
+       | None -> false
+  in
+  if gced then
+    send t ~dst:p.p_coord
+      (Msg.Prog_partial
+         {
+           prog_id = p.p_id;
+           sent = 0;
+           acc = Progval.Null;
+           visited = [];
+           error = Some "snapshot-gced";
+         })
+  else
   match Nodeprog.find t.rt.Runtime.registry p.p_prog with
   | None ->
       (* unknown program: report an empty batch so termination detection
          still converges (the coordinator validated the name already) *)
       send t ~dst:p.p_coord
-        (Msg.Prog_partial { prog_id = p.p_id; sent = 0; acc = Progval.Null; visited = [] })
+        (Msg.Prog_partial
+           { prog_id = p.p_id; sent = 0; acc = Progval.Null; visited = []; error = None })
   | Some (module P : Nodeprog.PROGRAM) ->
       (* time this batch spent parked behind the refinable-timestamp gate *)
       Runtime.observe t.rt "shard.prog_gate_wait" (now t -. p.p_since);
@@ -231,6 +282,17 @@ let execute_prog_batch t (p : parked_prog) =
         ~start:p.p_since ~stop:(now t) ();
       let exec_start = now t in
       let states = prog_states t p.p_id in
+      (* a pinned batch reads the immutable snapshot: no demand paging, no
+         LRU touches, no evictions — analytics never pollute the writers'
+         hot set and writers never page the analytics' reads out *)
+      let pinned =
+        match p.p_snap with Some e -> Some (Snapshot.value e) | None -> None
+      in
+      (match pinned with
+      | Some _ ->
+          (counters t).Runtime.snap_pinned_reads <-
+            (counters t).Runtime.snap_pinned_reads + 1
+      | None -> ());
       (* historical queries pin the snapshot: a version stamp concurrent
          with the snapshot is ordered after it (unless already committed
          before), so time travel excludes later writes *)
@@ -252,7 +314,11 @@ let execute_prog_batch t (p : parked_prog) =
       in
       while not (Queue.is_empty work) do
         let vid, params = Queue.pop work in
-        let vrec, pc = lookup_vertex t vid in
+        let vrec, pc =
+          match pinned with
+          | Some sg -> (Hashtbl.find_opt sg.sg_graph vid, 0.0)
+          | None -> lookup_vertex t vid
+        in
         page_cost := !page_cost +. pc;
         match vrec with
         | None ->
@@ -310,10 +376,12 @@ let execute_prog_batch t (p : parked_prog) =
                        prog = p.p_prog;
                        historical = p.p_historical;
                        items;
+                       sent_at = now t;
                      }))
               remote;
             send t ~dst:p.p_coord
-              (Msg.Prog_partial { prog_id = p.p_id; sent; acc; visited })
+              (Msg.Prog_partial
+                 { prog_id = p.p_id; sent; acc; visited; error = None })
           end)
 
 (* A node program may run once, for every gatekeeper, the next transaction
@@ -334,6 +402,16 @@ let execute_prog_batch t (p : parked_prog) =
    real transaction heads may additionally consult pre-established oracle
    state. *)
 let prog_runnable t (p : parked_prog) =
+  match p.p_snap with
+  | Some _ ->
+      (* pinned batches skip the gate entirely: they read an immutable
+         snapshot the queues can never mutate, and the durable store the
+         snapshot was built from was already ahead of every gatekeeper
+         queue when it was published (gatekeepers commit to the store
+         before sending the Shard_tx), so no queued or future transaction
+         can be visible at [p_ts ≺ sg_ts] *)
+      true
+  | None ->
   (* patience before falling back to the oracle: roughly two announce
      rounds (vector clocks will have resolved the pair by then if they
      ever will), capped so enormous tau still makes progress reactively *)
@@ -592,6 +670,11 @@ let handle_epoch_change t new_epoch =
     Hashtbl.reset t.oracle_batch;
     t.oracle_batch_list <- [];
     t.oracle_gen <- t.oracle_gen + 1;
+    (* in-memory snapshots and pins die with the epoch; the reload below
+       restores the full version history, so the compaction floor resets *)
+    Snapshot.clear t.snaps;
+    Hashtbl.reset t.pins;
+    t.gc_floor <- None;
     reload_from_store t;
     send t ~dst:(Runtime.manager_addr t.rt)
       (Msg.Epoch_ack { server = t.addr; epoch = new_epoch })
@@ -613,6 +696,55 @@ let handle_watermark t gk ts =
         None t.wm
       |> Option.get
     in
+    (* publish an immutable snapshot of the partition at this watermark
+       boundary, rebuilt from the durable store: the store keeps the full
+       version history, and every transaction stamped before [wm] was
+       committed to it before the watermark was gossiped, so the snapshot
+       answers any read at [at ≺ wm] exactly *)
+    if (cfg t).Config.snapshot_reads then begin
+      let key = Vclock.key wm in
+      let fresh =
+        match Snapshot.latest t.snaps with
+        | Some e -> not (String.equal (Snapshot.key e) key)
+        | None -> true
+      in
+      if fresh then begin
+        let sg_graph = Hashtbl.create 1024 in
+        List.iter
+          (fun (k, value) ->
+            match value with
+            | Runtime.Vrec v ->
+                let vid = String.sub k 2 (String.length k - 2) in
+                if Runtime.shard_of_vertex t.rt vid = t.sid then
+                  Hashtbl.replace sg_graph vid v
+            | _ -> ())
+          (Store.scan_prefix t.rt.Runtime.store ~prefix:"v/");
+        ignore (Snapshot.publish t.snaps ~key { sg_ts = wm; sg_graph });
+        (counters t).Runtime.snap_published <-
+          (counters t).Runtime.snap_published + 1
+      end
+    end;
+    (* pinned snapshots extend the watermark: while an analytics run holds
+       a snapshot at [sg_ts], compaction must not advance past it, or a
+       retry of the same query (after a crash dropped the pin) would find
+       its versions gone *)
+    let wm =
+      let eff =
+        List.fold_left
+          (fun acc e -> Runtime.stamp_min acc (Snapshot.value e).sg_ts)
+          wm (Snapshot.pinned t.snaps)
+      in
+      if not (Vclock.equal eff wm) then
+        (counters t).Runtime.snap_gc_deferred <-
+          (counters t).Runtime.snap_gc_deferred + 1;
+      eff
+    in
+    (* retain the effective floor (monotone within an epoch); epoch
+       barriers reset it because the reload restores the full history *)
+    t.gc_floor <-
+      (match t.gc_floor with
+      | Some f when f.Vclock.epoch = wm.Vclock.epoch -> Some (Vclock.merge f wm)
+      | _ -> Some wm);
     (* vclock-only comparison: a version strictly below the watermark by
        vector clock alone is unreachable by any current or future read *)
     let vb a b = Vclock.precedes a b in
@@ -650,7 +782,28 @@ let handle t ~src:_ msg =
         end
         (* other epochs: stale or not-yet-adopted traffic; the store reload
            at the epoch barrier covers the effects (§4.3) *)
-    | Msg.Prog_batch { coord; prog_id; ts; prog; historical; items } ->
+    | Msg.Prog_batch { coord; prog_id; ts; prog; historical; items; sent_at } ->
+        (* the network/fan-out leg of a node program, from the sender's
+           dispatch to arrival here — the phase client-tx slow-log entries
+           already had and program entries were missing *)
+        Runtime.observe t.rt "shard.prog_hop_wait" (now t -. sent_at);
+        Runtime.trace_span t.rt ~trace:prog_id ~name:"shard.prog_hop"
+          ~actor:(actor t) ~start:sent_at ~stop:(now t) ();
+        let snap =
+          if historical && (cfg t).Config.snapshot_reads then
+            match Hashtbl.find_opt t.pins prog_id with
+            | Some e -> Some e (* later batch of an already-pinned run *)
+            | None -> (
+                match
+                  Snapshot.find t.snaps (fun sg -> Vclock.precedes ts sg.sg_ts)
+                with
+                | Some e ->
+                    Snapshot.acquire t.snaps e;
+                    Hashtbl.replace t.pins prog_id e;
+                    Some e
+                | None -> None)
+          else None
+        in
         t.parked <-
           {
             p_coord = coord;
@@ -660,10 +813,17 @@ let handle t ~src:_ msg =
             p_historical = historical;
             p_items = items;
             p_since = Engine.now t.rt.Runtime.engine;
+            p_snap = snap;
           }
           :: t.parked;
         try_run_parked t
-    | Msg.Prog_gc { prog_id } -> Hashtbl.remove t.prog_state prog_id
+    | Msg.Prog_gc { prog_id } ->
+        Hashtbl.remove t.prog_state prog_id;
+        (match Hashtbl.find_opt t.pins prog_id with
+        | Some e ->
+            Snapshot.release t.snaps e;
+            Hashtbl.remove t.pins prog_id
+        | None -> ())
     | Msg.Watermark { gk; ts } -> handle_watermark t gk ts
     | Msg.Epoch_change { epoch } -> handle_epoch_change t epoch
     | _ -> ()
@@ -705,6 +865,9 @@ let spawn rt ~sid ~epoch =
       busy_us = 0.0;
       epoch;
       wm = Array.make n_g None;
+      snaps = Snapshot.create ~retain:rt.Runtime.cfg.Config.snapshot_retain ();
+      pins = Hashtbl.create 8;
+      gc_floor = None;
       retired = false;
     }
   in
@@ -747,4 +910,7 @@ let resync t =
   Hashtbl.reset t.oracle_batch;
   t.oracle_batch_list <- [];
   t.oracle_gen <- t.oracle_gen + 1;
+  Snapshot.clear t.snaps;
+  Hashtbl.reset t.pins;
+  t.gc_floor <- None;
   reload_from_store t

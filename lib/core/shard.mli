@@ -27,8 +27,33 @@ val vertex : t -> string -> Weaver_graph.Mgraph.vertex option
 (** In-memory record of a vertex on this shard (tests/introspection). *)
 
 val resident_vertices : t -> int
+
+val resident_ids : t -> string list
+(** Sorted vids of the vertices resident in shard memory
+    (tests/introspection — crash-recovery determinism checks). *)
+
 val queue_depths : t -> int array
 (** Pending transactions per gatekeeper queue (tests). *)
+
+(** {1 Versioned snapshots} ([Config.snapshot_reads])
+
+    At each watermark boundary the shard publishes a refcounted immutable
+    snapshot of its partition, rebuilt from the durable store (which keeps
+    the full version history). Historical node programs whose timestamp
+    precedes a published snapshot pin it and run lock-free against it —
+    skipping the refinable-timestamp gate, demand paging, and the LRU.
+    Pinned snapshots clamp the compaction watermark. *)
+
+val snapshots_retained : t -> int
+(** Snapshots currently held (pinned or within the retention window). *)
+
+val snapshots_pinned : t -> int
+(** Snapshots pinned by in-flight node programs. *)
+
+val gc_floor : t -> Weaver_vclock.Vclock.t option
+(** Effective watermark of the last compaction: versions strictly below it
+    are gone from the in-memory copy, so unpinned historical reads below
+    it are answered with a retryable ["snapshot-gced"] error. *)
 
 val reload : t -> unit
 (** Re-read this shard's partition from the backing store (recovery path;

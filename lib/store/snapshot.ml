@@ -1,0 +1,65 @@
+(* Refcounted immutable snapshot registry — the wharf-style versioned-graph
+   core. Publishers push frozen values (newest first); readers acquire an
+   entry, hold it across an arbitrarily long computation, and release it
+   when done. Retention keeps the newest [retain] entries plus every entry
+   still pinned, so a publisher can keep rolling the window forward while a
+   slow reader finishes against an old version. Pure data structure: no
+   clocks, no scheduling, caller-supplied keys. *)
+
+type 'a entry = {
+  sn_key : string;
+  sn_value : 'a;
+  mutable sn_refs : int;
+}
+
+type 'a t = {
+  mutable entries : 'a entry list; (* newest first *)
+  retain : int;
+  mutable published : int;
+  mutable acquired : int;
+  mutable released : int;
+}
+
+let create ?(retain = 4) () =
+  if retain < 1 then invalid_arg "Snapshot.create: retain < 1";
+  { entries = []; retain; published = 0; acquired = 0; released = 0 }
+
+(* Keep the newest [retain] entries unconditionally, older ones only while
+   pinned. Entries never resurrect: once pruned, an equal key would be a
+   fresh publication. *)
+let prune t =
+  t.entries <-
+    List.filteri (fun i e -> i < t.retain || e.sn_refs > 0) t.entries
+
+let publish t ~key value =
+  let e = { sn_key = key; sn_value = value; sn_refs = 0 } in
+  t.entries <- e :: t.entries;
+  t.published <- t.published + 1;
+  prune t;
+  e
+
+let latest t = match t.entries with [] -> None | e :: _ -> Some e
+
+let find t pred = List.find_opt (fun e -> pred e.sn_value) t.entries
+
+let key e = e.sn_key
+let value e = e.sn_value
+let refs e = e.sn_refs
+
+let acquire t e =
+  e.sn_refs <- e.sn_refs + 1;
+  t.acquired <- t.acquired + 1
+
+let release t e =
+  if e.sn_refs <= 0 then invalid_arg "Snapshot.release: not acquired";
+  e.sn_refs <- e.sn_refs - 1;
+  t.released <- t.released + 1;
+  if e.sn_refs = 0 then prune t
+
+let pinned t = List.filter (fun e -> e.sn_refs > 0) t.entries
+let count t = List.length t.entries
+let published t = t.published
+let acquires t = t.acquired
+let releases t = t.released
+
+let clear t = t.entries <- []

@@ -1,0 +1,64 @@
+(** Refcounted immutable snapshot registry (wharf-style versioned graph).
+
+    A publisher freezes a value — for Weaver, one shard's partition of the
+    multi-version graph at a vclock watermark boundary — and pushes it
+    here; readers acquire an entry, run an arbitrarily long computation
+    against it without ever blocking the publisher, and release it when
+    done. The registry retains the newest [retain] publications plus every
+    older entry that is still pinned, so long-running analytics keep their
+    version alive while the window rolls forward underneath them.
+
+    Pure data structure: caller-supplied string keys, no clocks, no
+    scheduling, deterministic. Shards key entries by {!Weaver_vclock}
+    timestamp and use the pinned set to clamp the multi-version GC
+    watermark (a pinned snapshot is never compacted out from under a
+    running node program). *)
+
+type 'a entry
+(** One published snapshot: an immutable value plus a reference count. *)
+
+type 'a t
+
+val create : ?retain:int -> unit -> 'a t
+(** A fresh registry keeping the newest [retain] (default 4) unpinned
+    entries. @raise Invalid_argument when [retain < 1]. *)
+
+val publish : 'a t -> key:string -> 'a -> 'a entry
+(** Push a new newest entry and prune unpinned entries beyond the
+    retention window. The caller must not mutate [value] afterwards. *)
+
+val latest : 'a t -> 'a entry option
+(** The most recent publication still retained. *)
+
+val find : 'a t -> ('a -> bool) -> 'a entry option
+(** The newest retained entry whose value satisfies the predicate. *)
+
+val key : 'a entry -> string
+val value : 'a entry -> 'a
+
+val refs : 'a entry -> int
+(** Current pin count (tests/introspection). *)
+
+val acquire : 'a t -> 'a entry -> unit
+(** Pin: the entry survives retention pruning until released. *)
+
+val release : 'a t -> 'a entry -> unit
+(** Unpin; a retired entry whose last pin drops is pruned immediately.
+    @raise Invalid_argument when the entry is not acquired. *)
+
+val pinned : 'a t -> 'a entry list
+(** Entries currently pinned, newest first. *)
+
+val count : 'a t -> int
+(** Entries currently retained (pinned or within the window). *)
+
+val published : 'a t -> int
+(** Total publications over the registry's lifetime. *)
+
+val acquires : 'a t -> int
+val releases : 'a t -> int
+(** Lifetime pin/unpin totals (tests/introspection). *)
+
+val clear : 'a t -> unit
+(** Drop every entry and pin — a crash or epoch barrier losing the
+    in-memory snapshots (they are rebuilt from the durable store). *)

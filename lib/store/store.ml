@@ -34,6 +34,7 @@ let scan_prefix t ~prefix =
       | Some v when String.starts_with ~prefix k -> (k, v) :: acc
       | _ -> acc)
     t.cells []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let commits t = t.commits
 let aborts t = t.aborts

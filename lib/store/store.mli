@@ -32,8 +32,11 @@ val get_now : 'v t -> string -> 'v option
     gone). *)
 
 val scan_prefix : 'v t -> prefix:string -> (string * 'v) list
-(** All live bindings whose key starts with [prefix], in unspecified order.
-    Used to restore one shard's partition after a crash. *)
+(** All live bindings whose key starts with [prefix], sorted by key. The
+    order is part of the contract: it feeds shard crash-recovery reload
+    (which keeps the first [shard_capacity] records) and snapshot
+    publication, both of which must be bit-identical across runs and
+    OCaml hash-table layouts. *)
 
 val commits : 'v t -> int
 val aborts : 'v t -> int

@@ -23,7 +23,7 @@ let rec chunks n = function
       let chunk, rest = take n [] l in
       chunk :: chunks n rest
 
-let run_all cluster client ~prog ~params ?(batch = 256) ?consistency () =
+let run_all cluster client ~prog ~params ?(batch = 256) ?consistency ?at () =
   match Nodeprog.find (Cluster.registry cluster) prog with
   | None -> Error ("unknown program: " ^ prog)
   | Some (module P : Nodeprog.PROGRAM) ->
@@ -32,7 +32,8 @@ let run_all cluster client ~prog ~params ?(batch = 256) ?consistency () =
         | [] -> Ok acc
         | chunk :: rest -> (
             match
-              Client.run_program client ~prog ~params ~starts:chunk ?consistency ()
+              Client.run_program client ~prog ~params ~starts:chunk ?consistency
+                ?at ()
             with
             | Ok partial -> go (P.merge acc partial) rest
             | Error e -> Error e)

@@ -18,10 +18,13 @@ val run_all :
   params:Weaver_core.Progval.t ->
   ?batch:int ->
   ?consistency:[ `Strong | `Weak ] ->
+  ?at:Weaver_vclock.Vclock.t ->
   unit ->
   (Weaver_core.Progval.t, string) result
 (** Run [prog] with every live vertex as a start, [batch] (default 256)
     starts per node-program invocation, merging partial results. Each batch
     is itself a consistent snapshot; batches may see different snapshots
     (the price of an online full-graph scan — Kineograph-style systems have
-    the same property). *)
+    the same property) — unless [at] pins every batch to one historical
+    timestamp, which makes the whole scan one consistent cut (and, with
+    [Config.snapshot_reads], lock-free against concurrent writers). *)

@@ -168,7 +168,7 @@ let test_traced_prog_chain () =
   List.iter
     (fun n ->
       Alcotest.(check bool) (n ^ " present") true (List.mem n names))
-    [ "gk.admission"; "gk.prog"; "shard.prog_gate"; "shard.prog_exec" ]
+    [ "gk.admission"; "gk.prog"; "shard.prog_hop"; "shard.prog_gate"; "shard.prog_exec" ]
 
 (* ------------------------------------------------------------------ *)
 (* Regression: the memo key must cover the snapshot and consistency mode.

@@ -231,6 +231,60 @@ let test_shard_crash_restart_in_place () =
   | Error e -> Alcotest.failf "query after restart failed: %s" e
 
 (* ------------------------------------------------------------------ *)
+(* Crash recovery is bit-identical: the store reload behind [Shard.resync]
+   iterates [Store.scan_prefix], whose order is part of the contract
+   (sorted by key). With a capacity-limited shard the subset of vertices
+   resident after recovery depends on that order, so two identical
+   fault-plan runs must leave identical residency. Before scan_prefix was
+   sorted this depended on Hashtbl internals. *)
+
+let recovery_residency () =
+  let cfg =
+    {
+      Config.default with
+      Config.n_gatekeepers = 1;
+      Config.n_shards = 2;
+      Config.shard_capacity = Some 4;
+      Config.failure_timeout = 1e12;
+      Config.net_jitter = 0.0;
+    }
+  in
+  let c = mk_cluster ~cfg () in
+  let client = Cluster.client c in
+  for i = 0 to 11 do
+    let tx = Client.Tx.begin_ client in
+    ignore (Client.Tx.create_vertex tx ~id:(Printf.sprintf "bi%02d" i) ());
+    ok (Client.commit client tx)
+  done;
+  Cluster.run_for c 20_000.0;
+  let plan =
+    Fault.scripted
+      [
+        (Cluster.now c +. 1_000.0, Fault.Crash (Fault.Shard 0));
+        (Cluster.now c +. 1_500.0, Fault.Crash (Fault.Shard 1));
+        (Cluster.now c +. 30_000.0, Fault.Restart (Fault.Shard 0));
+        (Cluster.now c +. 31_000.0, Fault.Restart (Fault.Shard 1));
+      ]
+  in
+  ignore (Cluster.install_fault_plan c plan);
+  Cluster.run_for c 60_000.0;
+  List.map (fun sid -> Cluster.shard_resident_ids c sid) [ 0; 1 ]
+
+let test_recovery_bit_identical () =
+  let r1 = recovery_residency () in
+  let r2 = recovery_residency () in
+  List.iteri
+    (fun sid ids ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d respects capacity" sid)
+        4 (List.length ids);
+      Alcotest.(check (list string))
+        (Printf.sprintf "shard %d residency identical across runs" sid)
+        ids
+        (List.nth r2 sid))
+    r1
+
+(* ------------------------------------------------------------------ *)
 (* Chaos benchmark: bit-identical across runs with equal options, higher
    availability with the reliability layer on, and valid JSON. *)
 
@@ -300,6 +354,8 @@ let suites =
           test_timed_out_commit_not_double_applied;
         Alcotest.test_case "routes around dead gatekeeper" `Quick
           test_routes_around_dead_gatekeeper;
+        Alcotest.test_case "recovery bit-identical" `Quick
+          test_recovery_bit_identical;
         Alcotest.test_case "shard crash/restart in place" `Quick
           test_shard_crash_restart_in_place;
         Alcotest.test_case "chaosbench deterministic and better" `Slow

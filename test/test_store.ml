@@ -98,7 +98,19 @@ let test_scan_prefix () =
   let shard0 = Store.scan_prefix s ~prefix:"shard0/" in
   Alcotest.(check int) "two keys" 2 (List.length shard0);
   Alcotest.(check bool) "right keys" true
-    (List.mem_assoc "shard0/v1" shard0 && List.mem_assoc "shard0/v2" shard0)
+    (List.mem_assoc "shard0/v1" shard0 && List.mem_assoc "shard0/v2" shard0);
+  (* order is part of the contract: shard crash-recovery reloads iterate a
+     scan, so an unspecified (hash) order would make recovery depend on
+     Hashtbl internals. Insert scrambled, expect keys sorted. *)
+  let tx = Store.Tx.begin_ s in
+  List.iter
+    (fun i -> Store.Tx.put tx (Printf.sprintf "sorted/%02d" i) i)
+    [ 7; 2; 19; 0; 13; 5; 11; 3; 17; 8 ];
+  ignore (Store.Tx.commit tx);
+  let keys = List.map fst (Store.scan_prefix s ~prefix:"sorted/") in
+  Alcotest.(check (list string)) "scan is key-sorted"
+    (List.sort String.compare keys) keys;
+  Alcotest.(check int) "all present" 10 (List.length keys)
 
 let test_finished_handle_rejected () =
   let s = Store.create () in
