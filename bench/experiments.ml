@@ -1357,6 +1357,289 @@ let snapshot () =
   close_out oc;
   line "wrote BENCH_snapshot.json"
 
+(* ------------------------------------------------------------------ *)
+(* Skew: heat-attribution accuracy and cost under zipf-skewed writes.
+   Closed-loop writers issue single-vertex property writes over 128 keys
+   with zipf-ranked selection; the exact per-key touch tally (setup create
+   + every committed write) is the ground truth the per-shard Space-Saving
+   sketches are scored against. Reports, per theta: merged top-K
+   precision/recall vs the true hottest set (tie-tolerant: a pick counts
+   if its true tally reaches the K-th largest — under light skew many keys
+   tie at the boundary and any of them is a correct answer). Then: an
+   induced mid-run hot-spot flip (rank->key mapping rotated by half the
+   keyspace) with the virtual-time detection latency until the new hottest
+   key enters the merged top-K; the heat-on vs heat-off cost (virtual
+   write throughput must be bit-identical — recording never schedules
+   events — plus wall-clock CPU time, informational); and a deterministic
+   rerun (counter fingerprint and heat JSON both identical). Emits
+   BENCH_skew.json. *)
+
+type skew_run = {
+  sk_committed : int;
+  sk_aborted : int;
+  sk_precision : float;
+  sk_recall : float;
+  sk_throughput : float;  (* committed writes per virtual second *)
+  sk_cpu_s : float;  (* wall-clock, informational *)
+  sk_cross : int;  (* cross-shard touches recorded (setup fan-out) *)
+  sk_fingerprint : int * int * int * int * int;
+  sk_heat_json : string;  (* "" when heat is off *)
+}
+
+let skew_keys = 128
+let skew_k = 8
+let skew_key i = Printf.sprintf "z%03d" i
+
+let skew_cfg ~heat ~seed =
+  {
+    Config.default with
+    Config.seed;
+    Config.n_gatekeepers = 2;
+    Config.n_shards = 4;
+    Config.enable_heat = heat;
+    Config.heat_topk = 16;
+    (* over-provision the sketch 2x vs the reported K, standard practice *)
+    Config.heat_ranges = 64;
+  }
+
+(* merged cluster-wide top-K: per-shard sketch tables ranked together by
+   estimate, ties on the key — same deterministic order as Sketch.top *)
+let skew_merged_top c ~k =
+  match Cluster.heat c with
+  | None -> []
+  | Some h ->
+      List.concat
+        (List.init (Weaver_obs.Heat.shards h) (fun s ->
+             Weaver_obs.Heat.top h ~shard:s))
+      |> List.sort (fun (ka, ca, _) (kb, cb, _) ->
+             if ca <> cb then compare cb ca else String.compare ka kb)
+      |> List.filteri (fun i _ -> i < k)
+
+(* spawn [writers] closed-loop writers, each committing [per_writer]
+   single-key property writes with zipf(theta)-ranked key selection
+   through [rank_to_key]; tallies ground truth into [true_counts] *)
+let skew_writers c ~writers ~per_writer ~theta ~seed ~rank_to_key ~true_counts =
+  let done_writers = ref 0 in
+  for i = 0 to writers - 1 do
+    let client = Cluster.client c in
+    let rng = Xrand.create ~seed:(seed + (1_000 * (i + 1))) () in
+    let committed = ref 0 and attempt = ref 0 in
+    let rec next () =
+      if !committed < per_writer then begin
+        incr attempt;
+        let key_ix = rank_to_key (Xrand.zipf rng ~n:skew_keys ~theta) in
+        let tx = Client.Tx.begin_ client in
+        Client.Tx.set_vertex_prop tx ~vid:(skew_key key_ix) ~key:"n"
+          ~value:(string_of_int !attempt);
+        Client.commit_async client tx ~on_result:(fun r ->
+            (match r with
+            | Ok () ->
+                incr committed;
+                true_counts.(key_ix) <- true_counts.(key_ix) + 1
+            | Error _ -> ());
+            next ())
+      end
+      else incr done_writers
+    in
+    next ()
+  done;
+  done_writers
+
+let skew_drain c ~done_writers ~writers ~label =
+  let budget = ref 4_000 in
+  while !done_writers < writers && !budget > 0 do
+    decr budget;
+    Cluster.run_for c 1_000.0
+  done;
+  if !done_writers < writers then failwith (label ^ ": writers stalled")
+
+(* tie-tolerant scoring: a pick is correct if its true tally reaches the
+   K-th largest tally; recall is over the keys strictly above that bar
+   (the picks no correct answer may omit) *)
+let skew_score ~true_counts picks =
+  let sorted = Array.copy true_counts in
+  Array.sort (fun a b -> compare b a) sorted;
+  let threshold = sorted.(skew_k - 1) in
+  let true_of key = true_counts.(int_of_string (String.sub key 1 3)) in
+  let correct = List.filter (fun (key, _, _) -> true_of key >= threshold) picks in
+  let definite = ref [] in
+  Array.iteri
+    (fun i n -> if n > threshold then definite := skew_key i :: !definite)
+    true_counts;
+  let found =
+    List.filter (fun key -> List.exists (fun (k, _, _) -> k = key) picks) !definite
+  in
+  let precision = float_of_int (List.length correct) /. float_of_int skew_k in
+  let recall =
+    if !definite = [] then 1.0 (* every key ties at the bar: nothing to miss *)
+    else float_of_int (List.length found) /. float_of_int (List.length !definite)
+  in
+  (precision, recall)
+
+let skew_arm ~heat ~theta ~seed =
+  let cpu0 = Sys.time () in
+  let c = mk_cluster (skew_cfg ~heat ~seed) in
+  let setup = Cluster.client c in
+  let tx = Client.Tx.begin_ setup in
+  for i = 0 to skew_keys - 1 do
+    ignore (Client.Tx.create_vertex tx ~id:(skew_key i) ())
+  done;
+  (* one 128-key create fanning out to all 4 shards: the cross-shard touch
+     path gets exercised before the single-shard writer phase *)
+  ok_exn "skew setup" (Client.commit setup tx);
+  Cluster.run_for c 5_000.0;
+  let true_counts = Array.make skew_keys 1 (* the setup create *) in
+  let t0 = Cluster.now c in
+  let done_writers =
+    skew_writers c ~writers:8 ~per_writer:60 ~theta ~seed ~rank_to_key:(fun r -> r)
+      ~true_counts
+  in
+  skew_drain c ~done_writers ~writers:8 ~label:"skew";
+  let t1 = Cluster.now c in
+  Cluster.run_for c 20_000.0;
+  let ctr = Cluster.counters c in
+  let rt = Cluster.runtime c in
+  let precision, recall =
+    if heat then skew_score ~true_counts (skew_merged_top c ~k:skew_k)
+    else (0.0, 0.0)
+  in
+  let cross =
+    match Cluster.heat c with
+    | Some h ->
+        let n = ref 0 in
+        for s = 0 to Weaver_obs.Heat.shards h - 1 do
+          n := !n + Weaver_obs.Heat.total h ~shard:s ~kind:Weaver_obs.Heat.Cross
+        done;
+        !n
+    | None -> 0
+  in
+  {
+    sk_committed = ctr.Runtime.tx_committed;
+    sk_aborted = ctr.Runtime.tx_aborted;
+    sk_precision = precision;
+    sk_recall = recall;
+    sk_throughput = float_of_int (8 * 60) /. (t1 -. t0) *. 1.0e6;
+    sk_cpu_s = Sys.time () -. cpu0;
+    sk_cross = cross;
+    sk_fingerprint =
+      ( ctr.Runtime.tx_committed,
+        ctr.Runtime.tx_aborted,
+        ctr.Runtime.oracle_consults,
+        Weaver_sim.Net.messages_sent rt.Runtime.net,
+        ctr.Runtime.nop_msgs );
+    sk_heat_json =
+      (match Cluster.heat c with
+      | Some h -> Weaver_obs.Export.heat_json h ~now:(Cluster.now c)
+      | None -> "");
+  }
+
+(* the induced hot-spot flip: phase A writes through the identity rank
+   mapping (hottest key z000), then the mapping rotates by half the
+   keyspace (hottest key z064) and phase B polls the merged top-K until
+   the new hottest key appears *)
+let skew_flip ~seed =
+  let theta = 0.9 in
+  let c = mk_cluster (skew_cfg ~heat:true ~seed) in
+  let setup = Cluster.client c in
+  let tx = Client.Tx.begin_ setup in
+  for i = 0 to skew_keys - 1 do
+    ignore (Client.Tx.create_vertex tx ~id:(skew_key i) ())
+  done;
+  ok_exn "skew flip setup" (Client.commit setup tx);
+  Cluster.run_for c 5_000.0;
+  let true_counts = Array.make skew_keys 1 in
+  let done_a =
+    skew_writers c ~writers:8 ~per_writer:50 ~theta ~seed ~rank_to_key:(fun r -> r)
+      ~true_counts
+  in
+  skew_drain c ~done_writers:done_a ~writers:8 ~label:"skew flip phase A";
+  let flip_at = Cluster.now c in
+  let new_hot = skew_key (skew_keys / 2) in
+  let done_b =
+    skew_writers c ~writers:8 ~per_writer:50 ~theta ~seed:(seed + 77)
+      ~rank_to_key:(fun r -> (r + (skew_keys / 2)) mod skew_keys)
+      ~true_counts
+  in
+  let detected = ref None in
+  let budget = ref 4_000 in
+  while !done_b < 8 && !budget > 0 do
+    decr budget;
+    Cluster.run_for c 500.0;
+    if
+      !detected = None
+      && List.exists (fun (k, _, _) -> k = new_hot) (skew_merged_top c ~k:skew_k)
+    then detected := Some (Cluster.now c -. flip_at)
+  done;
+  if !done_b < 8 then failwith "skew flip: writers stalled";
+  !detected
+
+let skew () =
+  header "Skew: heavy-hitter sketch accuracy, flip detection, and heat cost";
+  let seed = 11 in
+  let thetas = [ 0.0; 0.6; 0.9; 1.1 ] in
+  let sweep = List.map (fun theta -> (theta, skew_arm ~heat:true ~theta ~seed)) thetas in
+  line "%-6s %10s %10s %11s %12s %8s" "theta" "committed" "precision" "recall"
+    "writes/s" "cross";
+  List.iter
+    (fun (theta, r) ->
+      line "%-6.1f %10d %10.3f %11.3f %12.0f %8d" theta r.sk_committed
+        r.sk_precision r.sk_recall r.sk_throughput r.sk_cross)
+    sweep;
+  let hot = List.assoc 0.9 sweep in
+  if hot.sk_precision < 0.9 then
+    failwith
+      (Printf.sprintf "skew: precision@%d %.3f < 0.9 at theta 0.9" skew_k
+         hot.sk_precision);
+  (* the heat-off arm: virtual outcomes must be bit-identical (recording
+     never schedules events), so the write-throughput overhead is exactly
+     zero; wall-clock CPU time is reported for the real cost *)
+  let off = skew_arm ~heat:false ~theta:0.9 ~seed in
+  if off.sk_fingerprint <> hot.sk_fingerprint then
+    failwith "skew: heat-on fingerprint diverged from heat-off";
+  let tp_overhead =
+    abs_float (hot.sk_throughput -. off.sk_throughput) /. off.sk_throughput
+  in
+  line "heat-off arm: %.0f writes/s, overhead %.2f%% (cpu %.3fs off / %.3fs on)"
+    off.sk_throughput (100.0 *. tp_overhead) off.sk_cpu_s hot.sk_cpu_s;
+  if tp_overhead > 0.02 then failwith "skew: write-throughput overhead above 2%";
+  (* induced hot-spot flip at theta 0.9: budget 25 virtual ms *)
+  let flip_budget = 25_000.0 in
+  (match skew_flip ~seed with
+  | Some lat ->
+      line "hot-spot flip detected after %.0f us (budget %.0f us)" lat flip_budget;
+      if lat > flip_budget then failwith "skew: flip detection over budget"
+  | None -> failwith "skew: flip never detected");
+  let again = skew_arm ~heat:true ~theta:0.9 ~seed in
+  let deterministic =
+    again.sk_fingerprint = hot.sk_fingerprint && again.sk_heat_json = hot.sk_heat_json
+  in
+  line "deterministic rerun (theta 0.9): %b" deterministic;
+  if not deterministic then failwith "skew: rerun diverged";
+  let flip_lat = match skew_flip ~seed with Some l -> l | None -> 0.0 in
+  let oc = open_out "BENCH_skew.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n  \"experiment\": \"skew\",\n  \"seed\": %d,\n" seed;
+  j "  \"workload\": {\"writers\": 8, \"commits_per_writer\": 60, \"keys\": %d, \"shards\": 4, \"gatekeepers\": 2, \"sketch_k\": 16, \"reported_k\": %d},\n"
+    skew_keys skew_k;
+  j "  \"sweep\": [";
+  List.iteri
+    (fun i (theta, r) ->
+      j
+        "%s\n    {\"theta\": %.1f, \"committed\": %d, \"aborted\": %d, \"precision_at_k\": %.4f, \"recall_at_k\": %.4f, \"writes_per_s\": %.0f, \"cross_touches\": %d}"
+        (if i = 0 then "" else ",")
+        theta r.sk_committed r.sk_aborted r.sk_precision r.sk_recall r.sk_throughput
+        r.sk_cross)
+    sweep;
+  j "\n  ],\n";
+  j
+    "  \"overhead\": {\"heat_off_writes_per_s\": %.0f, \"heat_on_writes_per_s\": %.0f, \"throughput_overhead\": %.4f, \"cpu_s_off\": %.4f, \"cpu_s_on\": %.4f, \"fingerprint_identical\": true},\n"
+    off.sk_throughput hot.sk_throughput tp_overhead off.sk_cpu_s hot.sk_cpu_s;
+  j "  \"flip\": {\"theta\": 0.9, \"detection_latency_us\": %.0f, \"budget_us\": %.0f},\n"
+    flip_lat flip_budget;
+  j "  \"deterministic_rerun\": %b\n}\n" deterministic;
+  close_out oc;
+  line "wrote BENCH_skew.json"
+
 let all =
   [
     ("table1", table1);
@@ -1381,4 +1664,5 @@ let all =
     ("contention", contention);
     ("overload", overload);
     ("snapshot", snapshot);
+    ("skew", skew);
   ]

@@ -9,7 +9,9 @@
      trace       span tree of one traced transaction and node program
      contention  blocking vs non-blocking refinement under write skew
      overload    open-loop saturation quick-look, flow control off vs on
-     snapshot    pinned historical analytics vs live writes, snapshots off vs on *)
+     snapshot    pinned historical analytics vs live writes, snapshots off vs on
+     heat        per-shard hottest vertices and per-range heat map under zipf load
+     health      watchdog alerts across a mid-run gatekeeper crash *)
 
 open Cmdliner
 open Weaver_core
@@ -18,7 +20,7 @@ module Metrics = Weaver_obs.Metrics
 module Trace = Weaver_obs.Trace
 
 let mk_cluster ?(tracing = false) ?(timeline = false) ?(timeline_period = 10_000.0)
-    ~gatekeepers ~shards ~tau ~seed () =
+    ?(heat = false) ~gatekeepers ~shards ~tau ~seed () =
   let cfg =
     {
       Config.default with
@@ -29,6 +31,7 @@ let mk_cluster ?(tracing = false) ?(timeline = false) ?(timeline_period = 10_000
       Config.enable_tracing = tracing;
       Config.enable_timeline = timeline;
       Config.timeline_period = timeline_period;
+      Config.enable_heat = heat;
     }
   in
   let c = Cluster.create cfg in
@@ -652,6 +655,89 @@ let trace_cmd_impl gatekeepers shards tau seed =
       print_string (Trace.render tr p)
   | [] -> ()
 
+(* Heat: zipf-skewed TAO-mix load with heat attribution on; per-shard
+   hottest vertices, the per-range heat map, and the cluster skew ratio. *)
+let heat_cmd_impl gatekeepers shards tau seed clients duration_ms theta json csv =
+  let c = mk_cluster ~heat:true ~gatekeepers ~shards ~tau ~seed () in
+  let rng = Weaver_util.Xrand.create ~seed () in
+  let g = Workloads.Graphgen.uniform ~rng ~prefix:"h" ~vertices:512 ~edges:2_048 () in
+  Workloads.Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let vertices = Array.of_list (Workloads.Graphgen.vertex_ids g) in
+  ignore
+    (Workloads.Tao.Driver.run c ~vertices ~clients ~duration:(duration_ms *. 1000.0)
+       ~read_fraction:0.9 ~theta ());
+  let h = Option.get (Cluster.heat c) in
+  let now = Cluster.now c in
+  if json then print_endline (Weaver_obs.Export.heat_json h ~now)
+  else if csv then print_string (Weaver_obs.Export.heat_csv h ~now)
+  else begin
+    let module Heat = Weaver_obs.Heat in
+    Printf.printf "heat after %.0f ms of TAO-mix at zipf theta=%.2f (skew %.2f)\n\n"
+      duration_ms theta (Heat.skew h ~now);
+    for s = 0 to Heat.shards h - 1 do
+      let reads, writes, cross = Heat.totals h ~shard:s in
+      Printf.printf "shard %d: %d reads, %d writes, %d cross-shard touches\n" s reads
+        writes cross;
+      List.iteri
+        (fun i (vid, n, err) ->
+          if i < 5 then Printf.printf "  %d. %-12s ~%d touches (err <= %d)\n" (i + 1) vid n err)
+        (Heat.top h ~shard:s)
+    done;
+    (* the hottest ranges cluster-wide, by decayed read+write load *)
+    let ranges =
+      List.init (Heat.ranges h) (fun r ->
+          ( r,
+            Heat.range_load h ~range:r ~kind:Heat.Read ~now
+            +. Heat.range_load h ~range:r ~kind:Heat.Write ~now ))
+      |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+    in
+    Printf.printf "\nhottest ranges (decayed load, half-life %.0f ms):\n"
+      (Heat.half_life h /. 1000.0);
+    List.iteri
+      (fun i (r, l) ->
+        if i < 8 then
+          Printf.printf "  range %2d (home shard %d): %8.1f\n" r (Heat.home_shard h r) l)
+      ranges
+  end
+
+(* Health: watchdog checks across a mid-run gatekeeper crash. The failure
+   detector is suppressed (huge timeout) so the stalled GC watermark stays
+   visible to the watchdog instead of being healed by a replacement. *)
+let health_cmd_impl gatekeepers shards seed duration_ms json =
+  let cfg =
+    {
+      Config.default with
+      Config.n_gatekeepers = gatekeepers;
+      Config.n_shards = shards;
+      Config.seed;
+      Config.enable_health = true;
+      Config.health_period = 5_000.0;
+      Config.failure_timeout = 1.0e9;
+    }
+  in
+  let c = Cluster.create cfg in
+  Weaver_programs.Std_programs.Std.register_all (Cluster.registry c);
+  let rng = Weaver_util.Xrand.create ~seed () in
+  let g = Workloads.Graphgen.uniform ~rng ~prefix:"w" ~vertices:400 ~edges:1_600 () in
+  Workloads.Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let crash_at = Cluster.now c +. (duration_ms *. 1000.0 /. 3.0) in
+  ignore
+    (Cluster.install_fault_plan c
+       [ { Weaver_sim.Fault.at = crash_at; action = Weaver_sim.Fault.Crash (Weaver_sim.Fault.Gatekeeper 0) } ]);
+  let vertices = Array.of_list (Workloads.Graphgen.vertex_ids g) in
+  ignore
+    (Workloads.Tao.Driver.run c ~vertices ~clients:12
+       ~duration:(duration_ms *. 1000.0) ~read_fraction:0.9 ());
+  let h = Option.get (Cluster.health c) in
+  if json then print_endline (Weaver_obs.Health.to_json h)
+  else begin
+    Printf.printf "gatekeeper 0 crashed at %.0f ms (failure detector suppressed)\n\n"
+      (crash_at /. 1000.0);
+    print_string (Weaver_obs.Health.render h)
+  end
+
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Tiny end-to-end demo")
     Term.(const demo $ gatekeepers $ shards $ tau $ seed)
@@ -742,6 +828,39 @@ let snapshot_cmd =
          "Historical analytics vs live writes quick-look: versioned snapshot \
           store (pinned lock-free reads) off vs on")
     Term.(const snapshot $ gatekeepers $ shards $ seed $ duration $ json)
+
+let heat_cmd =
+  let clients =
+    Arg.(value & opt int 16 & info [ "c"; "clients" ] ~docv:"N" ~doc:"Concurrent clients.")
+  in
+  let duration =
+    Arg.(value & opt float 150.0 & info [ "d"; "duration" ] ~docv:"MS" ~doc:"Virtual ms.")
+  in
+  let theta =
+    Arg.(value & opt float 0.9 & info [ "theta" ] ~docv:"T" ~doc:"Zipf vertex skew.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the heat snapshot as JSON.") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the per-range heat map as CSV.") in
+  Cmd.v
+    (Cmd.info "heat"
+       ~doc:
+         "Per-shard hottest vertices (Space-Saving sketch) and per-range decayed \
+          heat map under zipf-skewed TAO-mix load")
+    Term.(
+      const heat_cmd_impl $ gatekeepers $ shards $ tau $ seed $ clients $ duration
+      $ theta $ json $ csv)
+
+let health_cmd =
+  let duration =
+    Arg.(value & opt float 400.0 & info [ "d"; "duration" ] ~docv:"MS" ~doc:"Virtual ms.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the alert log as JSON.") in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Cluster health watchdog quick-look: alerts fired across a mid-run \
+          gatekeeper crash (watermark stall, queue trend, shed/skew/late rates)")
+    Term.(const health_cmd_impl $ gatekeepers $ shards $ seed $ duration $ json)
 
 let rebalance_cmd =
   Cmd.v (Cmd.info "rebalance" ~doc:"Dynamic re-partitioning demo (par. 4.6)")
@@ -836,6 +955,8 @@ let () =
             contention_cmd;
             overload_cmd;
             snapshot_cmd;
+            heat_cmd;
+            health_cmd;
             rebalance_cmd;
             backup_cmd;
             stats_cmd;

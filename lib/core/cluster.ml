@@ -4,6 +4,9 @@ module Store = Weaver_store.Store
 module Oracle = Weaver_oracle.Oracle
 module Membership = Weaver_cluster.Membership
 module Vclock = Weaver_vclock.Vclock
+module Metrics = Weaver_obs.Metrics
+module Heat = Weaver_obs.Heat
+module Health = Weaver_obs.Health
 
 type manager = {
   m_rt : Runtime.t;
@@ -20,6 +23,7 @@ type t = {
   mutable replicas : Replica.t array array; (* [shard].[replica] *)
   mgr : manager;
   trace_ring : (float * int * int * string) Queue.t;
+  health : Health.t option;  (* Some iff [Config.enable_health] *)
 }
 
 let config t = t.rt.Runtime.cfg
@@ -40,6 +44,8 @@ let metrics t = t.rt.Runtime.metrics
 let request_tracer t = t.rt.Runtime.tracer
 let timeline t = t.rt.Runtime.timeline
 let slow_log t = t.rt.Runtime.slowlog
+let heat t = t.rt.Runtime.heat
+let health t = t.health
 let actor_of_addr t a = Runtime.actor_of_addr t.rt a
 
 (* ------------------------------------------------------------------ *)
@@ -135,7 +141,31 @@ let create cfg =
     }
   in
   let cluster =
-    { rt; gks = [||]; shards = [||]; replicas = [||]; mgr; trace_ring = Queue.create () }
+    {
+      rt;
+      gks = [||];
+      shards = [||];
+      replicas = [||];
+      mgr;
+      trace_ring = Queue.create ();
+      health =
+        (if cfg.Config.enable_health then begin
+           (* a healthy watermark only advances every gc_period, so the
+              stall threshold must span at least two gossip rounds or the
+              watchdog alerts on the normal cadence *)
+           let stall_checks =
+             max Health.default_config.Health.stall_checks
+               (1
+               + int_of_float
+                   (ceil (2.0 *. cfg.Config.gc_period /. cfg.Config.health_period)))
+           in
+           Some
+             (Health.create
+                ~config:{ Health.default_config with Health.stall_checks }
+                ())
+         end
+         else None);
+    }
   in
   cluster.gks <-
     Array.init cfg.Config.n_gatekeepers (fun gid -> Gatekeeper.spawn rt ~gid ~epoch:0);
@@ -155,6 +185,41 @@ let create cfg =
         ~role:Membership.Shard ~now:0.0)
     cluster.shards;
   start_manager cluster;
+  (* the health watchdog: a periodic check over the registry snapshot and
+     the manager's watermark table. Like the timeline sampler it only
+     reads state — no sends, no RNG — so enabling it leaves the counter
+     fingerprint bit-identical (pinned by a determinism test) *)
+  (match cluster.health with
+  | Some h ->
+      let metrics = rt.Runtime.metrics in
+      Metrics.gauge metrics "health.checks" (fun () -> Health.checks h);
+      Metrics.gauge metrics "health.info" (fun () ->
+          let i, _, _ = Health.alert_counts h in
+          i);
+      Metrics.gauge metrics "health.warn" (fun () ->
+          let _, w, _ = Health.alert_counts h in
+          w);
+      Metrics.gauge metrics "health.crit" (fun () ->
+          let _, _, c = Health.alert_counts h in
+          c);
+      Engine.every rt.Runtime.engine ~period:cfg.Config.health_period (fun () ->
+          let watermark =
+            if Hashtbl.length mgr.m_wm = 0 then None
+            else
+              Hashtbl.fold
+                (fun _ ts acc ->
+                  match acc with
+                  | None -> Some ts
+                  | Some m -> Some (Runtime.stamp_min m ts))
+                mgr.m_wm None
+              |> Option.map Vclock.key
+          in
+          Health.observe h
+            ~now:(Engine.now rt.Runtime.engine)
+            ~watermark
+            ~values:(Metrics.int_values metrics);
+          true)
+  | None -> ());
   cluster
 
 let kill_gatekeeper t gid = Net.set_alive t.rt.Runtime.net (Runtime.gk_addr t.rt gid) false
@@ -246,6 +311,32 @@ let report t =
     c.Runtime.snap_published c.Runtime.snap_pinned_reads c.Runtime.snap_gc_deferred;
   line "  net: dropped at dead endpoints %d"
     (Net.messages_dropped t.rt.Runtime.net);
+  (match t.rt.Runtime.heat with
+  | Some h ->
+      let hottest s =
+        match Heat.top h ~shard:s with
+        | (vid, n, _) :: _ -> Printf.sprintf "s%d:%s(%d)" s vid n
+        | [] -> Printf.sprintf "s%d:-" s
+      in
+      line "  heat: skew %.2f | hottest %s"
+        (Heat.skew h ~now:(now t))
+        (String.concat " "
+           (List.init (Heat.shards h) hottest))
+  | None -> ());
+  (match t.health with
+  | Some h ->
+      let i, w, cr = Health.alert_counts h in
+      let last =
+        match List.rev (Health.alerts h) with
+        | a :: _ ->
+            Printf.sprintf " | last: %s %s (%s)"
+              (Health.severity_name a.Health.a_severity)
+              a.Health.a_signal a.Health.a_detail
+        | [] -> ""
+      in
+      line "  health: %d checks, alerts %d info / %d warn / %d crit%s"
+        (Health.checks h) i w cr last
+  | None -> ());
   Buffer.contents b
 
 let kill_oracle_replica t i =

@@ -129,6 +129,14 @@ val slow_log : t -> Weaver_obs.Slowlog.t
 (** The always-on slow-request log (top [Config.slow_log_capacity]
     slowest client requests; per-phase breakdowns when tracing is on). *)
 
+val heat : t -> Weaver_obs.Heat.t option
+(** Per-shard heavy-hitter sketches and per-range decayed load
+    accumulators; [Some] iff [Config.enable_heat]. *)
+
+val health : t -> Weaver_obs.Health.t option
+(** The cluster health watchdog (checks every [Config.health_period] µs);
+    [Some] iff [Config.enable_health]. *)
+
 val actor_of_addr : t -> int -> string
 (** Name of the actor at a network address ("gk0", "shard2", ...) — the
     pid naming used by {!Weaver_obs.Export.chrome_trace}. *)

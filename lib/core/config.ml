@@ -31,6 +31,12 @@ type t = {
   shard_credits : int;
   snapshot_reads : bool;
   snapshot_retain : int;
+  enable_heat : bool;
+  heat_topk : int;
+  heat_ranges : int;
+  heat_half_life : float;
+  enable_health : bool;
+  health_period : float;
   seed : int;
 }
 
@@ -68,6 +74,12 @@ let default =
     shard_credits = 0;
     snapshot_reads = false;
     snapshot_retain = 4;
+    enable_heat = false;
+    heat_topk = 8;
+    heat_ranges = 64;
+    heat_half_life = 50_000.0;
+    enable_health = false;
+    health_period = 10_000.0;
     seed = 42;
   }
 
@@ -101,4 +113,8 @@ let validate t =
   req "snapshot_retain" (t.snapshot_retain >= 1);
   (* snapshots are published at watermark boundaries, which only exist
      while the GC gossip timer runs *)
-  req "snapshot_reads" ((not t.snapshot_reads) || t.gc_period > 0.0)
+  req "snapshot_reads" ((not t.snapshot_reads) || t.gc_period > 0.0);
+  req "heat_topk" (t.heat_topk >= 1);
+  req "heat_ranges" (t.heat_ranges >= 1);
+  req "heat_half_life" (t.heat_half_life > 0.0);
+  req "health_period" (t.health_period > 0.0)

@@ -121,6 +121,33 @@ type t = {
       (** published snapshots each shard retains beyond the pinned set
           (≥ 1); older unpinned snapshots are pruned as the watermark
           window rolls forward *)
+  enable_heat : bool;
+      (** load-heat attribution ({!Weaver_obs.Heat}): per-shard
+          Space-Saving top-K heavy-hitter sketches over vertex touches
+          plus per-key-range exponentially-decayed read/write/cross-shard
+          load accumulators, recorded from the shard apply/program paths
+          and the gatekeeper fan-out. Recording is O(1) pure bookkeeping —
+          no events, no RNG, no messages — so enabling it leaves the
+          registry counter fingerprint bit-identical (pinned by a
+          determinism test). Off by default: touch recording costs (real)
+          time on every operation *)
+  heat_topk : int;  (** sketch counters per shard (fixed memory, ≥ 1) *)
+  heat_ranges : int;
+      (** key-range heat buckets (FNV-1a hash of the vertex handle);
+          choose a multiple of [n_shards] so every range nests inside one
+          home shard under hashed placement *)
+  heat_half_life : float;
+      (** half-life of the decayed range/shard load accumulators, in
+          virtual µs *)
+  enable_health : bool;
+      (** cluster health watchdog ({!Weaver_obs.Health}): a periodic
+          check over instruments that already exist — watermark stall,
+          queue-depth growth, shed/credit-starvation rates, shard load
+          skew, late replies — emitting edge-triggered severity-tagged
+          alerts into a bounded ring shown by [Cluster.report]. The check
+          only reads the registry snapshot, so it is fingerprint-invisible
+          like the timeline sampler *)
+  health_period : float;  (** µs between health checks *)
   seed : int;  (** master RNG seed; runs are deterministic per seed *)
 }
 

@@ -381,6 +381,15 @@ let handle_tx_req t ~client ~tx_id ops =
                             in
                             Hashtbl.replace by_shard shard (op :: l))
                           (List.rev shard_ops);
+                        (* a commit that fans out to more than one shard is
+                           a cross-shard transaction: record a cross touch
+                           per affected vertex so the heat map can separate
+                           skew that partitioning could fix from load that
+                           replication must absorb *)
+                        if Hashtbl.length by_shard > 1 then
+                          List.iter
+                            (fun (vid, _) -> Runtime.heat_cross t.rt vid)
+                            shard_ops;
                         Hashtbl.iter
                           (fun shard rev_ops ->
                             let ops = List.rev rev_ops in

@@ -10,6 +10,7 @@ module Metrics = Weaver_obs.Metrics
 module Trace = Weaver_obs.Trace
 module Timeline = Weaver_obs.Timeline
 module Slowlog = Weaver_obs.Slowlog
+module Heat = Weaver_obs.Heat
 
 type stored = Vrec of Mgraph.vertex | Stamp of Vclock.t | Dir of int
 
@@ -62,6 +63,7 @@ type t = {
   tracer : Trace.t option;  (* Some iff [Config.enable_tracing] *)
   timeline : Timeline.t option;  (* Some iff [Config.enable_timeline] *)
   slowlog : Slowlog.t;  (* always on; phases only when tracing is on *)
+  heat : Heat.t option;  (* Some iff [Config.enable_heat] *)
   mutable next_client : int;
 }
 
@@ -208,10 +210,30 @@ let create cfg =
            Some (Timeline.create ~capacity:cfg.Config.timeline_capacity)
          else None);
       slowlog = Slowlog.create ~capacity:cfg.Config.slow_log_capacity;
+      heat =
+        (if cfg.Config.enable_heat then
+           Some
+             (Heat.create ~shards:cfg.Config.n_shards ~k:cfg.Config.heat_topk
+                ~ranges:cfg.Config.heat_ranges
+                ~half_life:cfg.Config.heat_half_life)
+         else None);
       next_client = 0;
     }
   in
   register_counter_gauges metrics t.counters;
+  (* per-shard cumulative touch totals; only present when heat is on, so
+     a heat-off registry snapshot stays bit-identical to the pre-heat one *)
+  (match t.heat with
+  | Some h ->
+      for s = 0 to cfg.Config.n_shards - 1 do
+        List.iter
+          (fun kind ->
+            Metrics.gauge metrics
+              (Printf.sprintf "heat.shard%d.%s" s (Heat.kind_name kind))
+              (fun () -> Heat.total h ~shard:s ~kind))
+          [ Heat.Read; Heat.Write; Heat.Cross ]
+      done
+  | None -> ());
   Metrics.gauge metrics "net.sent" (fun () -> Net.messages_sent t.net);
   Metrics.gauge metrics "net.delivered" (fun () -> Net.messages_delivered t.net);
   Metrics.gauge metrics "net.suppressed" (fun () -> Net.messages_suppressed t.net);
@@ -325,6 +347,29 @@ let shard_of_vertex t vid =
   match Store.get_now t.store (dirkey vid) with
   | Some (Dir s) -> s
   | _ -> Partition.hash_vertex ~shards:t.cfg.Config.n_shards vid
+
+(* heat touch recording: O(1) pure bookkeeping against the sketch and
+   decay cells — never schedules events, consumes RNG, or sends messages —
+   and a no-op when [Config.enable_heat] is off *)
+let heat_read t ~shard vid =
+  match t.heat with
+  | Some h -> Heat.touch h ~shard ~kind:Heat.Read ~now:(Engine.now t.engine) vid
+  | None -> ()
+
+let heat_write t ~shard vid =
+  match t.heat with
+  | Some h -> Heat.touch h ~shard ~kind:Heat.Write ~now:(Engine.now t.engine) vid
+  | None -> ()
+
+(* a cross-shard transaction touch, attributed to the vertex's owning
+   shard; recorded at the gatekeeper when a commit fans out to more than
+   one shard *)
+let heat_cross t vid =
+  match t.heat with
+  | Some h ->
+      Heat.touch h ~shard:(shard_of_vertex t vid) ~kind:Heat.Cross
+        ~now:(Engine.now t.engine) vid
+  | None -> ()
 
 type decision_cache = (string, bool) Hashtbl.t
 

@@ -101,6 +101,10 @@ type t = {
   slowlog : Weaver_obs.Slowlog.t;
       (** top-K slowest client requests, always on; entries gain per-phase
           breakdowns when tracing is enabled *)
+  heat : Weaver_obs.Heat.t option;
+      (** per-shard heavy-hitter sketches + per-range decayed load
+          accumulators; [Some] iff [Config.enable_heat]. Touch recording
+          is pure bookkeeping, so outcomes are unaffected *)
   mutable next_client : int;  (** bump via {!fresh_client_addr} only *)
 }
 
@@ -153,6 +157,18 @@ val slow_record :
 (** Record one resolved client request into the slow-request log, pulling
     the per-phase breakdown from the tracer when available. Called by the
     client layer on reply or timeout. *)
+
+val heat_read : t -> shard:int -> string -> unit
+(** Record one node-program vertex visit on [shard] into the heat layer;
+    no-op when [Config.enable_heat] is off. O(1) pure bookkeeping. *)
+
+val heat_write : t -> shard:int -> string -> unit
+(** Record one applied write touching a vertex on [shard]. *)
+
+val heat_cross : t -> string -> unit
+(** Record one cross-shard transaction touch of a vertex, attributed to
+    its owning shard; called by the gatekeeper when a commit fans out to
+    more than one shard. *)
 
 val gk_addr : t -> int -> int
 val shard_addr : t -> int -> int

@@ -163,7 +163,23 @@ let lookup_vertex t vid =
 (* Transaction application: mark the in-memory multi-version graph with the
    transaction's timestamp (§4.2). *)
 
+(* the vertex a shard op lands on: edge ops are stored on (and charged
+   to) their source vertex *)
+let op_vertex (op : Msg.shard_op) =
+  match op with
+  | Msg.S_create_vertex vid | Msg.S_delete_vertex vid
+  | Msg.S_set_vprop { vid; _ }
+  | Msg.S_del_vprop { vid; _ }
+  | Msg.S_migrate_in vid | Msg.S_migrate_out vid ->
+      vid
+  | Msg.S_add_edge { src; _ }
+  | Msg.S_del_edge { src; _ }
+  | Msg.S_set_eprop { src; _ }
+  | Msg.S_del_eprop { src; _ } ->
+      src
+
 let apply_op t ts (op : Msg.shard_op) =
+  Runtime.heat_write t.rt ~shard:t.sid (op_vertex op);
   let bf = before t in
   let update vid f =
     match lookup_vertex t vid with
@@ -331,6 +347,7 @@ let execute_prog_batch t (p : parked_prog) =
               visited := vid :: !visited;
               (counters t).Runtime.vertices_read <-
                 (counters t).Runtime.vertices_read + 1;
+              Runtime.heat_read t.rt ~shard:t.sid vid;
               let ctx = { Nodeprog.vid; at = p.p_ts; before = bf; vertex } in
               let state = Hashtbl.find_opt states vid in
               (* a repeat visit only touches the per-program state, not the

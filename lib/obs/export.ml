@@ -98,10 +98,27 @@ let chrome_trace tr ~traces ?(actor_of_addr = fun a -> "addr" ^ string_of_int a)
   Buffer.add_string b "\n], \"displayTimeUnit\": \"ms\"}\n";
   Buffer.contents b
 
+(* RFC 4180 quoting: instrument names are normally dotted identifiers, but
+   heat introduces names derived from vertex handles, which may embed
+   commas, quotes or newlines *)
+let csv_cell s =
+  let hostile = function ',' | '"' | '\n' | '\r' -> true | _ -> false in
+  if String.exists hostile s then begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
 let timeline_csv tl =
   let names = Timeline.names tl in
   let b = Buffer.create 4096 in
-  Buffer.add_string b (String.concat "," ("time_us" :: names));
+  Buffer.add_string b (String.concat "," ("time_us" :: List.map csv_cell names));
   Buffer.add_char b '\n';
   List.iter
     (fun s ->
@@ -117,6 +134,91 @@ let timeline_csv tl =
         names;
       Buffer.add_char b '\n')
     (Timeline.samples tl);
+  Buffer.contents b
+
+(* Perfetto counter tracks: one "C" event per (sample, instrument) pair,
+   so the UI draws each instrument as a stepped value-over-time track.
+   Works on any timeline series; pass heat.* names for heat maps. *)
+let counter_tracks tl ~names =
+  let known = Timeline.names tl in
+  let names = List.filter (fun n -> List.mem n known) names in
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  let event s =
+    if !first then first := false else Buffer.add_string b ",\n  ";
+    Buffer.add_string b s
+  in
+  Buffer.add_string b "{\"traceEvents\": [\n  ";
+  event "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \"args\": {\"name\": \"counters\"}}";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun name ->
+          match
+            Array.find_opt (fun (k, _) -> String.equal k name) s.Timeline.s_values
+          with
+          | Some (_, v) ->
+              event
+                (Printf.sprintf
+                   "{\"ph\": \"C\", \"name\": \"%s\", \"pid\": 1, \"ts\": %.3f, \
+                    \"args\": {\"value\": %d}}"
+                   (json_escape name) s.Timeline.s_time v)
+          | None -> ())
+        names)
+    (Timeline.samples tl);
+  Buffer.add_string b "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents b
+
+let heat_json h ~now =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"shards\": %d, \"ranges\": %d, \"half_life_us\": %.1f, \"skew\": %.4f, \
+        \"per_shard\": ["
+       (Heat.shards h) (Heat.ranges h) (Heat.half_life h) (Heat.skew h ~now));
+  for s = 0 to Heat.shards h - 1 do
+    if s > 0 then Buffer.add_string b ", ";
+    let reads, writes, cross = Heat.totals h ~shard:s in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"shard\": %d, \"reads\": %d, \"writes\": %d, \"cross\": %d, \
+          \"load\": %.4f, \"top\": ["
+         s reads writes cross
+         (Heat.shard_load h ~shard:s ~now));
+    List.iteri
+      (fun i (vid, count, err) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b
+          (Printf.sprintf "{\"vid\": \"%s\", \"count\": %d, \"err\": %d}"
+             (json_escape vid) count err))
+      (Heat.top h ~shard:s);
+    Buffer.add_string b "]}"
+  done;
+  Buffer.add_string b "], \"range_heat\": [";
+  for r = 0 to Heat.ranges h - 1 do
+    if r > 0 then Buffer.add_string b ", ";
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"range\": %d, \"home\": %d, \"reads\": %.4f, \"writes\": %.4f, \
+          \"cross\": %.4f}"
+         r (Heat.home_shard h r)
+         (Heat.range_load h ~range:r ~kind:Heat.Read ~now)
+         (Heat.range_load h ~range:r ~kind:Heat.Write ~now)
+         (Heat.range_load h ~range:r ~kind:Heat.Cross ~now))
+  done;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let heat_csv h ~now =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "range,home_shard,reads,writes,cross\n";
+  for r = 0 to Heat.ranges h - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "%d,%d,%.4f,%.4f,%.4f\n" r (Heat.home_shard h r)
+         (Heat.range_load h ~range:r ~kind:Heat.Read ~now)
+         (Heat.range_load h ~range:r ~kind:Heat.Write ~now)
+         (Heat.range_load h ~range:r ~kind:Heat.Cross ~now))
+  done;
   Buffer.contents b
 
 let timeline_json tl =

@@ -13,9 +13,29 @@ val chrome_trace :
     [actor_of_addr] names the process of each message endpoint (defaults
     to ["addr<N>"]); span processes use the span's recorded actor. *)
 
+val csv_cell : string -> string
+(** RFC 4180 quoting: wraps the cell in double quotes (doubling embedded
+    quotes) iff it contains a comma, quote, or newline; benign dotted
+    instrument names pass through unchanged. *)
+
 val timeline_csv : Timeline.t -> string
 (** [time_us,<instrument>,...] header plus one row per sample; cells are
-    empty where a sample lacks the instrument. *)
+    empty where a sample lacks the instrument. Header names are
+    {!csv_cell}-quoted (heat instruments can embed vertex handles). *)
+
+val counter_tracks : Timeline.t -> names:string list -> string
+(** The selected timeline series as a Chrome trace-event document of
+    ["C"] (counter) events — Perfetto renders each name as a stepped
+    value-over-time track. Unknown names are ignored. *)
+
+val heat_json : Heat.t -> now:float -> string
+(** One heat snapshot as of virtual time [now]: per-shard cumulative
+    read/write/cross totals + decayed load + top-K table, per-range
+    decayed read/write/cross heat, and the cluster skew ratio. *)
+
+val heat_csv : Heat.t -> now:float -> string
+(** The per-range heat map as [range,home_shard,reads,writes,cross]
+    rows, decayed as of [now]. *)
 
 val timeline_json : Timeline.t -> string
 (** [{"times_us": [...], "series": {name: [...]}}] — columnar, [null]

@@ -1,0 +1,76 @@
+(** Cluster health watchdog: periodic evaluation of derived signals over
+    instruments that already exist in the metrics registry — watermark
+    stall, queue-depth growth trend, shed and credit-starvation rates,
+    per-shard load skew, late-reply rate — emitting edge-triggered,
+    severity-tagged alerts into a bounded ring.
+
+    The watchdog holds no timer of its own: the cluster calls
+    {!observe} from a periodic engine event (gated by
+    [Config.enable_health]) with the current registry snapshot and
+    watermark key. Evaluation reads only the passed snapshot — no
+    events, no RNG, no messages — so enabling it never perturbs the
+    counters determinism tests fingerprint. *)
+
+type severity = Info | Warn | Crit
+
+val severity_name : severity -> string
+(** ["info"], ["warn"], ["crit"]. *)
+
+type alert = {
+  a_time : float;  (** virtual time of the check that fired it (µs) *)
+  a_severity : severity;
+  a_signal : string;  (** ["watermark"], ["queue"], ["shed"], ["credit"], ["skew"], ["late"] *)
+  a_detail : string;
+}
+
+type config = {
+  stall_checks : int;
+      (** watermark key unchanged for this many consecutive checks
+          escalates to Warn; twice as many to Crit *)
+  queue_trend_checks : int;
+      (** total queue depth strictly rising across this many checks
+          (and above [queue_floor]) escalates to Warn; 4x the floor to
+          Crit *)
+  queue_floor : int;  (** ignore queue trends below this absolute depth *)
+  shed_warn : float;
+      (** shed (and, separately, credit-starved) fraction of requests
+          resolved this window that escalates to Warn; 2x to Crit *)
+  skew_warn : float;
+      (** max/mean per-shard busy-time delta that escalates to Warn;
+          2x to Crit *)
+  late_warn : float;
+      (** late replies as a fraction of window commits that escalates
+          to Warn; 2x to Crit *)
+  capacity : int;  (** alert ring size; oldest alerts fall off *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val observe :
+  t -> now:float -> watermark:string option -> values:(string * int) list -> unit
+(** Run one check at virtual time [now]. [watermark] is the cluster's
+    minimum GC watermark rendered as a comparable key ([None] before any
+    gossip — treated as "no data", never as a stall). [values] is the
+    full registry snapshot ([Metrics.int_values]): gauges are read by
+    name ([*.queue_depth], [util.shardN.busy_us]) and counters by
+    window-over-window delta. *)
+
+val checks : t -> int
+(** Checks run so far. *)
+
+val alerts : t -> alert list
+(** Ring contents, oldest first. *)
+
+val alert_counts : t -> int * int * int
+(** Cumulative [(info, warn, crit)] alert counts — includes alerts that
+    have fallen off the ring. *)
+
+val render : t -> string
+(** Human-readable summary + alert log. *)
+
+val to_json : t -> string
+(** Canonical JSON: checks, severity counts, and the alert ring. *)

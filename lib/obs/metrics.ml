@@ -23,7 +23,17 @@ let counter t name =
 let incr ?(by = 1) c = c.c <- c.c + by
 let counter_value c = c.c
 
-let gauge t name f = Hashtbl.replace t.tbl name (Gauge f)
+(* re-registering a gauge over a gauge is deliberate (actor respawn after a
+   fault re-registers its utilization gauges over the dead incarnation's),
+   but silently shadowing a counter or reservoir would corrupt every
+   fingerprint that reads it — that is always a bug, so raise *)
+let gauge t name f =
+  match Hashtbl.find_opt t.tbl name with
+  | None | Some (Gauge _) -> Hashtbl.replace t.tbl name (Gauge f)
+  | Some (Counter _) ->
+      invalid_arg ("Metrics.gauge: " ^ name ^ " is already a counter")
+  | Some (Reservoir _) ->
+      invalid_arg ("Metrics.gauge: " ^ name ^ " is already a reservoir")
 
 let reservoir t name =
   match Hashtbl.find_opt t.tbl name with

@@ -30,7 +30,11 @@ val incr : ?by:int -> counter -> unit
 val counter_value : counter -> int
 
 val gauge : t -> string -> (unit -> int) -> unit
-(** Register a read-through gauge; replaces any previous one of that name. *)
+(** Register a read-through gauge. Replaces a previous {e gauge} of the
+    same name (actor respawn after a fault re-registers over the dead
+    incarnation's); raises [Invalid_argument] if the name is already a
+    counter or reservoir — silent cross-kind shadowing would corrupt
+    every fingerprint that reads the instrument. *)
 
 val reservoir : t -> string -> Weaver_util.Stats.t
 (** Find-or-create the named sample reservoir. *)
@@ -43,6 +47,11 @@ val int_values : t -> (string * int) list
 
 val reservoirs : t -> (string * Weaver_util.Stats.t) list
 (** Every non-empty reservoir, sorted by name. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (quotes,
+    backslashes, control characters) — shared by every hand-rolled JSON
+    emitter in the observability layer. *)
 
 val render : t -> string
 (** Human-readable table: counters/gauges first, then reservoirs with

@@ -39,6 +39,8 @@ module Net = Weaver_sim.Net
 module Flow = Weaver_flow.Flow
 module Metrics = Weaver_obs.Metrics
 module Trace = Weaver_obs.Trace
+module Heat = Weaver_obs.Heat
+module Health = Weaver_obs.Health
 module Xrand = Weaver_util.Xrand
 module Stats = Weaver_util.Stats
 

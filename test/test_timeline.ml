@@ -51,6 +51,33 @@ let test_timeline_rates () =
     [ (2_000.0, 5_000.0); (3_000.0, 5_000.0) ]
     (Timeline.rates tl "c")
 
+let test_timeline_rates_edges () =
+  let tl = Timeline.create ~capacity:4 in
+  let rates_of t = Timeline.rates t "c" in
+  Alcotest.(check (list (pair (float 0.01) (float 0.01)))) "empty" [] (rates_of tl);
+  Timeline.record tl ~now:1_000.0 [ ("c", 5) ];
+  Alcotest.(check (list (pair (float 0.01) (float 0.01))))
+    "single sample has no window" [] (rates_of tl);
+  (* a coincident sample makes a zero-width window: skipped, not divided *)
+  Timeline.record tl ~now:1_000.0 [ ("c", 7) ];
+  Alcotest.(check (list (pair (float 0.01) (float 0.01))))
+    "zero-width window skipped" [] (rates_of tl);
+  (* a gauge can fall: signed delta, not clamped *)
+  Timeline.record tl ~now:2_000.0 [ ("c", 2) ];
+  Alcotest.(check (list (pair (float 0.01) (float 0.01))))
+    "falling gauge is signed"
+    [ (2_000.0, -5_000.0) ]
+    (rates_of tl);
+  (* history longer than the ring: only the surviving windows remain *)
+  let tl2 = Timeline.create ~capacity:2 in
+  for i = 1 to 6 do
+    Timeline.record tl2 ~now:(float_of_int i *. 1_000.0) [ ("c", i * 10) ]
+  done;
+  Alcotest.(check (list (pair (float 0.01) (float 0.01))))
+    "window wider than ring"
+    [ (6_000.0, 10_000.0) ]
+    (rates_of tl2)
+
 (* ------------------------------------------------------------------ *)
 (* Sampling in a live cluster, and the determinism guarantee *)
 
@@ -268,6 +295,56 @@ let test_timeline_export_round_trip () =
   let csv = Export.timeline_csv tl in
   Alcotest.(check string) "csv" "time_us,a,b\n100.0,1,2\n200.0,3,\n" csv
 
+(* hostile instrument names — quotes, commas, backslashes (heat gauges can
+   embed vertex handles) — must survive every exporter *)
+let test_export_escapes_hostile_names () =
+  let evil = "evil\"name,with\\stuff" in
+  let tl = Timeline.create ~capacity:4 in
+  Timeline.record tl ~now:100.0 [ (evil, 7); ("ok", 1) ];
+  let json = Json.parse_exn (Export.timeline_json tl) in
+  let series = Option.get (Json.member "series" json) in
+  (match Option.get (Option.bind (Json.member evil series) Json.to_list) with
+  | [ Json.Num 7.0 ] -> ()
+  | _ -> Alcotest.fail "hostile series lost in JSON");
+  (* CSV: RFC 4180 quoting, embedded quotes doubled *)
+  Alcotest.(check string) "benign cell untouched" "a.b_c" (Export.csv_cell "a.b_c");
+  Alcotest.(check string) "hostile cell quoted" "\"evil\"\"name,with\\stuff\""
+    (Export.csv_cell evil);
+  Alcotest.(check string) "csv header + row"
+    ("time_us," ^ Export.csv_cell evil ^ ",ok\n100.0,7,1\n")
+    (Export.timeline_csv tl);
+  (* counter tracks parse back; unknown names are ignored *)
+  Timeline.record tl ~now:200.0 [ (evil, 9); ("ok", 2) ];
+  let doc = Json.parse_exn (Export.counter_tracks tl ~names:[ evil; "absent" ]) in
+  let events = Option.get (Option.bind (Json.member "traceEvents" doc) Json.to_list) in
+  let counters =
+    List.filter (fun e -> Json.string_member "ph" e = Some "C") events
+  in
+  Alcotest.(check int) "one C event per sample" 2 (List.length counters);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string)) "track name" (Some evil) (Json.string_member "name" e))
+    counters;
+  Alcotest.(check (list (float 0.01))) "track values" [ 7.0; 9.0 ]
+    (List.map
+       (fun e ->
+         Option.get
+           (Option.bind (Json.member "args" e) (Json.number_member "value")))
+       counters)
+
+let test_heat_export_escapes () =
+  let h = Weaver_obs.Heat.create ~shards:1 ~k:4 ~ranges:4 ~half_life:1_000.0 in
+  Weaver_obs.Heat.touch h ~shard:0 ~kind:Weaver_obs.Heat.Write ~now:0.0 "v\"1\\x";
+  let json = Json.parse_exn (Export.heat_json h ~now:0.0) in
+  let per_shard = Option.get (Option.bind (Json.member "per_shard" json) Json.to_list) in
+  let top = Option.get (Option.bind (Json.member "top" (List.hd per_shard)) Json.to_list) in
+  Alcotest.(check (option string)) "hostile vid round-trips"
+    (Some "v\"1\\x")
+    (Json.string_member "vid" (List.hd top));
+  let csv = Export.heat_csv h ~now:0.0 in
+  Alcotest.(check bool) "heat csv has header+ranges" true
+    (List.length (String.split_on_char '\n' (String.trim csv)) = 5)
+
 (* ------------------------------------------------------------------ *)
 (* Slow-request log *)
 
@@ -388,6 +465,7 @@ let suites =
         Alcotest.test_case "ring basics" `Quick test_timeline_basic;
         Alcotest.test_case "ring wraps" `Quick test_timeline_wraps;
         Alcotest.test_case "windowed rates" `Quick test_timeline_rates;
+        Alcotest.test_case "rate edge cases" `Quick test_timeline_rates_edges;
         Alcotest.test_case "sampling never perturbs (determinism)" `Quick
           test_sampling_is_invisible;
         Alcotest.test_case "utilization gauges" `Quick test_utilization_gauges;
@@ -400,6 +478,9 @@ let suites =
           test_chrome_export_parses_back;
         Alcotest.test_case "timeline json/csv round trip" `Quick
           test_timeline_export_round_trip;
+        Alcotest.test_case "hostile names escape everywhere" `Quick
+          test_export_escapes_hostile_names;
+        Alcotest.test_case "heat export escapes" `Quick test_heat_export_escapes;
       ] );
     ( "slowlog",
       [
