@@ -1640,6 +1640,200 @@ let skew () =
   close_out oc;
   line "wrote BENCH_skew.json"
 
+(* -------------------------------------------------------------------- *)
+(* Rebalance: elasticity under a migrating hot spot (§4.6). Closed-loop
+   writers hammer a hot set of vertices that all live on shard 0; the
+   live balancer senses the skew and spreads them. Mid-run the hot set
+   flips to shard 1's residents: the on-arm's skew must return to within
+   1.2× of its pre-flip (converged) value, while the rebalance-off arm
+   stays pinned above the hysteresis bar. Goodput must stay within 10%
+   of the off arm (migrations abort racing writers, not the reverse),
+   and the whole run — move log included — reruns bit-identically.
+   Emits BENCH_rebalance.json. *)
+
+let reb_keys = 128
+let reb_key i = Printf.sprintf "e%03d" i
+
+let reb_cfg ~rebalance ~seed =
+  {
+    Config.default with
+    Config.seed;
+    Config.n_gatekeepers = 2;
+    Config.n_shards = 4;
+    Config.enable_heat = true;
+    Config.enable_rebalance = rebalance;
+    Config.rebalance_period = 10_000.0;
+  }
+
+type reb_arm = {
+  rb_committed : int;
+  rb_aborted : int;
+  rb_skew_pre : float;  (* end of phase A: planner converged (on arm) *)
+  rb_skew_spike : float;  (* shortly after the hot-set flip *)
+  rb_skew_post : float;  (* end of phase B *)
+  rb_goodput : float;  (* commits per virtual second, both phases *)
+  rb_rounds : int;
+  rb_moves : int;
+  rb_skipped : int;
+  rb_move_json : string;
+  rb_fingerprint : int * int * int * int * int;
+}
+
+(* closed-loop single-key writers uniform over the hot set; aborted
+   commits retry (they cost time, not commits — that is the goodput) *)
+let reb_writers c ~writers ~per_writer ~seed ~hot =
+  let done_writers = ref 0 in
+  for i = 0 to writers - 1 do
+    let client = Cluster.client c in
+    let rng = Xrand.create ~seed:(seed + (101 * (i + 1))) () in
+    let committed = ref 0 and attempt = ref 0 in
+    let rec next () =
+      if !committed < per_writer then begin
+        incr attempt;
+        let vid = hot.(Xrand.int rng (Array.length hot)) in
+        let tx = Client.Tx.begin_ client in
+        Client.Tx.set_vertex_prop tx ~vid ~key:"n" ~value:(string_of_int !attempt);
+        Client.commit_async client tx ~on_result:(fun r ->
+            (match r with Ok () -> incr committed | Error _ -> ());
+            next ())
+      end
+      else incr done_writers
+    in
+    next ()
+  done;
+  done_writers
+
+let reb_arm ~rebalance ~seed =
+  let c = mk_cluster (reb_cfg ~rebalance ~seed) in
+  let setup = Cluster.client c in
+  let tx = Client.Tx.begin_ setup in
+  for i = 0 to reb_keys - 1 do
+    ignore (Client.Tx.create_vertex tx ~id:(reb_key i) ())
+  done;
+  ok_exn "rebalance setup" (Client.commit setup tx);
+  Cluster.run_for c 5_000.0;
+  (* hot sets by *initial* residency: phase A hammers shard 0's vertices,
+     phase B shard 1's (untouched by phase A's moves, so the flip really
+     does land the load on one cold shard) *)
+  let residents s =
+    Array.of_list
+      (List.filter
+         (fun v -> Cluster.shard_of_vertex c v = s)
+         (List.init reb_keys reb_key))
+  in
+  let take16 a = Array.sub a 0 (min 16 (Array.length a)) in
+  let hot_a = take16 (residents 0) and hot_b = take16 (residents 1) in
+  let h = Option.get (Cluster.heat c) in
+  let t0 = Cluster.now c in
+  let done_a = reb_writers c ~writers:8 ~per_writer:120 ~seed ~hot:hot_a in
+  skew_drain c ~done_writers:done_a ~writers:8 ~label:"rebalance phase A";
+  let skew_pre = Weaver_obs.Heat.skew h ~now:(Cluster.now c) in
+  let done_b =
+    reb_writers c ~writers:8 ~per_writer:120 ~seed:(seed + 7) ~hot:hot_b
+  in
+  Cluster.run_for c 5_000.0;
+  let skew_spike = Weaver_obs.Heat.skew h ~now:(Cluster.now c) in
+  skew_drain c ~done_writers:done_b ~writers:8 ~label:"rebalance phase B";
+  let skew_post = Weaver_obs.Heat.skew h ~now:(Cluster.now c) in
+  let t1 = Cluster.now c in
+  let ctr = Cluster.counters c in
+  let rt = Cluster.runtime c in
+  let move_json =
+    match Cluster.balancer c with
+    | None -> "[]"
+    | Some b ->
+        "["
+        ^ String.concat ", "
+            (List.map
+               (fun m ->
+                 Printf.sprintf
+                   "{\"t_us\": %.0f, \"vid\": \"%s\", \"from\": %d, \"to\": %d}"
+                   m.Balancer.mv_time m.Balancer.mv_vid m.Balancer.mv_from
+                   m.Balancer.mv_to)
+               (Balancer.move_log b))
+        ^ "]"
+  in
+  {
+    rb_committed = ctr.Runtime.tx_committed;
+    rb_aborted = ctr.Runtime.tx_aborted;
+    rb_skew_pre = skew_pre;
+    rb_skew_spike = skew_spike;
+    rb_skew_post = skew_post;
+    rb_goodput = float_of_int (2 * 8 * 120) /. (t1 -. t0) *. 1.0e6;
+    rb_rounds = ctr.Runtime.rebal_rounds;
+    rb_moves = ctr.Runtime.rebal_moves;
+    rb_skipped = ctr.Runtime.rebal_skipped;
+    rb_move_json = move_json;
+    rb_fingerprint =
+      ( ctr.Runtime.tx_committed,
+        ctr.Runtime.tx_aborted,
+        ctr.Runtime.oracle_consults,
+        Weaver_sim.Net.messages_sent rt.Runtime.net,
+        ctr.Runtime.nop_msgs );
+  }
+
+let rebalance () =
+  header "Rebalance: closing the sense-plan-act loop on a hot-spot flip";
+  let seed = 19 in
+  let on = reb_arm ~rebalance:true ~seed in
+  let off = reb_arm ~rebalance:false ~seed in
+  line "%-4s %10s %9s %10s %10s %10s %7s %7s" "arm" "committed" "goodput"
+    "skew pre" "spike" "post" "moves" "skips";
+  let row tag (r : reb_arm) =
+    line "%-4s %10d %9.0f %10.3f %10.3f %10.3f %7d %7d" tag r.rb_committed
+      r.rb_goodput r.rb_skew_pre r.rb_skew_spike r.rb_skew_post r.rb_moves
+      r.rb_skipped
+  in
+  row "off" off;
+  row "on" on;
+  (* the loop must close: post-flip skew back within 1.2x of pre-flip *)
+  if on.rb_moves = 0 then failwith "rebalance: planner never moved anything";
+  if on.rb_skew_post > 1.2 *. on.rb_skew_pre then
+    failwith
+      (Printf.sprintf "rebalance: skew %.3f did not recover (pre-flip %.3f)"
+         on.rb_skew_post on.rb_skew_pre);
+  (* without the planner the hot spot stays pinned above the hysteresis bar *)
+  if off.rb_skew_post < Config.default.Config.rebalance_hysteresis then
+    failwith
+      (Printf.sprintf "rebalance: off arm unexpectedly balanced (skew %.3f)"
+         off.rb_skew_post);
+  let goodput_delta =
+    abs_float (on.rb_goodput -. off.rb_goodput) /. off.rb_goodput
+  in
+  line "goodput delta %.2f%% (migrations abort racing writers, bounded)"
+    (100.0 *. goodput_delta);
+  if goodput_delta > 0.10 then failwith "rebalance: goodput delta above 10%";
+  let again = reb_arm ~rebalance:true ~seed in
+  let deterministic =
+    again.rb_fingerprint = on.rb_fingerprint && again.rb_move_json = on.rb_move_json
+  in
+  line "deterministic rerun: %b" deterministic;
+  if not deterministic then failwith "rebalance: rerun diverged";
+  let oc = open_out "BENCH_rebalance.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n  \"experiment\": \"rebalance\",\n  \"seed\": %d,\n" seed;
+  j
+    "  \"workload\": {\"writers\": 8, \"commits_per_writer_per_phase\": 120, \
+     \"hot_set\": 16, \"keys\": %d, \"shards\": 4, \"gatekeepers\": 2, \
+     \"rebalance_period_us\": 10000},\n"
+    reb_keys;
+  let arm tag (r : reb_arm) last =
+    j
+      "  \"%s\": {\"committed\": %d, \"aborted\": %d, \"goodput_per_s\": %.0f, \
+       \"skew_pre_flip\": %.4f, \"skew_spike\": %.4f, \"skew_post_flip\": \
+       %.4f, \"rounds\": %d, \"moves\": %d, \"skipped\": %d, \"move_log\": \
+       %s}%s\n"
+      tag r.rb_committed r.rb_aborted r.rb_goodput r.rb_skew_pre r.rb_skew_spike
+      r.rb_skew_post r.rb_rounds r.rb_moves r.rb_skipped r.rb_move_json
+      (if last then "" else ",")
+  in
+  arm "off" off false;
+  arm "on" on false;
+  j "  \"goodput_delta\": %.4f,\n" goodput_delta;
+  j "  \"deterministic_rerun\": %b\n}\n" deterministic;
+  close_out oc;
+  line "wrote BENCH_rebalance.json"
+
 let all =
   [
     ("table1", table1);
@@ -1665,4 +1859,5 @@ let all =
     ("overload", overload);
     ("snapshot", snapshot);
     ("skew", skew);
+    ("rebalance", rebalance);
   ]

@@ -24,6 +24,7 @@ type t = {
   mgr : manager;
   trace_ring : (float * int * int * string) Queue.t;
   health : Health.t option;  (* Some iff [Config.enable_health] *)
+  mutable balancer : Balancer.t option;  (* Some iff [Config.enable_rebalance] *)
 }
 
 let config t = t.rt.Runtime.cfg
@@ -46,6 +47,7 @@ let timeline t = t.rt.Runtime.timeline
 let slow_log t = t.rt.Runtime.slowlog
 let heat t = t.rt.Runtime.heat
 let health t = t.health
+let balancer t = t.balancer
 let actor_of_addr t a = Runtime.actor_of_addr t.rt a
 
 (* ------------------------------------------------------------------ *)
@@ -165,6 +167,7 @@ let create cfg =
                 ())
          end
          else None);
+      balancer = None;
     }
   in
   cluster.gks <-
@@ -185,6 +188,19 @@ let create cfg =
         ~role:Membership.Shard ~now:0.0)
     cluster.shards;
   start_manager cluster;
+  (* the live rebalancer: created only when enabled, AFTER the server
+     actors, so the planner's private client takes the first dynamic
+     address only in runs that opted in — baseline address plans (and so
+     fingerprints) are untouched. Rounds that plan nothing only read heat
+     and directory state, which is why a balanced cluster with the knob on
+     stays bit-identical to one with it off (test-enforced). *)
+  (if cfg.Config.enable_rebalance then begin
+     let b = Balancer.create rt in
+     cluster.balancer <- Some b;
+     Engine.every rt.Runtime.engine ~period:cfg.Config.rebalance_period (fun () ->
+         Balancer.run_round b;
+         true)
+   end);
   (* the health watchdog: a periodic check over the registry snapshot and
      the manager's watermark table. Like the timeline sampler it only
      reads state — no sends, no RNG — so enabling it leaves the counter
@@ -309,6 +325,12 @@ let report t =
     c.Runtime.credit_msgs;
   line "  snapshots: published %d, pinned reads %d, gc deferred %d"
     c.Runtime.snap_published c.Runtime.snap_pinned_reads c.Runtime.snap_gc_deferred;
+  (match t.balancer with
+  | Some b ->
+      line "  rebalance: rounds %d, moves %d, skipped %d, in flight %d"
+        c.Runtime.rebal_rounds c.Runtime.rebal_moves c.Runtime.rebal_skipped
+        (Balancer.pending_moves b)
+  | None -> ());
   line "  net: dropped at dead endpoints %d"
     (Net.messages_dropped t.rt.Runtime.net);
   (match t.rt.Runtime.heat with

@@ -137,6 +137,10 @@ val health : t -> Weaver_obs.Health.t option
 (** The cluster health watchdog (checks every [Config.health_period] µs);
     [Some] iff [Config.enable_health]. *)
 
+val balancer : t -> Balancer.t option
+(** The live rebalancing planner (rounds every [Config.rebalance_period]
+    µs); [Some] iff [Config.enable_rebalance]. *)
+
 val actor_of_addr : t -> int -> string
 (** Name of the actor at a network address ("gk0", "shard2", ...) — the
     pid naming used by {!Weaver_obs.Export.chrome_trace}. *)

@@ -37,6 +37,10 @@ type t = {
   heat_half_life : float;
   enable_health : bool;
   health_period : float;
+  enable_rebalance : bool;
+  rebalance_period : float;
+  rebalance_max_moves : int;
+  rebalance_hysteresis : float;
   seed : int;
 }
 
@@ -80,8 +84,19 @@ let default =
     heat_half_life = 50_000.0;
     enable_health = false;
     health_period = 10_000.0;
+    enable_rebalance = false;
+    rebalance_period = 25_000.0;
+    rebalance_max_moves = 8;
+    rebalance_hysteresis = 1.5;
     seed = 42;
   }
+
+(* smallest positive multiple of [n_shards] at or above [heat_ranges]:
+   builders that vary the shard count call this instead of hand-picking a
+   nesting range count *)
+let align_heat_ranges t =
+  let r = max t.heat_ranges 1 in
+  { t with heat_ranges = (r + t.n_shards - 1) / t.n_shards * t.n_shards }
 
 let validate t =
   let req name ok = if not ok then invalid_arg ("Config: bad " ^ name) in
@@ -116,5 +131,18 @@ let validate t =
   req "snapshot_reads" ((not t.snapshot_reads) || t.gc_period > 0.0);
   req "heat_topk" (t.heat_topk >= 1);
   req "heat_ranges" (t.heat_ranges >= 1);
+  (* range heat attributes each range to [range mod n_shards]; without
+     nesting, that home shard is simply wrong (see Heat.home_shard) *)
+  req "heat_ranges (must be a multiple of n_shards)"
+    ((not t.enable_heat) || t.heat_ranges mod t.n_shards = 0);
   req "heat_half_life" (t.heat_half_life > 0.0);
-  req "health_period" (t.health_period > 0.0)
+  req "health_period" (t.health_period > 0.0);
+  req "rebalance_period" (t.rebalance_period > 0.0);
+  req "rebalance_max_moves" (t.rebalance_max_moves >= 1);
+  (* a band below 1.0 would mark shards at or below the mean as overloaded
+     and the planner would thrash moves between balanced shards *)
+  req "rebalance_hysteresis" (t.rebalance_hysteresis >= 1.0);
+  (* the planner is sense -> plan -> act: without the heat sensor there is
+     nothing to plan from *)
+  req "enable_rebalance (requires enable_heat)"
+    ((not t.enable_rebalance) || t.enable_heat)

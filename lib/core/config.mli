@@ -133,9 +133,10 @@ type t = {
           time on every operation *)
   heat_topk : int;  (** sketch counters per shard (fixed memory, ≥ 1) *)
   heat_ranges : int;
-      (** key-range heat buckets (FNV-1a hash of the vertex handle);
-          choose a multiple of [n_shards] so every range nests inside one
-          home shard under hashed placement *)
+      (** key-range heat buckets (FNV-1a hash of the vertex handle); MUST
+          be a multiple of [n_shards] when [enable_heat] is set
+          (validated), so every range nests inside exactly one home shard
+          under hashed placement — see {!align_heat_ranges} *)
   heat_half_life : float;
       (** half-life of the decayed range/shard load accumulators, in
           virtual µs *)
@@ -148,12 +149,37 @@ type t = {
           only reads the registry snapshot, so it is fingerprint-invisible
           like the timeline sampler *)
   health_period : float;  (** µs between health checks *)
+  enable_rebalance : bool;
+      (** heat-driven live rebalancing ({!Balancer}): a periodic
+          cluster-owned planner reads the {!Weaver_obs.Heat} shard loads
+          and top-K sketches, picks hot vertices on shards loaded beyond
+          the hysteresis band, and executes a bounded batch of moves per
+          round through the ordinary OCC migrate path — no stop-the-world,
+          failed moves simply retried by later rounds. Requires
+          [enable_heat]. Off by default: when off, no planner client is
+          created and no periodic event runs, so baseline runs are
+          bit-identical *)
+  rebalance_period : float;  (** µs between planner rounds *)
+  rebalance_max_moves : int;
+      (** max vertex migrations issued per planner round (bounds the
+          background migration traffic a round may inject) *)
+  rebalance_hysteresis : float;
+      (** overload threshold as a multiple of the mean decayed shard load
+          (≥ 1.0): a shard is overloaded only above [hysteresis × mean],
+          and a candidate vertex moves only if its range heat exceeds the
+          [(hysteresis − 1) × mean] band — the gap is what prevents move
+          thrash on a merely-noisy balanced cluster *)
   seed : int;  (** master RNG seed; runs are deterministic per seed *)
 }
 
 val default : t
 (** 2 gatekeepers, 4 shards, τ = 1000 µs, NOPs every 10 µs, datacenter-like
     latencies, GC every 50 ms, no memoization, no paging. *)
+
+val align_heat_ranges : t -> t
+(** Round [heat_ranges] up to the smallest positive multiple of
+    [n_shards], preserving everything else — what config builders that
+    vary the shard count should call before {!validate}. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument on nonsensical settings. *)

@@ -466,6 +466,12 @@ let handle_migrate_req t ~client ~tx_id ~vid ~to_shard =
           | Some v when vertex_live_latest v ->
               if from_shard = to_shard then begin
                 Store.Tx.abort stx;
+                (* a no-op is still a committed outcome: without the dedup
+                   entry (and the note telling peer gatekeepers), a retry
+                   whose first reply was lost would re-execute and could
+                   observe a different [from_shard] after a racing move *)
+                record_dedup t ~client ~tx_id ~reads:[];
+                broadcast_commit_note t ~client ~tx_id ~written:[] ~reads:[];
                 reply (Ok ())
               end
               else begin

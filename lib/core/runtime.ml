@@ -48,6 +48,9 @@ type counters = {
   mutable snap_published : int;
   mutable snap_pinned_reads : int;
   mutable snap_gc_deferred : int;
+  mutable rebal_rounds : int;
+  mutable rebal_moves : int;
+  mutable rebal_skipped : int;
 }
 
 type t = {
@@ -131,7 +134,10 @@ let register_counter_gauges metrics (c : counters) =
   g "flow.shed_credit" (fun () -> c.shed_credit);
   g "snap.published" (fun () -> c.snap_published);
   g "snap.pinned_reads" (fun () -> c.snap_pinned_reads);
-  g "snap.gc_deferred" (fun () -> c.snap_gc_deferred)
+  g "snap.gc_deferred" (fun () -> c.snap_gc_deferred);
+  g "rebal.rounds" (fun () -> c.rebal_rounds);
+  g "rebal.moves" (fun () -> c.rebal_moves);
+  g "rebal.skipped" (fun () -> c.rebal_skipped)
 
 (* the network tracer that feeds the causal trace collector: attribute
    every wire message to its request's trace id *)
@@ -199,6 +205,9 @@ let create cfg =
           snap_published = 0;
           snap_pinned_reads = 0;
           snap_gc_deferred = 0;
+          rebal_rounds = 0;
+          rebal_moves = 0;
+          rebal_skipped = 0;
         };
       metrics;
       tracer =

@@ -72,6 +72,14 @@ type counters = {
   mutable snap_gc_deferred : int;
       (** compaction rounds whose watermark was clamped because a pinned
           snapshot was older than the gossiped watermark *)
+  mutable rebal_rounds : int;
+      (** live-rebalance planner rounds executed ([Config.enable_rebalance]) *)
+  mutable rebal_moves : int;
+      (** planner-issued vertex migrations that completed [Ok] *)
+  mutable rebal_skipped : int;
+      (** planner candidates passed over: stale sketch entries (vertex no
+          longer on the overloaded shard), dead source/target shards, or
+          moves that failed and were left for a later round *)
 }
 
 type t = {

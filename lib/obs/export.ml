@@ -199,9 +199,10 @@ let heat_json h ~now =
     if r > 0 then Buffer.add_string b ", ";
     Buffer.add_string b
       (Printf.sprintf
-         "{\"range\": %d, \"home\": %d, \"reads\": %.4f, \"writes\": %.4f, \
-          \"cross\": %.4f}"
+         "{\"range\": %d, \"home\": %d, \"owner\": %d, \"reads\": %.4f, \
+          \"writes\": %.4f, \"cross\": %.4f}"
          r (Heat.home_shard h r)
+         (Heat.range_owner h ~range:r ~now)
          (Heat.range_load h ~range:r ~kind:Heat.Read ~now)
          (Heat.range_load h ~range:r ~kind:Heat.Write ~now)
          (Heat.range_load h ~range:r ~kind:Heat.Cross ~now))
@@ -211,10 +212,11 @@ let heat_json h ~now =
 
 let heat_csv h ~now =
   let b = Buffer.create 2048 in
-  Buffer.add_string b "range,home_shard,reads,writes,cross\n";
+  Buffer.add_string b "range,home_shard,owner_shard,reads,writes,cross\n";
   for r = 0 to Heat.ranges h - 1 do
     Buffer.add_string b
-      (Printf.sprintf "%d,%d,%.4f,%.4f,%.4f\n" r (Heat.home_shard h r)
+      (Printf.sprintf "%d,%d,%d,%.4f,%.4f,%.4f\n" r (Heat.home_shard h r)
+         (Heat.range_owner h ~range:r ~now)
          (Heat.range_load h ~range:r ~kind:Heat.Read ~now)
          (Heat.range_load h ~range:r ~kind:Heat.Write ~now)
          (Heat.range_load h ~range:r ~kind:Heat.Cross ~now))

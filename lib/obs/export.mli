@@ -31,11 +31,14 @@ val counter_tracks : Timeline.t -> names:string list -> string
 val heat_json : Heat.t -> now:float -> string
 (** One heat snapshot as of virtual time [now]: per-shard cumulative
     read/write/cross totals + decayed load + top-K table, per-range
-    decayed read/write/cross heat, and the cluster skew ratio. *)
+    decayed read/write/cross heat with both the hashed home and the
+    observed owner ({!Heat.range_owner} — follows migrations), and the
+    cluster skew ratio. *)
 
 val heat_csv : Heat.t -> now:float -> string
-(** The per-range heat map as [range,home_shard,reads,writes,cross]
-    rows, decayed as of [now]. *)
+(** The per-range heat map as
+    [range,home_shard,owner_shard,reads,writes,cross] rows, decayed as of
+    [now]; [owner_shard] is the observed (migration-aware) attribution. *)
 
 val timeline_json : Timeline.t -> string
 (** [{"times_us": [...], "series": {name: [...]}}] — columnar, [null]

@@ -111,6 +111,7 @@ type t = {
   sketches : Sketch.t array;  (* per shard: read+write vertex touches *)
   range_cells : cell array array;  (* [kind].[range] *)
   shard_cells : cell array array;  (* [kind].[shard] *)
+  owner_cells : cell array array;  (* [shard].[range]: decayed r+w observed there *)
   totals : int array array;  (* [kind].[shard], cumulative (registry gauges) *)
 }
 
@@ -119,6 +120,10 @@ let kind_index = function Read -> 0 | Write -> 1 | Cross -> 2
 let create ~shards ~k ~ranges ~half_life =
   if shards <= 0 then invalid_arg "Heat.create: shards must be positive";
   if ranges <= 0 then invalid_arg "Heat.create: ranges must be positive";
+  (* without nesting, [home_shard] (range mod shards) disagrees with the
+     FNV-1a hashed placement and every range-heat row is mis-attributed *)
+  if ranges mod shards <> 0 then
+    invalid_arg "Heat.create: ranges must be a multiple of shards";
   if half_life <= 0.0 then invalid_arg "Heat.create: half_life must be positive";
   let cells n = Array.init 3 (fun _ -> Array.init n (fun _ -> { c_v = 0.0; c_at = 0.0 })) in
   {
@@ -128,6 +133,9 @@ let create ~shards ~k ~ranges ~half_life =
     sketches = Array.init shards (fun _ -> Sketch.create ~k);
     range_cells = cells ranges;
     shard_cells = cells shards;
+    owner_cells =
+      Array.init shards (fun _ ->
+          Array.init ranges (fun _ -> { c_v = 0.0; c_at = 0.0 }));
     totals = Array.make_matrix 3 shards 0;
   }
 
@@ -149,8 +157,9 @@ let fnv1a s =
 
 let range_of t vid = fnv1a vid mod t.n_ranges
 
-(* the home shard of a range under pure hashed placement; exact for
-   unmigrated vertices iff [ranges mod shards = 0] *)
+(* the home shard of a range under pure hashed placement — exact because
+   [create] enforces [ranges mod shards = 0], so
+   [(h mod ranges) mod shards = h mod shards] *)
 let home_shard t range = range mod t.n_shards
 
 let decayed t c ~now =
@@ -162,11 +171,18 @@ let bump t c ~now =
 
 let touch t ~shard ~kind ~now vid =
   let ki = kind_index kind in
+  let range = range_of t vid in
   t.totals.(ki).(shard) <- t.totals.(ki).(shard) + 1;
   (match kind with
-  | Read | Write -> Sketch.touch t.sketches.(shard) vid
+  | Read | Write ->
+      Sketch.touch t.sketches.(shard) vid;
+      (* read/write touches arrive tagged with the shard that actually
+         served them (routed via the live directory), so this per-
+         (shard, range) cell tracks where a range's load REALLY lands —
+         after migrations, not just under hashed placement *)
+      bump t t.owner_cells.(shard).(range) ~now
   | Cross -> ());
-  bump t t.range_cells.(ki).(range_of t vid) ~now;
+  bump t t.range_cells.(ki).(range) ~now;
   bump t t.shard_cells.(ki).(shard) ~now
 
 let top t ~shard = Sketch.top t.sketches.(shard)
@@ -176,6 +192,21 @@ let totals t ~shard = (t.totals.(0).(shard), t.totals.(1).(shard), t.totals.(2).
 let total t ~shard ~kind = t.totals.(kind_index kind).(shard)
 
 let range_load t ~range ~kind ~now = decayed t t.range_cells.(kind_index kind).(range) ~now
+
+(* the shard observed to serve most of a range's recent read+write load;
+   falls back to the hashed home while the range is cold. Ties break
+   toward the lower shard index so the answer is a pure function of the
+   touch stream. *)
+let range_owner t ~range ~now =
+  let best = ref (-1) and best_l = ref 0.0 in
+  for s = 0 to t.n_shards - 1 do
+    let l = decayed t t.owner_cells.(s).(range) ~now in
+    if l > !best_l then begin
+      best := s;
+      best_l := l
+    end
+  done;
+  if !best < 0 then home_shard t range else !best
 
 let shard_load t ~shard ~now =
   decayed t t.shard_cells.(0).(shard) ~now +. decayed t t.shard_cells.(1).(shard) ~now

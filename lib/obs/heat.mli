@@ -8,8 +8,10 @@
     per-key-range exponentially-decayed load accumulators with reads,
     writes, and cross-shard transaction touches tracked separately.
     Ranges are FNV-1a hash buckets of the vertex handle — the same hash
-    placement uses, so with [ranges] a multiple of the shard count every
-    range nests inside one home shard for unmigrated vertices.
+    placement uses. [create] requires [ranges] to be a multiple of the
+    shard count, so every range nests inside exactly one home shard for
+    unmigrated vertices; migrated load is tracked where it actually lands
+    (see {!range_owner}).
 
     Recording never schedules events, consumes randomness, or sends
     messages: a run with heat enabled is bit-identical to one without
@@ -47,7 +49,10 @@ type t
 
 val create : shards:int -> k:int -> ranges:int -> half_life:float -> t
 (** [k] sketch counters per shard; [ranges] hash buckets; [half_life] of
-    the decayed accumulators in virtual µs. *)
+    the decayed accumulators in virtual µs.
+    @raise Invalid_argument unless [ranges] is a positive multiple of
+    [shards] — otherwise {!home_shard} would disagree with hashed
+    placement and mis-attribute every range. *)
 
 val shards : t -> int
 val ranges : t -> int
@@ -58,8 +63,16 @@ val range_of : t -> string -> int
 (** Hash bucket of a vertex handle. *)
 
 val home_shard : t -> int -> int
-(** [range mod shards]: the range's owner under pure hashed placement
-    (exact for unmigrated vertices iff [ranges mod shards = 0]). *)
+(** [range mod shards]: the range's owner under pure hashed placement —
+    exact for unmigrated vertices, because {!create} enforces
+    [ranges mod shards = 0]. *)
+
+val range_owner : t -> range:int -> now:float -> int
+(** The shard observed to serve most of the range's recent (decayed)
+    read+write load — the live attribution, which follows migrations
+    because touches are recorded at the shard that actually served them.
+    Falls back to {!home_shard} while the range is cold; ties break toward
+    the lower shard index (deterministic). *)
 
 val touch : t -> shard:int -> kind:kind -> now:float -> string -> unit
 (** Record one touch of a vertex handle on [shard] at virtual time [now].

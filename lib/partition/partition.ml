@@ -37,7 +37,10 @@ let stream_pass ~shards ~slack ~prev vertices =
         nbrs;
       let best = ref 0 and best_score = ref neg_infinity in
       for s = 0 to shards - 1 do
-        let penalty = 1.0 -. (float_of_int loads.(s) /. capacity) in
+        (* clamped at 0: an over-capacity shard is merely unattractive,
+           never *repulsive* — a negative penalty would rank a shard
+           holding all of a vertex's neighbours below an empty stranger *)
+        let penalty = Float.max 0.0 (1.0 -. (float_of_int loads.(s) /. capacity)) in
         let score = scores.(s) *. penalty in
         (* tie-break towards the lighter shard for balance *)
         if
@@ -85,7 +88,14 @@ let edge_cut assign vertices =
 
 let balance assign ~shards =
   let loads = Array.make shards 0 in
-  Hashtbl.iter (fun _ s -> if s < shards then loads.(s) <- loads.(s) + 1) assign;
+  Hashtbl.iter
+    (fun _ s ->
+      if s < 0 || s >= shards then
+        invalid_arg
+          (Printf.sprintf "Partition.balance: shard %d out of range (shards = %d)" s
+             shards);
+      loads.(s) <- loads.(s) + 1)
+    assign;
   let total = Array.fold_left ( + ) 0 loads in
   if total = 0 then 1.0
   else

@@ -24,8 +24,10 @@ val ldg :
 (** Linear deterministic greedy streaming partitioner. Vertices arrive in
     list order with their neighbour lists; each goes to the shard holding
     most of its already-placed neighbours, weighted by a capacity penalty
-    [(1 - load/capacity)] where capacity is [(1 + slack) · |V| / shards]
-    (default slack 0.1). *)
+    [max 0 (1 - load/capacity)] where capacity is
+    [(1 + slack) · |V| / shards] (default slack 0.1). The clamp keeps an
+    over-capacity shard at score 0 — unattractive, but never ranked below
+    an empty shard holding none of the neighbours. *)
 
 val restream :
   shards:int ->
@@ -41,4 +43,6 @@ val edge_cut : assignment -> (string * string list) list -> float
 (** Fraction of edges whose endpoints land on different shards, in [0,1]. *)
 
 val balance : assignment -> shards:int -> float
-(** Max shard load divided by the ideal (even) load; 1.0 is perfect. *)
+(** Max shard load divided by the ideal (even) load; 1.0 is perfect.
+    @raise Invalid_argument if any entry names a shard outside
+    [0 .. shards-1] — a corrupt directory must not read as balanced. *)

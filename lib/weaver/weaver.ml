@@ -9,6 +9,7 @@ module Progval = Weaver_core.Progval
 module Nodeprog = Weaver_core.Nodeprog
 module Backup = Weaver_core.Backup
 module Rebalance = Weaver_core.Rebalance
+module Balancer = Weaver_core.Balancer
 
 (* standard node programs *)
 module Programs = Weaver_programs.Std_programs

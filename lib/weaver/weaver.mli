@@ -15,6 +15,7 @@ module Progval = Weaver_core.Progval
 module Nodeprog = Weaver_core.Nodeprog
 module Backup = Weaver_core.Backup
 module Rebalance = Weaver_core.Rebalance
+module Balancer = Weaver_core.Balancer
 module Programs = Weaver_programs.Std_programs
 module Graphgen = Weaver_workloads.Graphgen
 module Loader = Weaver_workloads.Loader

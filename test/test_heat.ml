@@ -81,6 +81,29 @@ let test_sketch_error_bounds () =
   Alcotest.(check bool) "descending" true
     (List.sort (fun a b -> compare b a) counts = counts)
 
+(* Regression: [Heat.home_shard] is [range mod shards], which only equals
+   hashed placement when [ranges] is a multiple of [shards] — with, say,
+   3 shards and 64 ranges every range-heat row was attributed to the wrong
+   home. Non-nesting configurations are now rejected at both layers, and
+   when they nest, home attribution must agree with [Partition.hash_vertex]
+   exactly. *)
+let test_heat_ranges_must_nest_in_shards () =
+  Alcotest.check_raises "Config.validate rejects non-nesting heat_ranges"
+    (Invalid_argument "Config: bad heat_ranges (must be a multiple of n_shards)")
+    (fun () ->
+      Config.validate
+        { Config.default with Config.enable_heat = true; n_shards = 3; heat_ranges = 64 });
+  Alcotest.check_raises "Heat.create rejects non-nesting ranges"
+    (Invalid_argument "Heat.create: ranges must be a multiple of shards")
+    (fun () -> ignore (Heat.create ~shards:3 ~k:4 ~ranges:8 ~half_life:1_000.0));
+  let h = Heat.create ~shards:3 ~k:4 ~ranges:9 ~half_life:1_000.0 in
+  for i = 0 to 99 do
+    let vid = "v" ^ string_of_int i in
+    Alcotest.(check int) "home agrees with hashed placement"
+      (Weaver_partition.Partition.hash_vertex ~shards:3 vid)
+      (Heat.home_shard h (Heat.range_of h vid))
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Decayed accumulators, kinds, skew *)
 
@@ -444,6 +467,8 @@ let suites =
         Alcotest.test_case "sketch deterministic tie-breaks" `Quick
           test_sketch_tie_breaks_deterministic;
         Alcotest.test_case "sketch error bounds" `Quick test_sketch_error_bounds;
+        Alcotest.test_case "heat ranges nest in shards" `Quick
+          test_heat_ranges_must_nest_in_shards;
         Alcotest.test_case "decay halves per half-life" `Quick
           test_decay_halves_per_half_life;
         Alcotest.test_case "kinds tracked separately" `Quick

@@ -64,6 +64,42 @@ let test_migrate_same_shard_noop () =
   ok (Client.migrate client ~vid:"same" ~to_shard:shard);
   Alcotest.(check int) "unchanged" shard (Cluster.shard_of_vertex c "same")
 
+(* Regression: the same-shard no-op branch of [handle_migrate_req] used to
+   reply [Ok] WITHOUT recording dedup, so a retry whose first reply was
+   lost re-executed from scratch — and could observe a different
+   [from_shard] after a racing move. Replay the wire-level retry: the
+   second submission of the same (client, tx_id) must be answered from the
+   dedup window, like every other committed request. *)
+let test_migrate_noop_records_dedup () =
+  let c = mk_cluster () in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"same" ());
+  ok (Client.commit client tx);
+  let rt = Cluster.runtime c in
+  let shard = Cluster.shard_of_vertex c "same" in
+  let addr = Runtime.fresh_client_addr rt in
+  let replies = ref [] in
+  Weaver_sim.Net.register rt.Runtime.net addr (fun ~src:_ msg ->
+      match (msg : Msg.t) with
+      | Msg.Tx_reply { result; _ } -> replies := result :: !replies
+      | _ -> ());
+  let send () =
+    Weaver_sim.Net.send rt.Runtime.net ~src:addr ~dst:(Runtime.gk_addr rt 0)
+      (Msg.Migrate_req { client = addr; tx_id = 987_654; vid = "same"; to_shard = shard })
+  in
+  send ();
+  Cluster.run_for c 20_000.0;
+  (* the reply was lost: the client retries the identical request *)
+  send ();
+  Cluster.run_for c 20_000.0;
+  Alcotest.(check int) "both submissions answered" 2 (List.length !replies);
+  List.iter
+    (function Ok _ -> () | Error e -> Alcotest.failf "noop migrate: %s" e)
+    !replies;
+  Alcotest.(check int) "retry served from the dedup window" 1
+    (Cluster.counters c).Runtime.dedup_hits
+
 let test_traversal_across_migration () =
   (* traversals issued right after a migration chase the vertex correctly *)
   let c = mk_cluster () in
@@ -137,6 +173,8 @@ let suites =
         Alcotest.test_case "basic migration" `Quick test_basic_migration;
         Alcotest.test_case "missing vertex" `Quick test_migrate_missing_vertex_fails;
         Alcotest.test_case "same shard noop" `Quick test_migrate_same_shard_noop;
+        Alcotest.test_case "noop migrate records dedup" `Quick
+          test_migrate_noop_records_dedup;
         Alcotest.test_case "traversal across migration" `Quick test_traversal_across_migration;
         Alcotest.test_case "rebalance improves cut" `Quick test_rebalance_improves_cut;
       ] );

@@ -86,6 +86,29 @@ let test_balance_perfect_and_skewed () =
   List.iter (fun i -> Hashtbl.replace b ("v" ^ string_of_int i) 0) (List.init 10 Fun.id);
   Alcotest.(check (float 1e-9)) "all on one of two" 2.0 (Partition.balance b ~shards:2)
 
+(* Regression: the LDG capacity penalty [1 - load/capacity] used to go
+   negative once a shard exceeded capacity, so a shard holding ALL of a
+   vertex's neighbours scored BELOW a neighbourless shard of equal load —
+   the preference inverted exactly when capacity pressure was highest.
+   Under-provision capacity so every shard runs over it: v3's only
+   neighbour lives on shard A, both shards equally loaded, yet the broken
+   penalty sends v3 to the stranger shard. *)
+let test_ldg_over_capacity_keeps_neighbours () =
+  let g = [ ("v1", []); ("v2", []); ("v3", [ "v1" ]) ] in
+  let a = Partition.ldg ~shards:2 ~slack:(-0.75) g in
+  Alcotest.(check int) "v3 joins its only neighbour"
+    (Hashtbl.find a "v1") (Hashtbl.find a "v3")
+
+(* Regression: [balance] silently skipped entries with [s >= shards],
+   reporting a corrupt directory as balanced *)
+let test_balance_rejects_out_of_range () =
+  let a : Partition.assignment = Hashtbl.create 4 in
+  Hashtbl.replace a "v0" 0;
+  Hashtbl.replace a "v1" 5;
+  Alcotest.check_raises "out-of-range shard raises"
+    (Invalid_argument "Partition.balance: shard 5 out of range (shards = 2)")
+    (fun () -> ignore (Partition.balance a ~shards:2))
+
 let prop_ldg_total_and_balanced =
   QCheck.Test.make ~name:"ldg assigns all vertices within capacity" ~count:50
     QCheck.(pair (int_range 1 8) (int_range 1 200))
@@ -114,6 +137,10 @@ let suites =
         Alcotest.test_case "restream improves" `Quick test_restream_no_worse_than_ldg;
         Alcotest.test_case "edge cut extremes" `Quick test_edge_cut_extremes;
         Alcotest.test_case "balance metric" `Quick test_balance_perfect_and_skewed;
+        Alcotest.test_case "ldg over capacity keeps neighbours" `Quick
+          test_ldg_over_capacity_keeps_neighbours;
+        Alcotest.test_case "balance rejects out-of-range" `Quick
+          test_balance_rejects_out_of_range;
         QCheck_alcotest.to_alcotest prop_ldg_total_and_balanced;
       ] );
   ]

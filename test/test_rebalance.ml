@@ -1,0 +1,204 @@
+(* Tests for the heat-driven live rebalancing planner (Balancer): the
+   hysteresis band keeps a balanced cluster at zero moves (and bit-identical
+   counters vs the rebalance-off arm), a sustained hot spot actually drains
+   through the OCC migrate path, the move log is a pure function of the
+   seed, and a scripted shard crash mid-run makes the planner route around
+   the dead server without ever double-migrating a vertex. *)
+
+open Weaver_core
+module Heat = Weaver_obs.Heat
+module Fault = Weaver_sim.Fault
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "commit failed: %s" e
+
+let reb_cfg seed =
+  {
+    Config.default with
+    Config.seed;
+    enable_heat = true;
+    enable_rebalance = true;
+    rebalance_period = 4_000.0;
+    rebalance_max_moves = 4;
+  }
+
+(* Create vertices until every shard is home to [per_shard] of them,
+   returning the chosen vids grouped by home shard (extras stay cold). *)
+let seed_spread c client ~per_shard =
+  let n = (Cluster.config c).Config.n_shards in
+  let by_shard = Array.make n [] in
+  let remaining = ref (n * per_shard) in
+  let i = ref 0 in
+  while !remaining > 0 do
+    let vid = Printf.sprintf "rb%d" !i in
+    incr i;
+    let tx = Client.Tx.begin_ client in
+    ignore (Client.Tx.create_vertex tx ~id:vid ());
+    ok (Client.commit client tx);
+    let s = Cluster.shard_of_vertex c vid in
+    if List.length by_shard.(s) < per_shard then begin
+      by_shard.(s) <- vid :: by_shard.(s);
+      decr remaining
+    end
+  done;
+  Array.map (fun l -> Array.of_list (List.rev l)) by_shard
+
+(* Closed-loop single-vertex writes; commits racing a migration may abort
+   under OCC, which is part of the contract being tested. *)
+let hammer client vids ~rounds =
+  for i = 1 to rounds do
+    Array.iter
+      (fun vid ->
+        let tx = Client.Tx.begin_ client in
+        Client.Tx.set_vertex_prop tx ~vid ~key:"w" ~value:(string_of_int i);
+        ignore (Client.commit client tx))
+      vids
+  done
+
+let fingerprint c =
+  let ctr = Cluster.counters c in
+  let rt = Cluster.runtime c in
+  ( ( ctr.Runtime.tx_committed,
+      ctr.Runtime.tx_aborted,
+      ctr.Runtime.tx_invalid,
+      ctr.Runtime.progs_completed ),
+    ( Weaver_sim.Net.messages_sent rt.Runtime.net,
+      Weaver_sim.Net.messages_delivered rt.Runtime.net,
+      ctr.Runtime.oracle_consults,
+      ctr.Runtime.nop_msgs ) )
+
+(* ------------------------------------------------------------------ *)
+
+(* Hysteresis: an evenly loaded cluster sits inside the band, so the
+   planner runs rounds but never issues a move — and, because rounds that
+   plan nothing only read state, the whole run is counter-for-counter
+   identical to the same workload with rebalancing off. *)
+let balanced_run cfg =
+  let c = Cluster.create cfg in
+  let client = Cluster.client c in
+  let groups = seed_spread c client ~per_shard:2 in
+  hammer client (Array.concat (Array.to_list groups)) ~rounds:8;
+  Cluster.run_for c 30_000.0;
+  c
+
+let test_balanced_cluster_zero_moves () =
+  let c = balanced_run (reb_cfg 7) in
+  let b = Option.get (Cluster.balancer c) in
+  let ctr = Cluster.counters c in
+  Alcotest.(check bool) "planner ran rounds" true (ctr.Runtime.rebal_rounds > 3);
+  Alcotest.(check int) "no moves issued" 0 (List.length (Balancer.move_log b));
+  Alcotest.(check int) "no moves counted" 0 ctr.Runtime.rebal_moves;
+  Alcotest.(check int) "nothing skipped" 0 ctr.Runtime.rebal_skipped;
+  Alcotest.(check int) "nothing in flight" 0 (Balancer.pending_moves b);
+  let off = balanced_run { (reb_cfg 7) with Config.enable_rebalance = false } in
+  Alcotest.(check bool) "no-plan rounds are invisible: counters bit-identical"
+    true
+    (fingerprint off = fingerprint c)
+
+(* ------------------------------------------------------------------ *)
+
+(* A sustained hot spot on one shard: the planner must notice, migrate hot
+   vertices off through the OCC path, and the post-move directory must
+   show them living elsewhere. *)
+let hot_run cfg =
+  let c = Cluster.create cfg in
+  let client = Cluster.client c in
+  let groups = seed_spread c client ~per_shard:2 in
+  (* background trickle everywhere keeps the mean meaningful *)
+  hammer client (Array.concat (Array.to_list groups)) ~rounds:2;
+  (* then all the heat lands on shard 0's residents *)
+  hammer client groups.(0) ~rounds:40;
+  Cluster.run_for c 40_000.0;
+  (c, groups)
+
+let test_hot_shard_drains () =
+  let c, groups = hot_run (reb_cfg 11) in
+  let b = Option.get (Cluster.balancer c) in
+  let ctr = Cluster.counters c in
+  let log = Balancer.move_log b in
+  Alcotest.(check bool) "moves were issued" true (log <> []);
+  Alcotest.(check bool) "at least one move committed" true (ctr.Runtime.rebal_moves > 0);
+  (* the first move comes off the hot shard; later rounds may re-spread
+     heat that followed the migrants, so only self-moves are forbidden *)
+  Alcotest.(check int) "first move originates at the hot shard" 0
+    (List.hd log).Balancer.mv_from;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "destination is a different shard" true
+        (m.Balancer.mv_to <> m.Balancer.mv_from))
+    log;
+  (* the directory reflects the drain: some hot vertex left shard 0 *)
+  let moved =
+    Array.exists (fun vid -> Cluster.shard_of_vertex c vid <> 0) groups.(0)
+  in
+  Alcotest.(check bool) "a hot vertex now lives elsewhere" true moved;
+  Alcotest.(check int) "nothing left in flight" 0 (Balancer.pending_moves b)
+
+let test_move_log_deterministic () =
+  let run () =
+    let c, _ = hot_run (reb_cfg 11) in
+    let b = Option.get (Cluster.balancer c) in
+    (Balancer.move_log b, fingerprint c)
+  in
+  let log1, fp1 = run () in
+  let log2, fp2 = run () in
+  Alcotest.(check bool) "move log nonempty" true (log1 <> []);
+  Alcotest.(check bool) "move logs bit-identical across reruns" true (log1 = log2);
+  Alcotest.(check bool) "counters bit-identical across reruns" true (fp1 = fp2)
+
+(* ------------------------------------------------------------------ *)
+
+(* Scripted shard crash while the planner is active: moves must never
+   target the dead shard, each vertex has at most one migration in flight
+   (the pending gate), and the run still terminates cleanly. *)
+let test_crash_mid_round_skips_dead_targets () =
+  let cfg = reb_cfg 23 in
+  let c = Cluster.create cfg in
+  let client = Cluster.client c in
+  let groups = seed_spread c client ~per_shard:2 in
+  hammer client (Array.concat (Array.to_list groups)) ~rounds:2;
+  (* kill shard 1 just after the heat starts piling onto shard 0; no
+     restart, so every planning round from then on must route around it *)
+  let dead = 1 in
+  let crash_at = Cluster.now c +. 2_000.0 in
+  ignore
+    (Cluster.install_fault_plan c
+       (Fault.scripted [ (crash_at, Fault.Crash (Fault.Shard dead)) ]));
+  hammer client groups.(0) ~rounds:40;
+  Cluster.run_for c 40_000.0;
+  let b = Option.get (Cluster.balancer c) in
+  let log = Balancer.move_log b in
+  Alcotest.(check bool) "planner still migrated despite the crash" true (log <> []);
+  List.iter
+    (fun m ->
+      if m.Balancer.mv_time >= crash_at then
+        Alcotest.(check bool) "no move targets the dead shard" true
+          (m.Balancer.mv_to <> dead))
+    log;
+  (* the pending gate means a vid never has two overlapping migrations:
+     consecutive moves of the same vid must be strictly ordered in time *)
+  let by_vid = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      (match Hashtbl.find_opt by_vid m.Balancer.mv_vid with
+      | Some prev ->
+          Alcotest.(check bool) "re-moves strictly later than the last" true
+            (m.Balancer.mv_time > prev)
+      | None -> ());
+      Hashtbl.replace by_vid m.Balancer.mv_vid m.Balancer.mv_time)
+    log;
+  Alcotest.(check int) "nothing left in flight" 0 (Balancer.pending_moves b)
+
+let suites =
+  [
+    ( "rebalance",
+      [
+        Alcotest.test_case "balanced cluster: zero moves, invisible" `Quick
+          test_balanced_cluster_zero_moves;
+        Alcotest.test_case "hot shard drains through OCC migrates" `Quick
+          test_hot_shard_drains;
+        Alcotest.test_case "move log deterministic across reruns" `Quick
+          test_move_log_deterministic;
+        Alcotest.test_case "shard crash: planner routes around, no double-migrate"
+          `Quick test_crash_mid_round_skips_dead_targets;
+      ] );
+  ]
