@@ -12,11 +12,12 @@ let () =
   | _ :: [] ->
       List.iter (fun (_, f) -> f ()) Experiments.all;
       Micro.run ()
-  | _ :: [ "list" ] -> List.iter print_endline (names @ [ "micro" ])
+  | _ :: [ "list" ] -> List.iter print_endline (names @ [ "micro"; "speed" ])
   | _ :: args ->
       List.iter
         (fun arg ->
           if arg = "micro" then Micro.run ()
+          else if arg = "speed" then Speed.run ()
           else
             match List.assoc_opt arg Experiments.all with
             | Some f -> f ()

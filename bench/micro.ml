@@ -41,6 +41,30 @@ let heap_churn =
            ignore (Heap.pop h)
          done))
 
+let engine_step =
+  Test.make ~name:"engine.schedule+step x64"
+    (Staged.stage (fun () ->
+         let e = Weaver_sim.Engine.create () in
+         for i = 0 to 63 do
+           Weaver_sim.Engine.schedule e
+             ~delay:(float_of_int ((i * 37) mod 64))
+             ignore
+         done;
+         Weaver_sim.Engine.run e))
+
+let net_send =
+  Test.make ~name:"net.send+deliver x64"
+    (Staged.stage (fun () ->
+         let e = Weaver_sim.Engine.create ~seed:7 () in
+         let net =
+           Weaver_sim.Net.create e ~latency:Weaver_sim.Net.local_latency
+         in
+         Weaver_sim.Net.register net 1 (fun ~src:_ _ -> ());
+         for i = 0 to 63 do
+           Weaver_sim.Net.send net ~src:0 ~dst:1 i
+         done;
+         Weaver_sim.Engine.run e))
+
 let store_tx =
   let s = Store.create () in
   Test.make ~name:"store.tx (2 reads + 2 writes)"
@@ -104,6 +128,8 @@ let tests =
       vclock_tick_merge;
       oracle_order;
       heap_churn;
+      engine_step;
+      net_send;
       store_tx;
       mgraph_snapshot;
       rng_zipf;

@@ -202,7 +202,7 @@ let create rt =
       timed_out_q = Queue.create ();
     }
   in
-  Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
+  Runtime.register rt t.addr (fun ~src msg -> handle t ~src msg);
   t
 
 let addr t = t.addr
@@ -313,7 +313,7 @@ let submit_tx t ~kind ~policy ~mk_msg ~on_result =
       | r -> on_result r
     in
     Hashtbl.replace t.pending_tx tx_id (n, finish);
-    Net.send t.rt.Runtime.net ~src:t.addr ~dst:(Runtime.gk_addr t.rt gk) (mk_msg tx_id);
+    Runtime.send t.rt ~src:t.addr ~dst:(Runtime.gk_addr t.rt gk) (mk_msg tx_id);
     Engine.schedule engine ~delay:t.timeout (fun () ->
         match Hashtbl.find_opt t.pending_tx tx_id with
         | Some (n', cb) when n' = n ->
@@ -365,7 +365,7 @@ let run_program_async t ~prog ~params ~starts ?at ?(consistency = `Strong) ~on_r
       | r -> on_result r
     in
     Hashtbl.replace t.pending_prog prog_id finish;
-    Net.send t.rt.Runtime.net ~src:t.addr ~dst:(Runtime.gk_addr t.rt gk)
+    Runtime.send t.rt ~src:t.addr ~dst:(Runtime.gk_addr t.rt gk)
       (Msg.Prog_req
          { client = t.addr; prog_id; prog; params; starts; at; weak = consistency = `Weak });
     Engine.schedule engine ~delay:t.timeout (fun () ->

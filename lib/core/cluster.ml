@@ -82,11 +82,11 @@ let recover cluster failures =
   (* the barrier: move every server to the new epoch in unison (§4.3) *)
   mgr.acks <- 0;
   for g = 0 to rt.Runtime.cfg.Config.n_gatekeepers - 1 do
-    Net.send rt.Runtime.net ~src:mgr.m_addr ~dst:(Runtime.gk_addr rt g)
+    Runtime.send rt ~src:mgr.m_addr ~dst:(Runtime.gk_addr rt g)
       (Msg.Epoch_change { epoch = new_epoch })
   done;
   for s = 0 to rt.Runtime.cfg.Config.n_shards - 1 do
-    Net.send rt.Runtime.net ~src:mgr.m_addr ~dst:(Runtime.shard_addr rt s)
+    Runtime.send rt ~src:mgr.m_addr ~dst:(Runtime.shard_addr rt s)
       (Msg.Epoch_change { epoch = new_epoch })
   done
 
@@ -116,7 +116,7 @@ let manager_handle cluster ~src:_ msg =
 let start_manager cluster =
   let rt = cluster.rt in
   let mgr = cluster.mgr in
-  Net.register rt.Runtime.net mgr.m_addr (fun ~src msg ->
+  Runtime.register rt mgr.m_addr (fun ~src msg ->
       manager_handle cluster ~src msg);
   let cfgv = rt.Runtime.cfg in
   Engine.every rt.Runtime.engine ~period:cfgv.Config.heartbeat_period (fun () ->

@@ -41,6 +41,7 @@ type t = {
   rebalance_period : float;
   rebalance_max_moves : int;
   rebalance_hysteresis : float;
+  net_batching : bool;
   seed : int;
 }
 
@@ -88,6 +89,7 @@ let default =
     rebalance_period = 25_000.0;
     rebalance_max_moves = 8;
     rebalance_hysteresis = 1.5;
+    net_batching = false;
     seed = 42;
   }
 

@@ -169,6 +169,17 @@ type t = {
           and a candidate vertex moves only if its range heat exceeds the
           [(hysteresis − 1) × mean] band — the gap is what prevents move
           thrash on a merely-noisy balanced cluster *)
+  net_batching : bool;
+      (** coalesce small control-plane messages ([Msg.Credit],
+          [Msg.Heartbeat], [Msg.Commit_note], NOP [Msg.Shard_tx],
+          [Msg.Announce]) into one [Msg.Batch] per (src, dst) pair per
+          engine tick: the first buffered message schedules a zero-delay
+          flush, everything buffered for that pair until the flush fires
+          rides the same wire message. Batches are unpacked back into
+          individual handler calls in buffered order at delivery, so
+          handlers never see [Msg.Batch]. Off by default: when off, sends
+          bypass the buffers entirely and counter fingerprints are
+          bit-identical to a build without the feature *)
   seed : int;  (** master RNG seed; runs are deterministic per seed *)
 }
 

@@ -61,7 +61,7 @@ let tick t =
 
 let alive t = (not t.retired) && Net.is_alive t.rt.Runtime.net t.addr
 
-let send t ~dst msg = Net.send t.rt.Runtime.net ~src:t.addr ~dst msg
+let send t ~dst msg = Runtime.send t.rt ~src:t.addr ~dst msg
 
 let cfg t = t.rt.Runtime.cfg
 let counters t = t.rt.Runtime.counters
@@ -80,7 +80,7 @@ let get_vrec stx vid =
 let vertex_live_latest (v : Mgraph.vertex) = v.Mgraph.v_life.Mgraph.deleted = None
 
 let edge_live_latest (v : Mgraph.vertex) eid =
-  List.exists
+  Array.exists
     (fun (e : Mgraph.edge) ->
       String.equal e.Mgraph.eid eid && e.Mgraph.e_life.Mgraph.deleted = None)
     v.Mgraph.out
@@ -102,7 +102,9 @@ let exec_on_store t ts (ops : Txop.t list) =
         if not (vertex_live_latest v) then Progval.Null
         else
           let live_edges =
-            List.filter (fun (e : Mgraph.edge) -> e.Mgraph.e_life.Mgraph.deleted = None) v.Mgraph.out
+            List.filter
+              (fun (e : Mgraph.edge) -> e.Mgraph.e_life.Mgraph.deleted = None)
+              (Array.to_list v.Mgraph.out)
           in
           let props =
             List.filter_map
@@ -110,7 +112,7 @@ let exec_on_store t ts (ops : Txop.t list) =
                 if p.Mgraph.p_life.Mgraph.deleted = None then
                   Some (p.Mgraph.pkey, Progval.Str p.Mgraph.pval)
                 else None)
-              v.Mgraph.v_props
+              (Array.to_list v.Mgraph.v_props)
           in
           Progval.Assoc
             [
@@ -965,7 +967,7 @@ let spawn rt ~gid ~epoch =
       retired = false;
     }
   in
-  Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
+  Runtime.register rt t.addr (fun ~src msg -> handle t ~src msg);
   (* per-actor utilization gauge: busy time accumulated so far, as µs. A
      replacement spawned at the same address after a crash re-registers
      the name and restarts from zero *)

@@ -68,8 +68,9 @@ type t =
   | Watermark of { gk : int; ts : Vclock.t }
   | Overloaded of { req_id : int; reason : string }
   | Credit of { shard : int; gk : int; n : int }
+  | Batch of t list
 
-let pp fmt = function
+let rec pp fmt = function
   | Tx_req { client; tx_id; ops } ->
       Format.fprintf fmt "Tx_req(c%d,#%d,%d ops)" client tx_id (List.length ops)
   | Tx_reply { tx_id; result; reads } ->
@@ -103,6 +104,10 @@ let pp fmt = function
   | Overloaded { req_id; reason } ->
       Format.fprintf fmt "Overloaded(#%d,%s)" req_id reason
   | Credit { shard; gk; n } -> Format.fprintf fmt "Credit(s%d->gk%d,%d)" shard gk n
+  | Batch items ->
+      Format.fprintf fmt "Batch(%d:@[%a@])" (List.length items)
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@ ") pp)
+        items
 
 (* The trace id a message travels on behalf of: client-originated requests
    use their globally unique request id; derived traffic inherits it
@@ -119,7 +124,8 @@ let trace_of = function
   | Commit_note { tx_id; _ } -> Some tx_id
   | Shard_tx { trace; _ } -> if trace = 0 then None else Some trace
   | Overloaded { req_id; _ } -> Some req_id
-  | Announce _ | Heartbeat _ | Epoch_change _ | Epoch_ack _ | Watermark _ | Credit _ ->
+  | Announce _ | Heartbeat _ | Epoch_change _ | Epoch_ack _ | Watermark _ | Credit _
+  | Batch _ ->
       None
 
 let kind = function
@@ -141,3 +147,4 @@ let kind = function
   | Watermark _ -> "Watermark"
   | Overloaded _ -> "Overloaded"
   | Credit _ -> "Credit"
+  | Batch _ -> "Batch"

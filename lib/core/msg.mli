@@ -119,6 +119,12 @@ type t =
   | Credit of { shard : int; gk : int; n : int }
       (** shard → gatekeeper, control-plane: [n] forwarded transactions
           were applied; return their flow-control credits *)
+  | Batch of t list
+      (** [Config.net_batching] coalescing envelope: small control
+          messages buffered for one (src, dst) pair within one engine
+          tick, in send order. Unpacked into individual handler calls at
+          delivery ({!Runtime.register}), so endpoint handlers never
+          receive this constructor *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line rendering for traces and test failures. *)

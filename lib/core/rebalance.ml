@@ -22,7 +22,7 @@ let live_adjacency cluster =
                  (fun (e : Mgraph.edge) ->
                    if e.Mgraph.e_life.Mgraph.deleted = None then Some e.Mgraph.dst
                    else None)
-                 v.Mgraph.out
+                 (Array.to_list v.Mgraph.out)
              in
              Some (vid, nbrs)
          | _ -> None)

@@ -24,7 +24,7 @@ let applied t = t.applied
 
 let cfg t = t.rt.Runtime.cfg
 let counters t = t.rt.Runtime.counters
-let send t ~dst msg = Net.send t.rt.Runtime.net ~src:t.addr ~dst msg
+let send t ~dst msg = Runtime.send t.rt ~src:t.addr ~dst msg
 
 let before t a b = Runtime.before t.cache t.rt a b ~prefer_first_on_tie:true
 
@@ -185,7 +185,7 @@ let spawn rt ~sid ~rid =
       retired = false;
     }
   in
-  Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
+  Runtime.register rt t.addr (fun ~src msg -> handle t ~src msg);
   Weaver_obs.Metrics.gauge rt.Runtime.metrics
     (Printf.sprintf "util.replica%d.%d.busy_us" sid rid)
     (fun () -> int_of_float t.busy_us);

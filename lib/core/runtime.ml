@@ -51,6 +51,8 @@ type counters = {
   mutable rebal_rounds : int;
   mutable rebal_moves : int;
   mutable rebal_skipped : int;
+  mutable batch_msgs : int;
+  mutable batch_coalesced : int;
 }
 
 type t = {
@@ -67,6 +69,10 @@ type t = {
   timeline : Timeline.t option;  (* Some iff [Config.enable_timeline] *)
   slowlog : Slowlog.t;  (* always on; phases only when tracing is on *)
   heat : Heat.t option;  (* Some iff [Config.enable_heat] *)
+  batches : (int * int, Msg.t list ref) Hashtbl.t;
+      (* [Config.net_batching] coalescing buffers, keyed by (src, dst);
+         each holds the batchable messages buffered this tick in reverse
+         send order. Empty (and unused) when batching is off. *)
   mutable next_client : int;
 }
 
@@ -137,7 +143,9 @@ let register_counter_gauges metrics (c : counters) =
   g "snap.gc_deferred" (fun () -> c.snap_gc_deferred);
   g "rebal.rounds" (fun () -> c.rebal_rounds);
   g "rebal.moves" (fun () -> c.rebal_moves);
-  g "rebal.skipped" (fun () -> c.rebal_skipped)
+  g "rebal.skipped" (fun () -> c.rebal_skipped);
+  g "msg.batch" (fun () -> c.batch_msgs);
+  g "msg.batch_coalesced" (fun () -> c.batch_coalesced)
 
 (* the network tracer that feeds the causal trace collector: attribute
    every wire message to its request's trace id *)
@@ -208,6 +216,8 @@ let create cfg =
           rebal_rounds = 0;
           rebal_moves = 0;
           rebal_skipped = 0;
+          batch_msgs = 0;
+          batch_coalesced = 0;
         };
       metrics;
       tracer =
@@ -218,6 +228,7 @@ let create cfg =
         (if cfg.Config.enable_timeline then
            Some (Timeline.create ~capacity:cfg.Config.timeline_capacity)
          else None);
+      batches = Hashtbl.create 64;
       slowlog = Slowlog.create ~capacity:cfg.Config.slow_log_capacity;
       heat =
         (if cfg.Config.enable_heat then
@@ -268,6 +279,59 @@ let create cfg =
           true)
   | None -> ());
   t
+
+(* ------------------------------------------------------------------ *)
+(* Control-plane message batching ([Config.net_batching]).
+
+   Small fixed-size control messages — credit returns, heartbeats, commit
+   notes, NOP Shard_tx ticks, clock announces — dominate message *count*
+   while carrying almost no payload. With batching on, the first batchable
+   send to a (src, dst) pair this tick opens a buffer and schedules a
+   zero-delay flush; every batchable send to that pair until the flush
+   fires appends to the buffer, and the flush ships one [Msg.Batch] in
+   send order. [register] unpacks batches back into individual handler
+   calls, so endpoints are batching-agnostic and the handler-visible
+   message order within a channel is the send order either way.
+
+   With batching off, [send] is an exact pass-through to [Net.send]:
+   no buffer is touched, no flush event exists, and delivery times and
+   counter fingerprints are bit-identical to a build without the
+   feature. *)
+
+let batchable (msg : Msg.t) =
+  match msg with
+  | Msg.Credit _ | Msg.Heartbeat _ | Msg.Commit_note _ | Msg.Announce _ -> true
+  | Msg.Shard_tx { ops = []; _ } -> true
+  | _ -> false
+
+let flush_batch t ~src ~dst =
+  match Hashtbl.find_opt t.batches (src, dst) with
+  | None -> ()
+  | Some buf ->
+      Hashtbl.remove t.batches (src, dst);
+      (match List.rev !buf with
+      | [] -> ()
+      | [ msg ] -> Net.send t.net ~src ~dst msg
+      | items ->
+          t.counters.batch_msgs <- t.counters.batch_msgs + 1;
+          t.counters.batch_coalesced <- t.counters.batch_coalesced + List.length items;
+          Net.send t.net ~src ~dst (Msg.Batch items))
+
+let send t ~src ~dst msg =
+  if t.cfg.Config.net_batching && batchable msg then begin
+    match Hashtbl.find_opt t.batches (src, dst) with
+    | Some buf -> buf := msg :: !buf
+    | None ->
+        Hashtbl.replace t.batches (src, dst) (ref [ msg ]);
+        Engine.schedule t.engine ~delay:0.0 (fun () -> flush_batch t ~src ~dst)
+  end
+  else Net.send t.net ~src ~dst msg
+
+let register t addr handler =
+  Net.register t.net addr (fun ~src msg ->
+      match (msg : Msg.t) with
+      | Msg.Batch items -> List.iter (fun m -> handler ~src m) items
+      | m -> handler ~src m)
 
 let observe t name v = Metrics.observe t.metrics name v
 
@@ -380,15 +444,17 @@ let heat_cross t vid =
         ~now:(Engine.now t.engine) vid
   | None -> ()
 
-type decision_cache = (string, bool) Hashtbl.t
+(* Keyed directly on the stamp pair with structural hashing/equality:
+   building a "e@o,c1,c2|e@o,c1,c2" string per lookup used to dominate the
+   ordering hot path. Structural equality distinguishes exactly what the
+   string keys did (epoch, origin, clock vector, both sides). *)
+type decision_cache = (Vclock.t * Vclock.t, bool) Hashtbl.t
 
 let create_cache () : decision_cache = Hashtbl.create 256
 
-let cache_key a b = Vclock.key a ^ "|" ^ Vclock.key b
-
 let cache_put cache a b first_before =
-  Hashtbl.replace cache (cache_key a b) first_before;
-  Hashtbl.replace cache (cache_key b a) (not first_before)
+  Hashtbl.replace cache (a, b) first_before;
+  Hashtbl.replace cache (b, a) (not first_before)
 
 (* Decide a ≺ b. Vector clocks answer most pairs for free (the proactive
    stage); concurrent pairs go to the server-local cache of irreversible
@@ -398,9 +464,9 @@ let before cache t a b ~prefer_first_on_tie =
   match Vclock.compare_hb a b with
   | Vclock.Before -> true
   | Vclock.After -> false
-  | Vclock.Equal when String.equal (Vclock.key a) (Vclock.key b) -> false
+  | Vclock.Equal when a.Vclock.origin = b.Vclock.origin -> false
   | Vclock.Equal | Vclock.Concurrent -> (
-      match Hashtbl.find_opt cache (cache_key a b) with
+      match Hashtbl.find_opt cache (a, b) with
       | Some d ->
           t.counters.oracle_cache_hits <- t.counters.oracle_cache_hits + 1;
           d
@@ -419,9 +485,9 @@ let before_established cache t a b =
   match Vclock.compare_hb a b with
   | Vclock.Before -> Some true
   | Vclock.After -> Some false
-  | Vclock.Equal when String.equal (Vclock.key a) (Vclock.key b) -> Some false
+  | Vclock.Equal when a.Vclock.origin = b.Vclock.origin -> Some false
   | Vclock.Equal | Vclock.Concurrent -> (
-      match Hashtbl.find_opt cache (cache_key a b) with
+      match Hashtbl.find_opt cache (a, b) with
       | Some d ->
           t.counters.oracle_cache_hits <- t.counters.oracle_cache_hits + 1;
           Some d
@@ -449,9 +515,9 @@ let before_cached cache t a b =
   match Vclock.compare_hb a b with
   | Vclock.Before -> Some true
   | Vclock.After -> Some false
-  | Vclock.Equal when String.equal (Vclock.key a) (Vclock.key b) -> Some false
+  | Vclock.Equal when a.Vclock.origin = b.Vclock.origin -> Some false
   | Vclock.Equal | Vclock.Concurrent -> (
-      match Hashtbl.find_opt cache (cache_key a b) with
+      match Hashtbl.find_opt cache (a, b) with
       | Some d ->
           t.counters.oracle_cache_hits <- t.counters.oracle_cache_hits + 1;
           Some d

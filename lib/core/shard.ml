@@ -5,6 +5,7 @@ module Store = Weaver_store.Store
 module Snapshot = Weaver_store.Snapshot
 module Oracle = Weaver_oracle.Oracle
 module Mgraph = Weaver_graph.Mgraph
+module Intern = Weaver_util.Intern
 
 type queued_tx = {
   q_seq : int;
@@ -21,7 +22,8 @@ type queued_tx = {
    answers any read at [at ≺ sg_ts] exactly. *)
 type snap_graph = {
   sg_ts : Vclock.t;
-  sg_graph : (string, Mgraph.vertex) Hashtbl.t;
+  sg_graph : (int, Mgraph.vertex) Hashtbl.t;
+      (* keyed by this shard's interned vertex handles *)
 }
 
 type parked_prog = {
@@ -40,9 +42,15 @@ type t = {
   rt : Runtime.t;
   sid : int;
   addr : int;
-  graph : (string, Mgraph.vertex) Hashtbl.t;
-  lru : string Queue.t; (* approximate recency for demand paging *)
-  lru_count : (string, int) Hashtbl.t;
+  names : Intern.t;
+      (* hash-consed vertex-id handles: every shard-internal table below is
+         keyed by a dense int handle, so the hot path (apply_op, node-program
+         visits, eviction) compares and hashes machine integers instead of
+         re-hashing vid strings. Interning is append-only and survives epoch
+         changes — a handle, once issued, stays valid for the shard's life. *)
+  graph : (int, Mgraph.vertex) Hashtbl.t;
+  lru : int Queue.t; (* approximate recency for demand paging *)
+  lru_count : (int, int) Hashtbl.t;
       (* occurrences of each vertex in [lru]; lets eviction skip stale
          duplicate entries in O(1) instead of scanning the whole queue *)
   queues : queued_tx Queue.t array; (* one FIFO per gatekeeper *)
@@ -50,11 +58,11 @@ type t = {
   seq_epoch : int array; (* epoch in which last_seq was recorded *)
   cache : Runtime.decision_cache;
   last_applied : Vclock.t option array; (* newest executed stamp per gk *)
-  prog_state : (int, (string, Progval.t) Hashtbl.t) Hashtbl.t;
+  prog_state : (int, (int, Progval.t) Hashtbl.t) Hashtbl.t;
   mutable parked : parked_prog list;
   mutable oracle_inflight : bool;
       (* a serialize round trip to the timeline oracle is outstanding *)
-  oracle_batch : (string, unit) Hashtbl.t;
+  oracle_batch : (Vclock.t, unit) Hashtbl.t;
       (* stamps (by key) covered by the in-flight consult: queue heads in
          here are stalled; everything else keeps draining. Conflicts found
          while the consult is out join this set instead of issuing another
@@ -79,11 +87,15 @@ type t = {
 
 let sid t = t.sid
 let epoch t = t.epoch
-let vertex t vid = Hashtbl.find_opt t.graph vid
+let vertex t vid =
+  match Intern.find t.names vid with
+  | Some h -> Hashtbl.find_opt t.graph h
+  | None -> None
+
 let resident_vertices t = Hashtbl.length t.graph
 
 let resident_ids t =
-  Hashtbl.fold (fun vid _ acc -> vid :: acc) t.graph []
+  Hashtbl.fold (fun h _ acc -> Intern.name t.names h :: acc) t.graph []
   |> List.sort String.compare
 
 let queue_depths t = Array.map Queue.length t.queues
@@ -93,7 +105,7 @@ let gc_floor t = t.gc_floor
 
 let cfg t = t.rt.Runtime.cfg
 let counters t = t.rt.Runtime.counters
-let send t ~dst msg = Net.send t.rt.Runtime.net ~src:t.addr ~dst msg
+let send t ~dst msg = Runtime.send t.rt ~src:t.addr ~dst msg
 let actor t = "shard" ^ string_of_int t.sid
 let now t = Engine.now t.rt.Runtime.engine
 
@@ -106,11 +118,11 @@ let before t a b = Runtime.before t.cache t.rt a b ~prefer_first_on_tie:true
 (* Demand paging (§6.1): vertices are fetched from the backing store on a
    miss and evicted in approximate LRU order when over capacity. *)
 
-let touch t vid =
+let touch t h =
   if (cfg t).Config.shard_capacity <> None then begin
-    Queue.push vid t.lru;
-    let n = Option.value ~default:0 (Hashtbl.find_opt t.lru_count vid) in
-    Hashtbl.replace t.lru_count vid (n + 1)
+    Queue.push h t.lru;
+    let n = Option.value ~default:0 (Hashtbl.find_opt t.lru_count h) in
+    Hashtbl.replace t.lru_count h (n + 1)
   end
 
 (* Pop recency entries until under capacity. A popped entry is a genuine
@@ -132,19 +144,20 @@ let evict_to_capacity t ~keep =
               Hashtbl.remove t.lru_count victim;
               0
         in
-        if remaining = 0 && (not (String.equal victim keep)) && Hashtbl.mem t.graph victim
+        if remaining = 0 && victim <> keep && Hashtbl.mem t.graph victim
         then begin
           Hashtbl.remove t.graph victim;
           (counters t).Runtime.evictions <- (counters t).Runtime.evictions + 1
         end
       done
 
-(* Look up a vertex, demand-paging from the backing store when it is not
-   resident. Returns the record and the paging cost incurred. *)
-let lookup_vertex t vid =
-  match Hashtbl.find_opt t.graph vid with
+(* Look up a vertex by its interned handle [h] (of the vid string [vid]),
+   demand-paging from the backing store when it is not resident. Returns
+   the record and the paging cost incurred. *)
+let lookup_vertex t h vid =
+  match Hashtbl.find_opt t.graph h with
   | Some v ->
-      touch t vid;
+      touch t h;
       (Some v, 0.0)
   | None -> (
       match (cfg t).Config.shard_capacity with
@@ -152,9 +165,9 @@ let lookup_vertex t vid =
       | Some _ -> (
           match Store.get_now t.rt.Runtime.store (Runtime.vkey vid) with
           | Some (Runtime.Vrec v) ->
-              Hashtbl.replace t.graph vid v;
-              touch t vid;
-              evict_to_capacity t ~keep:vid;
+              Hashtbl.replace t.graph h v;
+              touch t h;
+              evict_to_capacity t ~keep:h;
               (counters t).Runtime.page_ins <- (counters t).Runtime.page_ins + 1;
               (Some v, (cfg t).Config.page_in_cost)
           | _ -> (None, 0.0)))
@@ -179,40 +192,44 @@ let op_vertex (op : Msg.shard_op) =
       src
 
 let apply_op t ts (op : Msg.shard_op) =
-  Runtime.heat_write t.rt ~shard:t.sid (op_vertex op);
+  (* every op lands on exactly [op_vertex op] (edge ops live on their
+     source), so one intern covers all the table work below *)
+  let vid = op_vertex op in
+  Runtime.heat_write t.rt ~shard:t.sid vid;
+  let h = Intern.id t.names vid in
   let bf = before t in
-  let update vid f =
-    match lookup_vertex t vid with
-    | Some v, _ -> Hashtbl.replace t.graph vid (f v)
+  let update f =
+    match lookup_vertex t h vid with
+    | Some v, _ -> Hashtbl.replace t.graph h (f v)
     | None, _ -> ()
   in
   match op with
-  | Msg.S_create_vertex vid ->
-      Hashtbl.replace t.graph vid (Mgraph.create_vertex ~vid ~at:ts);
-      touch t vid;
-      evict_to_capacity t ~keep:vid
-  | Msg.S_delete_vertex vid -> update vid (fun v -> Mgraph.delete_vertex v ~at:ts)
-  | Msg.S_add_edge { src; eid; dst } ->
-      update src (fun v -> Mgraph.add_edge v ~eid ~dst ~at:ts)
-  | Msg.S_del_edge { src; eid } -> update src (fun v -> Mgraph.delete_edge v ~eid ~at:ts)
-  | Msg.S_set_vprop { vid; key; value } ->
-      update vid (fun v -> Mgraph.set_vertex_prop bf v ~key ~value ~at:ts)
-  | Msg.S_del_vprop { vid; key } ->
-      update vid (fun v -> Mgraph.del_vertex_prop bf v ~key ~at:ts)
-  | Msg.S_set_eprop { src; eid; key; value } ->
-      update src (fun v -> Mgraph.set_edge_prop bf v ~eid ~key ~value ~at:ts)
-  | Msg.S_del_eprop { src; eid; key } ->
-      update src (fun v -> Mgraph.del_edge_prop bf v ~eid ~key ~at:ts)
-  | Msg.S_migrate_in vid -> (
+  | Msg.S_create_vertex _ ->
+      Hashtbl.replace t.graph h (Mgraph.create_vertex ~vid ~at:ts);
+      touch t h;
+      evict_to_capacity t ~keep:h
+  | Msg.S_delete_vertex _ -> update (fun v -> Mgraph.delete_vertex v ~at:ts)
+  | Msg.S_add_edge { eid; dst; _ } ->
+      update (fun v -> Mgraph.add_edge v ~eid ~dst ~at:ts)
+  | Msg.S_del_edge { eid; _ } -> update (fun v -> Mgraph.delete_edge v ~eid ~at:ts)
+  | Msg.S_set_vprop { key; value; _ } ->
+      update (fun v -> Mgraph.set_vertex_prop bf v ~key ~value ~at:ts)
+  | Msg.S_del_vprop { key; _ } ->
+      update (fun v -> Mgraph.del_vertex_prop bf v ~key ~at:ts)
+  | Msg.S_set_eprop { eid; key; value; _ } ->
+      update (fun v -> Mgraph.set_edge_prop bf v ~eid ~key ~value ~at:ts)
+  | Msg.S_del_eprop { eid; key; _ } ->
+      update (fun v -> Mgraph.del_edge_prop bf v ~eid ~key ~at:ts)
+  | Msg.S_migrate_in _ -> (
       (* adopt: pull the current durable record (it includes every write
          committed before this op's store transaction, §4.6) *)
       match Store.get_now t.rt.Runtime.store (Runtime.vkey vid) with
       | Some (Runtime.Vrec v) ->
-          Hashtbl.replace t.graph vid v;
-          touch t vid;
-          evict_to_capacity t ~keep:vid
+          Hashtbl.replace t.graph h v;
+          touch t h;
+          evict_to_capacity t ~keep:h
       | _ -> ())
-  | Msg.S_migrate_out vid -> Hashtbl.remove t.graph vid
+  | Msg.S_migrate_out _ -> Hashtbl.remove t.graph h
 
 let apply_tx t ~gk (qt : queued_tx) =
   if qt.q_ops <> [] then begin
@@ -330,10 +347,11 @@ let execute_prog_batch t (p : parked_prog) =
       in
       while not (Queue.is_empty work) do
         let vid, params = Queue.pop work in
+        let h = Intern.id t.names vid in
         let vrec, pc =
           match pinned with
-          | Some sg -> (Hashtbl.find_opt sg.sg_graph vid, 0.0)
-          | None -> lookup_vertex t vid
+          | Some sg -> (Hashtbl.find_opt sg.sg_graph h, 0.0)
+          | None -> lookup_vertex t h vid
         in
         page_cost := !page_cost +. pc;
         match vrec with
@@ -349,15 +367,15 @@ let execute_prog_batch t (p : parked_prog) =
                 (counters t).Runtime.vertices_read + 1;
               Runtime.heat_read t.rt ~shard:t.sid vid;
               let ctx = { Nodeprog.vid; at = p.p_ts; before = bf; vertex } in
-              let state = Hashtbl.find_opt states vid in
+              let state = Hashtbl.find_opt states h in
               (* a repeat visit only touches the per-program state, not the
                  full vertex record: charge a tenth of a read *)
               read_cost_units :=
                 !read_cost_units +. (if state = None then 1.0 else 0.1);
               let state', hops, partial = P.run ctx ~params ~state in
               (match state' with
-              | Some s -> Hashtbl.replace states vid s
-              | None -> Hashtbl.remove states vid);
+              | Some s -> Hashtbl.replace states h s
+              | None -> Hashtbl.remove states h);
               acc := P.merge !acc partial;
               List.iter
                 (fun (hvid, hparams) ->
@@ -481,10 +499,9 @@ let try_run_parked t =
 
 (* Add a stamp to the in-flight conflict batch; true iff it was new. *)
 let join_batch t ts =
-  let k = Vclock.key ts in
-  if Hashtbl.mem t.oracle_batch k then false
+  if Hashtbl.mem t.oracle_batch ts then false
   else begin
-    Hashtbl.replace t.oracle_batch k ();
+    Hashtbl.replace t.oracle_batch ts ();
     t.oracle_batch_list <- ts :: t.oracle_batch_list;
     true
   end
@@ -539,7 +556,7 @@ and try_advance t =
         (* a head covered by the in-flight consult must wait for its
            answer; only those heads are stalled *)
         let stalled (h : queued_tx) =
-          t.oracle_inflight && Hashtbl.mem t.oracle_batch (Vclock.key h.q_ts)
+          t.oracle_inflight && Hashtbl.mem t.oracle_batch h.q_ts
         in
         (* [le h h'] — may this head execute no later than that one? A NOP
            carries no effects, so a pair involving one needs no globally
@@ -668,8 +685,9 @@ let reload_from_store t =
               match cap with None -> true | Some c -> Hashtbl.length t.graph < c
             in
             if under_cap then begin
-              Hashtbl.replace t.graph vid v;
-              touch t vid
+              let h = Intern.id t.names vid in
+              Hashtbl.replace t.graph h v;
+              touch t h
             end
           end
       | _ -> ())
@@ -733,7 +751,7 @@ let handle_watermark t gk ts =
             | Runtime.Vrec v ->
                 let vid = String.sub k 2 (String.length k - 2) in
                 if Runtime.shard_of_vertex t.rt vid = t.sid then
-                  Hashtbl.replace sg_graph vid v
+                  Hashtbl.replace sg_graph (Intern.id t.names vid) v
             | _ -> ())
           (Store.scan_prefix t.rt.Runtime.store ~prefix:"v/");
         ignore (Snapshot.publish t.snaps ~key { sg_ts = wm; sg_graph });
@@ -767,10 +785,10 @@ let handle_watermark t gk ts =
     let vb a b = Vclock.precedes a b in
     let doomed = ref [] in
     Hashtbl.iter
-      (fun vid v ->
+      (fun h v ->
         match Mgraph.compact vb v ~watermark:wm with
-        | Some v' -> Hashtbl.replace t.graph vid v'
-        | None -> doomed := vid :: !doomed)
+        | Some v' -> Hashtbl.replace t.graph h v'
+        | None -> doomed := h :: !doomed)
       t.graph;
     List.iter (Hashtbl.remove t.graph) !doomed
   end
@@ -864,6 +882,7 @@ let spawn rt ~sid ~epoch =
       rt;
       sid;
       addr = Runtime.shard_addr rt sid;
+      names = Intern.create ~capacity:4096 ();
       graph = Hashtbl.create 4096;
       lru = Queue.create ();
       lru_count = Hashtbl.create 4096;
@@ -888,7 +907,7 @@ let spawn rt ~sid ~epoch =
       retired = false;
     }
   in
-  Net.register rt.Runtime.net t.addr (fun ~src msg -> handle t ~src msg);
+  Runtime.register rt t.addr (fun ~src msg -> handle t ~src msg);
   (* utilization gauges (see the gatekeeper note on respawn semantics):
      busy time and the aggregate depth of the per-gatekeeper FIFO queues *)
   Weaver_obs.Metrics.gauge rt.Runtime.metrics

@@ -38,13 +38,13 @@ let encode_edge w (e : Mgraph.edge) =
   Wire.Writer.string w e.Mgraph.eid;
   Wire.Writer.string w e.Mgraph.dst;
   encode_life w e.Mgraph.e_life;
-  Wire.Writer.list w (encode_prop w) e.Mgraph.e_props
+  Wire.Writer.list w (encode_prop w) (Array.to_list e.Mgraph.e_props)
 
 let decode_edge r =
   let eid = Wire.Reader.string r in
   let dst = Wire.Reader.string r in
   let e_life = decode_life r in
-  let e_props = Wire.Reader.list r (fun () -> decode_prop r) in
+  let e_props = Array.of_list (Wire.Reader.list r (fun () -> decode_prop r)) in
   { Mgraph.eid; dst; e_life; e_props }
 
 let encode_vertex (v : Mgraph.vertex) =
@@ -52,8 +52,8 @@ let encode_vertex (v : Mgraph.vertex) =
   Wire.Writer.varint w format_version;
   Wire.Writer.string w v.Mgraph.vid;
   encode_life w v.Mgraph.v_life;
-  Wire.Writer.list w (encode_prop w) v.Mgraph.v_props;
-  Wire.Writer.list w (encode_edge w) v.Mgraph.out;
+  Wire.Writer.list w (encode_prop w) (Array.to_list v.Mgraph.v_props);
+  Wire.Writer.list w (encode_edge w) (Array.to_list v.Mgraph.out);
   Wire.Writer.contents w
 
 let decode_vertex data =
@@ -63,7 +63,7 @@ let decode_vertex data =
     raise (Wire.Reader.Corrupt ("unsupported format version " ^ string_of_int version));
   let vid = Wire.Reader.string r in
   let v_life = decode_life r in
-  let v_props = Wire.Reader.list r (fun () -> decode_prop r) in
-  let out = Wire.Reader.list r (fun () -> decode_edge r) in
+  let v_props = Array.of_list (Wire.Reader.list r (fun () -> decode_prop r)) in
+  let out = Array.of_list (Wire.Reader.list r (fun () -> decode_edge r)) in
   if not (Wire.Reader.at_end r) then raise (Wire.Reader.Corrupt "trailing bytes");
   { Mgraph.vid; v_life; v_props; out }

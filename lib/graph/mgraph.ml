@@ -9,15 +9,49 @@ type edge = {
   eid : string;
   dst : string;
   e_life : lifespan;
-  e_props : prop list;
+  e_props : prop array;
 }
 
 type vertex = {
   vid : string;
   v_life : lifespan;
-  v_props : prop list;
-  out : edge list;
+  v_props : prop array;
+  out : edge array;
 }
+
+(* Version sets are flat immutable arrays, newest first — the same order
+   the old cons-list representation exposed, so visible-version iteration
+   order (and everything downstream of it) is unchanged. Updates copy the
+   array; reads walk a contiguous block with no per-cell indirection,
+   which is what the hot path (out_edges under many versions) does. *)
+let acons x a =
+  let n = Array.length a in
+  let a' = Array.make (n + 1) x in
+  Array.blit a 0 a' 1 n;
+  a'
+
+let afilter keep a =
+  let n = Array.length a in
+  let kept = ref 0 in
+  let mask = Array.make n false in
+  for i = 0 to n - 1 do
+    if keep a.(i) then begin
+      mask.(i) <- true;
+      incr kept
+    end
+  done;
+  if !kept = n then a
+  else begin
+    let a' = Array.make !kept a.(0) in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if mask.(i) then begin
+        a'.(!j) <- a.(i);
+        incr j
+      end
+    done;
+    a'
+  end
 
 let at_or_before (before : before) a b = Vclock.equal a b || before a b
 
@@ -31,19 +65,19 @@ let alive before life ~at =
 let span at = { created = at; deleted = None }
 
 let create_vertex ~vid ~at =
-  { vid; v_life = span at; v_props = []; out = [] }
+  { vid; v_life = span at; v_props = [||]; out = [||] }
 
 let delete_vertex v ~at = { v with v_life = { v.v_life with deleted = Some at } }
 
 let add_edge v ~eid ~dst ~at =
-  { v with out = { eid; dst; e_life = span at; e_props = [] } :: v.out }
+  { v with out = acons { eid; dst; e_life = span at; e_props = [||] } v.out }
 
 let kill_life life ~at =
   match life.deleted with None -> { life with deleted = Some at } | Some _ -> life
 
 let delete_edge v ~eid ~at =
   let out =
-    List.map
+    Array.map
       (fun e ->
         if String.equal e.eid eid && e.e_life.deleted = None then
           { e with e_life = kill_life e.e_life ~at }
@@ -53,7 +87,7 @@ let delete_edge v ~eid ~at =
   { v with out }
 
 let close_prop before props ~key ~at =
-  List.map
+  Array.map
     (fun p ->
       if String.equal p.pkey key && alive before p.p_life ~at then
         { p with p_life = kill_life p.p_life ~at }
@@ -62,19 +96,19 @@ let close_prop before props ~key ~at =
 
 let set_vertex_prop before v ~key ~value ~at =
   let closed = close_prop before v.v_props ~key ~at in
-  { v with v_props = { pkey = key; pval = value; p_life = span at } :: closed }
+  { v with v_props = acons { pkey = key; pval = value; p_life = span at } closed }
 
 let del_vertex_prop before v ~key ~at =
   { v with v_props = close_prop before v.v_props ~key ~at }
 
 let map_edge v ~eid f =
-  { v with out = List.map (fun e -> if String.equal e.eid eid then f e else e) v.out }
+  { v with out = Array.map (fun e -> if String.equal e.eid eid then f e else e) v.out }
 
 let set_edge_prop before v ~eid ~key ~value ~at =
   map_edge v ~eid (fun e ->
       if e.e_life.deleted = None then
         let closed = close_prop before e.e_props ~key ~at in
-        { e with e_props = { pkey = key; pval = value; p_life = span at } :: closed }
+        { e with e_props = acons { pkey = key; pval = value; p_life = span at } closed }
       else e)
 
 let del_edge_prop before v ~eid ~key ~at =
@@ -82,25 +116,31 @@ let del_edge_prop before v ~eid ~key ~at =
 
 let vertex_alive before v ~at = alive before v.v_life ~at
 
-let out_edges before v ~at = List.filter (fun e -> alive before e.e_life ~at) v.out
+let out_edges before v ~at =
+  Array.fold_right
+    (fun e acc -> if alive before e.e_life ~at then e :: acc else acc)
+    v.out []
 
 let props_at before props ~at =
-  List.filter_map
-    (fun p -> if alive before p.p_life ~at then Some (p.pkey, p.pval) else None)
-    props
+  Array.fold_right
+    (fun p acc -> if alive before p.p_life ~at then (p.pkey, p.pval) :: acc else acc)
+    props []
 
 let vertex_props before v ~at = props_at before v.v_props ~at
 let edge_props before e ~at = props_at before e.e_props ~at
 
 let edge_has_prop before e ~key ?value ~at () =
-  List.exists
+  Array.exists
     (fun p ->
       alive before p.p_life ~at
       && String.equal p.pkey key
       && match value with None -> true | Some v -> String.equal p.pval v)
     e.e_props
 
-let degree before v ~at = List.length (out_edges before v ~at)
+let degree before v ~at =
+  let n = ref 0 in
+  Array.iter (fun e -> if alive before e.e_life ~at then incr n) v.out;
+  !n
 
 let dead_before before life ~watermark =
   match life.deleted with Some d -> before d watermark | None -> false
@@ -110,15 +150,12 @@ let compact before v ~watermark =
   else
     let keep_prop p = not (dead_before before p.p_life ~watermark) in
     let out =
-      List.filter_map
-        (fun e ->
-          if dead_before before e.e_life ~watermark then None
-          else Some { e with e_props = List.filter keep_prop e.e_props })
-        v.out
+      afilter (fun e -> not (dead_before before e.e_life ~watermark)) v.out
+      |> Array.map (fun e -> { e with e_props = afilter keep_prop e.e_props })
     in
-    Some { v with v_props = List.filter keep_prop v.v_props; out }
+    Some { v with v_props = afilter keep_prop v.v_props; out }
 
 let pp_vertex fmt v =
   let dead = match v.v_life.deleted with Some _ -> " (deleted)" | None -> "" in
   Format.fprintf fmt "@[<v 2>vertex %s%s@ props:%d edge-versions:%d@]" v.vid dead
-    (List.length v.v_props) (List.length v.out)
+    (Array.length v.v_props) (Array.length v.out)

@@ -32,15 +32,20 @@ type edge = {
   eid : string;  (** cluster-unique edge handle *)
   dst : string;  (** destination vertex id *)
   e_life : lifespan;
-  e_props : prop list;  (** all versions, newest first *)
+  e_props : prop array;  (** all versions, newest first *)
 }
 
 type vertex = {
   vid : string;
   v_life : lifespan;
-  v_props : prop list;  (** all versions, newest first *)
-  out : edge list;  (** all edge versions rooted here, newest first *)
+  v_props : prop array;  (** all versions, newest first *)
+  out : edge array;  (** all edge versions rooted here, newest first *)
 }
+(** Version sets are flat immutable arrays (newest first), not lists:
+    reads walk a contiguous block, and updates — which are pure, like
+    before — copy the array. Treat the arrays as read-only; mutating one
+    in place would corrupt every shard table, store version, and snapshot
+    sharing the record. *)
 
 val alive : before -> lifespan -> at:stamp -> bool
 (** Is an object with this lifespan visible at time [at]? True iff the

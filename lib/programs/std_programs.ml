@@ -385,13 +385,12 @@ module History = struct
      dead, and the creation stamp *)
   let run ctx ~params:_ ~state:_ =
     let v = ctx.Nodeprog.vertex in
+    let count pred a = Array.fold_left (fun n x -> if pred x then n + 1 else n) 0 a in
     let dead_props =
-      List.length
-        (List.filter (fun (p : Mgraph.prop) -> p.Mgraph.p_life.Mgraph.deleted <> None) v.Mgraph.v_props)
+      count (fun (p : Mgraph.prop) -> p.Mgraph.p_life.Mgraph.deleted <> None) v.Mgraph.v_props
     in
     let dead_edges =
-      List.length
-        (List.filter (fun (e : Mgraph.edge) -> e.Mgraph.e_life.Mgraph.deleted <> None) v.Mgraph.out)
+      count (fun (e : Mgraph.edge) -> e.Mgraph.e_life.Mgraph.deleted <> None) v.Mgraph.out
     in
     let summary =
       Progval.Assoc
@@ -399,9 +398,9 @@ module History = struct
           ("vid", Progval.Str v.Mgraph.vid);
           ("created", Progval.Str (Weaver_vclock.Vclock.to_string v.Mgraph.v_life.Mgraph.created));
           ("alive", Progval.Bool (v.Mgraph.v_life.Mgraph.deleted = None));
-          ("prop_versions", Progval.Int (List.length v.Mgraph.v_props));
+          ("prop_versions", Progval.Int (Array.length v.Mgraph.v_props));
           ("dead_prop_versions", Progval.Int dead_props);
-          ("edge_versions", Progval.Int (List.length v.Mgraph.out));
+          ("edge_versions", Progval.Int (Array.length v.Mgraph.out));
           ("dead_edge_versions", Progval.Int dead_edges);
         ]
     in

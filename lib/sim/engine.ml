@@ -1,19 +1,24 @@
-module Heap = Weaver_util.Heap
-
-type event = { time : float; seq : int; action : unit -> unit }
+(* The event queue is an inline binary min-heap over three parallel
+   arrays rather than a heap of {time; seq; action} records: [times] is a
+   flat float array (unboxed), so scheduling an event allocates nothing
+   beyond the caller's closure, and the (time, seq) comparison is two
+   machine compares instead of a polymorphic [compare] through a closure.
+   Events at equal time fire in scheduling order via the sequence number,
+   exactly as the record-based queue did. *)
 
 type t = {
   mutable clock : float;
   mutable seq : int;
   mutable processed : int;
   mutable max_pending : int;
-  queue : event Heap.t;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable actions : (unit -> unit) array;
+  mutable size : int;
   rng : Weaver_util.Xrand.t;
 }
 
-let cmp_event a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+let noop () = ()
 
 let create ?(seed = 1) () =
   {
@@ -21,36 +26,108 @@ let create ?(seed = 1) () =
     seq = 0;
     processed = 0;
     max_pending = 0;
-    queue = Heap.create ~cmp:cmp_event;
+    times = [||];
+    seqs = [||];
+    actions = [||];
+    size = 0;
     rng = Weaver_util.Xrand.create ~seed ();
   }
 
 let now t = t.clock
 let rng t = t.rng
 
+(* strict (time, seq) lexicographic order; seqs are unique so this is total *)
+let[@inline] less t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
+
+let[@inline] swap t i j =
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let sq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- sq;
+  let ac = t.actions.(i) in
+  t.actions.(i) <- t.actions.(j);
+  t.actions.(j) <- ac
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t l !smallest then smallest := l;
+  if r < t.size && less t r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = Array.length t.seqs in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let nt = Array.make ncap 0.0
+    and ns = Array.make ncap 0
+    and na = Array.make ncap noop in
+    Array.blit t.times 0 nt 0 t.size;
+    Array.blit t.seqs 0 ns 0 t.size;
+    Array.blit t.actions 0 na 0 t.size;
+    t.times <- nt;
+    t.seqs <- ns;
+    t.actions <- na
+  end
+
 let schedule_at t ~time action =
   let time = Float.max time t.clock in
   t.seq <- t.seq + 1;
-  Heap.push t.queue { time; seq = t.seq; action };
-  if Heap.length t.queue > t.max_pending then t.max_pending <- Heap.length t.queue
+  grow t;
+  let i = t.size in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.seq;
+  t.actions.(i) <- action;
+  t.size <- i + 1;
+  sift_up t i;
+  if t.size > t.max_pending then t.max_pending <- t.size
 
 let schedule t ~delay action =
   let delay = Float.max 0.0 delay in
   schedule_at t ~time:(t.clock +. delay) action
 
 let every t ~period f =
-  assert (period > 0.0);
+  (* an [assert] here would vanish under -noassert and a non-positive
+     period would then spin a zero-delay event loop forever *)
+  if not (period > 0.0) then invalid_arg "Engine.every: period must be > 0";
   let rec tick () = if f () then schedule t ~delay:period tick in
   schedule t ~delay:period tick
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-      t.clock <- ev.time;
-      t.processed <- t.processed + 1;
-      ev.action ();
-      true
+  if t.size = 0 then false
+  else begin
+    let action = t.actions.(0) in
+    t.clock <- t.times.(0);
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      t.times.(0) <- t.times.(n);
+      t.seqs.(0) <- t.seqs.(n);
+      t.actions.(0) <- t.actions.(n)
+    end;
+    (* executed (and moved-from) closures must not stay reachable *)
+    t.actions.(n) <- noop;
+    if n > 1 then sift_down t 0;
+    t.processed <- t.processed + 1;
+    action ();
+    true
+  end
 
 let run ?until t =
   match until with
@@ -58,13 +135,13 @@ let run ?until t =
   | Some limit ->
       let continue = ref true in
       while !continue do
-        match Heap.peek t.queue with
-        | Some ev when ev.time <= limit -> ignore (step t)
-        | _ ->
-            t.clock <- Float.max t.clock limit;
-            continue := false
+        if t.size > 0 && t.times.(0) <= limit then ignore (step t)
+        else begin
+          t.clock <- Float.max t.clock limit;
+          continue := false
+        end
       done
 
-let pending t = Heap.length t.queue
+let pending t = t.size
 let max_pending t = t.max_pending
 let events_processed t = t.processed

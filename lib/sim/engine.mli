@@ -26,7 +26,9 @@ val schedule_at : t -> time:float -> (unit -> unit) -> unit
 
 val every : t -> period:float -> (unit -> bool) -> unit
 (** [every t ~period f] calls [f] each [period] µs for as long as [f]
-    returns [true]. The first call happens one period from now. *)
+    returns [true]. The first call happens one period from now.
+    @raise Invalid_argument if [period <= 0] (a non-positive period would
+    spin a zero-delay event loop forever). *)
 
 val step : t -> bool
 (** Execute the single earliest pending event. [false] if the queue was

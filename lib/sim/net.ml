@@ -6,13 +6,33 @@ type 'm endpoint = {
   mutable alive : bool;
 }
 
+(* Per-(src,dst) mailbox. Messages queue here in send order and one
+   preallocated [c_deliver] closure is scheduled per message, so the
+   engine heap carries no per-message closure or record. Delivery events
+   on one channel fire in send order (their times are non-decreasing by
+   the FIFO floor and their engine sequence numbers increase), so popping
+   the queue head at each firing delivers exactly the right message.
+
+   The channel record is removed when its in-flight count drains to 0 —
+   this is also what bounds the FIFO-floor state: the old implementation
+   kept a [last_delivery] entry per (src,dst) pair forever. Dropping the
+   floor at drain time is safe because the clock has then reached the
+   floor, so any later send's arrival time already respects it. *)
+type 'm channel = {
+  c_src : addr;
+  c_dst : addr;
+  c_msgs : 'm Queue.t;
+  mutable c_floor : float; (* last scheduled delivery time *)
+  mutable c_load : int; (* in flight on this channel *)
+  mutable c_deliver : unit -> unit;
+}
+
 type 'm t = {
   engine : Engine.t;
   latency : latency;
   rng : Weaver_util.Xrand.t;
   endpoints : (addr, 'm endpoint) Hashtbl.t;
-  (* last scheduled delivery time per (src,dst), to enforce FIFO *)
-  last_delivery : (addr * addr, float) Hashtbl.t;
+  channels : (addr * addr, 'm channel) Hashtbl.t;
   mutable sent : int;
   mutable delivered : int;
   mutable suppressed : int; (* sends attempted by dead endpoints *)
@@ -26,7 +46,6 @@ type 'm t = {
      delivery event fires, whether or not the destination is still alive. *)
   mutable in_flight : int;
   mutable in_flight_hwm : int;
-  channel_load : (addr * addr, int) Hashtbl.t;
   mutable channel_hwm : int;
   mutable tracer : (time:float -> src:addr -> dst:addr -> 'm -> unit) option;
   (* fault-injection latency degradation: a global multiplier plus optional
@@ -49,7 +68,7 @@ let create engine ~latency =
     latency;
     rng = Weaver_util.Xrand.split (Engine.rng engine);
     endpoints = Hashtbl.create 64;
-    last_delivery = Hashtbl.create 256;
+    channels = Hashtbl.create 256;
     sent = 0;
     delivered = 0;
     suppressed = 0;
@@ -57,7 +76,6 @@ let create engine ~latency =
     drops_by_dst = Hashtbl.create 16;
     in_flight = 0;
     in_flight_hwm = 0;
-    channel_load = Hashtbl.create 256;
     channel_hwm = 0;
     tracer = None;
     latency_factor = 1.0;
@@ -95,6 +113,42 @@ let link_factor t ~src ~dst =
 
 let clear_link_factors t = Hashtbl.reset t.link_factors
 
+(* one delivery event fired: hand the channel's head message to the
+   destination (or count the drop), retiring the channel when drained *)
+let deliver_one t ch =
+  let msg = Queue.pop ch.c_msgs in
+  t.in_flight <- t.in_flight - 1;
+  ch.c_load <- ch.c_load - 1;
+  if ch.c_load = 0 then Hashtbl.remove t.channels (ch.c_src, ch.c_dst);
+  match Hashtbl.find_opt t.endpoints ch.c_dst with
+  | Some ep when ep.alive ->
+      t.delivered <- t.delivered + 1;
+      ep.handler ~src:ch.c_src msg
+  | _ ->
+      t.dropped <- t.dropped + 1;
+      let n =
+        match Hashtbl.find_opt t.drops_by_dst ch.c_dst with Some n -> n | None -> 0
+      in
+      Hashtbl.replace t.drops_by_dst ch.c_dst (n + 1)
+
+let channel t key src dst =
+  match Hashtbl.find_opt t.channels key with
+  | Some ch -> ch
+  | None ->
+      let ch =
+        {
+          c_src = src;
+          c_dst = dst;
+          c_msgs = Queue.create ();
+          c_floor = neg_infinity;
+          c_load = 0;
+          c_deliver = ignore;
+        }
+      in
+      ch.c_deliver <- (fun () -> deliver_one t ch);
+      Hashtbl.replace t.channels key ch;
+      ch
+
 let send t ~src ~dst msg =
   let src_alive =
     match Hashtbl.find_opt t.endpoints src with
@@ -114,35 +168,16 @@ let send t ~src ~dst msg =
       t.latency t.rng ~src ~dst *. t.latency_factor *. link_factor t ~src ~dst
     in
     let arrival = Engine.now t.engine +. Float.max 0.0 lat in
+    let ch = channel t (src, dst) src dst in
     (* FIFO per channel: never deliver before the previous message *)
-    let key = (src, dst) in
-    let floor_time =
-      match Hashtbl.find_opt t.last_delivery key with
-      | Some prev -> Float.max arrival prev
-      | None -> arrival
-    in
-    Hashtbl.replace t.last_delivery key floor_time;
+    let floor_time = Float.max arrival ch.c_floor in
+    ch.c_floor <- floor_time;
+    ch.c_load <- ch.c_load + 1;
+    Queue.push msg ch.c_msgs;
     t.in_flight <- t.in_flight + 1;
     if t.in_flight > t.in_flight_hwm then t.in_flight_hwm <- t.in_flight;
-    let load = (match Hashtbl.find_opt t.channel_load key with Some n -> n | None -> 0) + 1 in
-    Hashtbl.replace t.channel_load key load;
-    if load > t.channel_hwm then t.channel_hwm <- load;
-    Engine.schedule_at t.engine ~time:floor_time (fun () ->
-        t.in_flight <- t.in_flight - 1;
-        (match Hashtbl.find_opt t.channel_load key with
-        | Some 1 -> Hashtbl.remove t.channel_load key
-        | Some n -> Hashtbl.replace t.channel_load key (n - 1)
-        | None -> ());
-        match Hashtbl.find_opt t.endpoints dst with
-        | Some ep when ep.alive ->
-            t.delivered <- t.delivered + 1;
-            ep.handler ~src msg
-        | _ ->
-            t.dropped <- t.dropped + 1;
-            let n =
-              match Hashtbl.find_opt t.drops_by_dst dst with Some n -> n | None -> 0
-            in
-            Hashtbl.replace t.drops_by_dst dst (n + 1))
+    if ch.c_load > t.channel_hwm then t.channel_hwm <- ch.c_load;
+    Engine.schedule_at t.engine ~time:floor_time ch.c_deliver
   end
 
 let messages_sent t = t.sent
@@ -157,6 +192,9 @@ let in_flight t = t.in_flight
 let in_flight_high_water t = t.in_flight_hwm
 
 let channel_in_flight t ~src ~dst =
-  match Hashtbl.find_opt t.channel_load (src, dst) with Some n -> n | None -> 0
+  match Hashtbl.find_opt t.channels (src, dst) with
+  | Some ch -> ch.c_load
+  | None -> 0
 
 let channel_high_water t = t.channel_hwm
+let channels_tracked t = Hashtbl.length t.channels

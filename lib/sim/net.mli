@@ -87,6 +87,13 @@ val channel_high_water : 'm t -> int
     (a queue building on one gatekeeper→shard channel shows here while
     the global count stays modest). *)
 
+val channels_tracked : 'm t -> int
+(** Number of (src, dst) channels currently holding in-flight state. A
+    channel's record (FIFO mailbox + delivery floor) is dropped as soon as
+    its in-flight count drains to 0, so this must return to 0 on an idle
+    network — the regression guard against the old behaviour of keeping a
+    FIFO-floor entry per channel ever used. *)
+
 val set_tracer : 'm t -> (time:float -> src:addr -> dst:addr -> 'm -> unit) option -> unit
 (** Install (or remove) a callback invoked on every non-suppressed {!send}
     with the current virtual time — the hook behind message tracing. *)

@@ -56,8 +56,13 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      (* the vacated slot now aliases the element we just moved to the
+         root, never the popped one; once the heap drains, drop the array
+         itself — otherwise the last popped element (an executed event
+         closure, in the engine) stays reachable through slot 0 *)
       sift_down t 0
-    end;
+    end
+    else t.data <- [||];
     Some top
   end
 

@@ -1,0 +1,28 @@
+(** Hash-consed string handles.
+
+    Interns strings into dense integer handles: equal strings always map
+    to the same handle, so hot-path comparisons and hash-table lookups
+    become integer operations instead of byte-wise string work. Handles
+    are allocated densely from 0 in first-intern order, which makes them
+    directly usable as array indices. Interning is append-only: a handle
+    stays valid (and keeps its name) for the lifetime of the table. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Empty table. [capacity] is a sizing hint (default 1024). *)
+
+val id : t -> string -> int
+(** The handle for this string, interning it on first sight. O(1)
+    amortized; the handle of an already-interned string involves no
+    allocation beyond the hash lookup. *)
+
+val find : t -> string -> int option
+(** The handle if the string was interned before, without interning. *)
+
+val name : t -> int -> string
+(** Reverse lookup (array index).
+    @raise Invalid_argument on a handle this table never issued. *)
+
+val count : t -> int
+(** Number of distinct strings interned; handles are [0 .. count - 1]. *)

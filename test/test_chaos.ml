@@ -105,11 +105,12 @@ let run_chaos seed =
           match Cluster.shard_vertex c ~shard vid with
           | Some resident ->
               let live (v : Weaver_graph.Mgraph.vertex) =
-                List.length
-                  (List.filter
-                     (fun (e : Weaver_graph.Mgraph.edge) ->
-                       e.Weaver_graph.Mgraph.e_life.Weaver_graph.Mgraph.deleted = None)
-                     v.Weaver_graph.Mgraph.out)
+                Array.fold_left
+                  (fun n (e : Weaver_graph.Mgraph.edge) ->
+                    if e.Weaver_graph.Mgraph.e_life.Weaver_graph.Mgraph.deleted = None
+                    then n + 1
+                    else n)
+                  0 v.Weaver_graph.Mgraph.out
               in
               Alcotest.(check int)
                 (vid ^ " durable/resident degree agree")

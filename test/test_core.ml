@@ -371,7 +371,7 @@ let gc_churn_versions ~gc_period =
   let shard = Cluster.shard_of_vertex c "gcv" in
   let versions =
     match Cluster.shard_vertex c ~shard "gcv" with
-    | Some v -> List.length v.Weaver_graph.Mgraph.v_props
+    | Some v -> Array.length v.Weaver_graph.Mgraph.v_props
     | None -> Alcotest.fail "vertex missing"
   in
   (c, client, versions)

@@ -25,7 +25,7 @@ let test_replication_stream_converges () =
      staleness window; primaries have the write as soon as they apply *)
   Cluster.run_for c 50_000.0;
   (match Cluster.replica_vertex c ~shard ~replica:0 "r1" with
-  | Some v -> Alcotest.(check int) "replica has the edge" 1 (List.length v.Weaver_graph.Mgraph.out)
+  | Some v -> Alcotest.(check int) "replica has the edge" 1 (Array.length v.Weaver_graph.Mgraph.out)
   | None -> Alcotest.fail "replica missing r1");
   Alcotest.(check bool) "stream counted" true
     (Cluster.replica_applied c ~shard ~replica:0 >= 1)
@@ -44,7 +44,7 @@ let test_staleness_window_observable () =
   let prop_of vo =
     match vo with
     | Some v ->
-        List.exists
+        Array.exists
           (fun (p : Weaver_graph.Mgraph.prop) -> p.Weaver_graph.Mgraph.pval = "new")
           v.Weaver_graph.Mgraph.v_props
     | None -> false

@@ -167,7 +167,7 @@ let test_race seed () =
   | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
   | Error e -> Alcotest.failf "final read: %s" e);
   match Cluster.stored_vertex c "hub" with
-  | Some v -> Alcotest.(check int) "durable degree" 15 (List.length v.Weaver_graph.Mgraph.out)
+  | Some v -> Alcotest.(check int) "durable degree" 15 (Array.length v.Weaver_graph.Mgraph.out)
   | None -> Alcotest.fail "hub missing from store"
 
 (* Forced-coalescing configuration: three gatekeepers hammer the same hub
@@ -230,6 +230,58 @@ let test_coalesced_race seed () =
   in
   Alcotest.(check bool) "bit-identical rerun" true
     (fp = coalesce_fingerprint c2)
+
+(* [Config.net_batching] coalesces control traffic (NOPs, credits,
+   announces, commit notes, heartbeats) into per-channel [Msg.Batch]
+   envelopes, unpacked at delivery. The client-observable history must
+   stay strictly serializable, the final state must be exact, and the
+   coalescing must genuinely shrink the wire-message count versus the
+   identical run with batching off. *)
+let test_batched_race seed () =
+  let writers = 3 and readers = 2 and writes_per_writer = 5 in
+  (* coalescing needs several batchable messages on one (src, dst) channel
+     at one engine instant. The forced-coalescing topology produces exactly
+     that: hub writers pinned to gatekeeper 0 queue up behind a stalled
+     shard head during an oracle consult, and when the consult lands the
+     shard burst-drains the queue — one flow-control [Credit] per applied
+     transaction, all to gatekeeper 0, folded into one [Msg.Batch]. *)
+  let cfg =
+    { coalesce_cfg with Config.shard_credits = 64; Config.net_batching = true }
+  in
+  let c, reads, writes =
+    run_race ~cfg ~side_writers:6 ~pin_hub_writers:true ~seed ~writers ~readers
+      ~writes_per_writer ()
+  in
+  Alcotest.(check bool) "some reads observed" true (List.length reads > 3);
+  check_strict_serializability reads writes;
+  (let client = Cluster.client c in
+   match
+     Client.run_program client ~prog:"count_edges" ~params:Progval.Null
+       ~starts:[ "hub" ] ()
+   with
+   | Ok (Progval.Int d) ->
+       Alcotest.(check int) "final degree" (writers * writes_per_writer) d
+   | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+   | Error e -> Alcotest.failf "final read: %s" e);
+  let c_off, reads_off, writes_off =
+    run_race
+      ~cfg:{ cfg with Config.net_batching = false }
+      ~side_writers:6 ~pin_hub_writers:true ~seed ~writers ~readers
+      ~writes_per_writer ()
+  in
+  check_strict_serializability reads_off writes_off;
+  let sent cl =
+    Weaver_sim.Net.messages_sent (Cluster.runtime cl).Runtime.net
+  in
+  Alcotest.(check bool) "batch envelopes shipped" true
+    ((Cluster.counters c).Runtime.batch_msgs > 0);
+  Alcotest.(check int) "no envelopes without batching" 0
+    (Cluster.counters c_off).Runtime.batch_msgs;
+  Alcotest.(check bool)
+    (Printf.sprintf "batching shrinks wire messages (%d < %d)" (sent c)
+       (sent c_off))
+    true
+    (sent c < sent c_off)
 
 let test_coalescing_observed () =
   (* across the seed sweep, at least one run must have folded a mid-flight
@@ -327,7 +379,7 @@ let test_snapshot_analytics_consistent_cut () =
   (* hub keeps growing past the cut: the writers actually raced *)
   match Cluster.stored_vertex c "hub" with
   | Some v -> Alcotest.(check bool) "writers advanced the hub" true
-      (List.length v.Weaver_graph.Mgraph.out > expected)
+      (Array.length v.Weaver_graph.Mgraph.out > expected)
   | None -> Alcotest.fail "hub missing from store"
 
 (* The [snapshot_reads] gate must be invisible to non-historical traffic:
@@ -383,6 +435,8 @@ let suites =
         Alcotest.test_case "coalesced race seed 2" `Quick (test_coalesced_race 505);
         Alcotest.test_case "coalesced race seed 3" `Quick (test_coalesced_race 606);
         Alcotest.test_case "coalescing observed" `Quick test_coalescing_observed;
+        Alcotest.test_case "batched race seed 1" `Quick (test_batched_race 707);
+        Alcotest.test_case "batched race seed 2" `Quick (test_batched_race 808);
         Alcotest.test_case "snapshot analytics consistent cut" `Quick
           test_snapshot_analytics_consistent_cut;
         Alcotest.test_case "snapshot gate neutral" `Quick

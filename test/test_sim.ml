@@ -71,6 +71,19 @@ let test_engine_schedule_at_past () =
           Alcotest.(check (float 1e-9)) "clamped to now" 10.0 (Engine.now e)));
   Engine.run e
 
+let test_engine_every_nonpositive () =
+  (* regression: this used to be an [assert], which both compiles away
+     under -noassert and reports a source location instead of the actual
+     contract — a zero period would spin a zero-delay event loop forever *)
+  let e = Engine.create () in
+  Alcotest.check_raises "zero period"
+    (Invalid_argument "Engine.every: period must be > 0") (fun () ->
+      Engine.every e ~period:0.0 (fun () -> true));
+  Alcotest.check_raises "negative period"
+    (Invalid_argument "Engine.every: period must be > 0") (fun () ->
+      Engine.every e ~period:(-3.0) (fun () -> true));
+  Alcotest.(check int) "nothing scheduled" 0 (Engine.pending e)
+
 let test_engine_counters () =
   let e = Engine.create () in
   for _ = 1 to 3 do
@@ -171,6 +184,53 @@ let test_net_counters () =
   Alcotest.(check int) "sent" 2 (Net.messages_sent net);
   Alcotest.(check int) "delivered" 1 (Net.messages_delivered net)
 
+let test_net_channels_released_after_drain () =
+  (* regression: channel records (FIFO floor + mailbox) used to accumulate
+     forever, one per (src, dst) pair ever used — unbounded growth on
+     workloads with many transient clients *)
+  let e = Engine.create ~seed:3 () in
+  let net = Net.create e ~latency:(Net.uniform_latency ~base:50.0 ~jitter:100.0) in
+  Net.register net 1 (fun ~src:_ _ -> ());
+  Net.register net 2 (fun ~src:_ _ -> ());
+  for i = 1 to 20 do
+    Net.send net ~src:0 ~dst:1 i;
+    Net.send net ~src:1 ~dst:2 i;
+    Net.send net ~src:2 ~dst:1 i
+  done;
+  Alcotest.(check bool) "channels tracked while in flight" true
+    (Net.channels_tracked net > 0);
+  Engine.run e;
+  Alcotest.(check int) "all delivered" 60 (Net.messages_delivered net);
+  Alcotest.(check int) "no channel state after drain" 0 (Net.channels_tracked net);
+  (* the drop path at a dead destination must release channel state too *)
+  Net.set_alive net 2 false;
+  Net.send net ~src:0 ~dst:2 99;
+  Engine.run e;
+  Alcotest.(check int) "drop path releases channel" 0 (Net.channels_tracked net)
+
+let test_net_send_allocation_budget () =
+  (* the mailbox rewrite removed the closure-per-message delivery schedule;
+     pin the per-send transient allocation so it cannot silently creep
+     back (the old path cost several times this budget) *)
+  let e = Engine.create ~seed:1 () in
+  let net = Net.create e ~latency:Net.local_latency in
+  Net.register net 1 (fun ~src:_ _ -> ());
+  let round n =
+    for i = 1 to n do
+      Net.send net ~src:0 ~dst:1 i
+    done;
+    Engine.run e
+  in
+  round 1_000 (* warm-up: grow the engine arrays and the channel table *);
+  let before = Gc.minor_words () in
+  let n = 10_000 in
+  round n;
+  let words = (Gc.minor_words () -. before) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.1f minor words per send+deliver within budget" words)
+    true
+    (words <= 64.0)
+
 let prop_engine_executes_in_time_order =
   QCheck.Test.make ~name:"events execute in nondecreasing time order" ~count:100
     QCheck.(list_of_size Gen.(1 -- 100) (float_bound_inclusive 1000.0))
@@ -202,6 +262,33 @@ let prop_net_fifo =
       Engine.run e;
       List.rev !got = List.init n (fun i -> i + 1))
 
+let prop_net_fifo_mixed_factors =
+  (* shrinking the link factor mid-stream makes later messages draw shorter
+     wire times than ones already in flight — exactly the reordering hazard
+     the per-channel delivery floor exists to absorb *)
+  QCheck.Test.make ~name:"per-channel FIFO survives latency/link factor churn"
+    ~count:50
+    QCheck.(triple small_nat (int_range 1 40) (int_range 1 40))
+    (fun (seed, n1, n2) ->
+      let e = Engine.create ~seed () in
+      let net = Net.create e ~latency:(Net.uniform_latency ~base:5.0 ~jitter:200.0) in
+      let got = ref [] in
+      Net.register net 1 (fun ~src:_ m -> got := m :: !got);
+      Net.register net 2 (fun ~src:_ _ -> ());
+      for i = 1 to n1 do
+        Net.send net ~src:0 ~dst:1 i;
+        (* unrelated channel traffic keeps the RNG draws interleaved *)
+        Net.send net ~src:0 ~dst:2 (-i)
+      done;
+      Net.set_link_factor net ~src:0 ~dst:1 0.05;
+      Net.set_latency_factor net 0.5;
+      for i = n1 + 1 to n1 + n2 do
+        Net.send net ~src:0 ~dst:1 i
+      done;
+      Engine.run e;
+      List.rev !got = List.init (n1 + n2) (fun i -> i + 1)
+      && Net.channels_tracked net = 0)
+
 let suites =
   [
     ( "sim.engine",
@@ -213,6 +300,8 @@ let suites =
         Alcotest.test_case "every" `Quick test_engine_every;
         Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
         Alcotest.test_case "schedule_at past" `Quick test_engine_schedule_at_past;
+        Alcotest.test_case "every rejects nonpositive period" `Quick
+          test_engine_every_nonpositive;
         Alcotest.test_case "counters" `Quick test_engine_counters;
         QCheck_alcotest.to_alcotest prop_engine_executes_in_time_order;
       ] );
@@ -225,6 +314,11 @@ let suites =
         Alcotest.test_case "inflight to crashed dropped" `Quick test_net_inflight_to_crashed_dropped;
         Alcotest.test_case "dead sender drops" `Quick test_net_dead_sender_drops;
         Alcotest.test_case "counters" `Quick test_net_counters;
+        Alcotest.test_case "channels released after drain" `Quick
+          test_net_channels_released_after_drain;
+        Alcotest.test_case "send allocation budget" `Quick
+          test_net_send_allocation_budget;
         QCheck_alcotest.to_alcotest prop_net_fifo;
+        QCheck_alcotest.to_alcotest prop_net_fifo_mixed_factors;
       ] );
   ]

@@ -143,6 +143,34 @@ let test_heap_custom_cmp () =
   List.iter (Heap.push h) [ 4; 9; 1 ];
   Alcotest.(check (option int)) "max first" (Some 9) (Heap.pop h)
 
+let test_heap_drain_releases_memory () =
+  (* regression: popping the last element used to leave it reachable
+     through slot 0 of the backing array — in the engine that pinned the
+     last executed event closure (and everything it captured) for the life
+     of the heap *)
+  let h = Heap.create ~cmp:(fun a b -> compare !a !b) in
+  let w = Weak.create 3 in
+  let fill () =
+    List.iteri
+      (fun i v ->
+        let r = ref v in
+        Weak.set w i (Some r);
+        Heap.push h r)
+      [ 3; 1; 2 ]
+  in
+  let rec drain () = match Heap.pop h with Some _ -> drain () | None -> () in
+  fill ();
+  drain ();
+  Gc.full_major ();
+  for i = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d collected after drain" i)
+      false (Weak.check w i)
+  done;
+  (* the heap itself stays usable *)
+  Heap.push h (ref 9);
+  Alcotest.(check bool) "push after drain" true (Heap.pop h <> None)
+
 let test_stats_basic () =
   let s = Stats.create () in
   Alcotest.(check bool) "empty" true (Stats.is_empty s);
@@ -284,6 +312,30 @@ let prop_heap_pop_sorted =
       in
       drain [] = List.sort compare l)
 
+let prop_heap_churn_matches_oracle =
+  (* interleaved push/pop churn against a sorted-list oracle — the
+     drain-then-refill pattern the drain-release fix touches, not just the
+     fill-once/drain-once shape of the sort test above *)
+  QCheck.Test.make ~name:"heap matches sorted-list oracle under churn" ~count:200
+    QCheck.(list (option small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (function
+          | Some x ->
+              Heap.push h x;
+              model := List.sort compare (x :: !model);
+              Heap.length h = List.length !model
+          | None -> (
+              match (Heap.pop h, !model) with
+              | None, [] -> true
+              | Some v, m :: rest ->
+                  model := rest;
+                  v = m
+              | _ -> false))
+        ops)
+
 let prop_stats_percentile_bounds =
   QCheck.Test.make ~name:"percentile within [min,max]" ~count:200
     QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0)) (float_bound_inclusive 100.0))
@@ -324,7 +376,10 @@ let suites =
         Alcotest.test_case "pop_exn" `Quick test_heap_pop_exn;
         Alcotest.test_case "clear" `Quick test_heap_clear;
         Alcotest.test_case "custom cmp" `Quick test_heap_custom_cmp;
+        Alcotest.test_case "drain releases memory" `Quick
+          test_heap_drain_releases_memory;
         QCheck_alcotest.to_alcotest prop_heap_pop_sorted;
+        QCheck_alcotest.to_alcotest prop_heap_churn_matches_oracle;
       ] );
     ( "util.stats",
       [
