@@ -1834,6 +1834,211 @@ let rebalance () =
   close_out oc;
   line "wrote BENCH_rebalance.json"
 
+(* ------------------------------------------------------------------ *)
+(* Replication: read scale-out from timestamp-consistent partial
+   replication of hot ranges (ROADMAP item 3). A Zipf-skewed weak-read
+   pool saturates the hot range's owner; raising the replication factor
+   spreads those reads over follower copies without touching the write
+   path. The chaos arm pins a read at a covered stamp and crashes the
+   owner mid-flight. *)
+
+type repl_run = {
+  rp_goodput : float;
+  rp_reads_err : int;
+  rp_writes : float;
+  rp_read_p50 : float;
+  rp_read_p99 : float;
+  rp_installs : int;
+  rp_routed : int;
+  rp_updates : int;
+  rp_fingerprint : (int * int * int * int) * (int * int * int);
+}
+
+let repl_seed = 29
+
+let repl_bench_cfg ~factor ~seed =
+  {
+    Config.default with
+    Config.seed;
+    n_gatekeepers = 4;
+    n_shards = 4;
+    enable_heat = true;
+    enable_replication = factor > 0;
+    replication_factor = factor;
+    gc_period = 2_000.0;
+    (* reads must be the scarce resource for scale-out to show: with the
+       default 1 µs read the gatekeeper plane and the wire dominate and
+       every arm measures the same thing *)
+    vertex_read_cost = 40.0;
+  }
+
+let repl_arm ~factor ~theta ~seed =
+  let c = mk_cluster (repl_bench_cfg ~factor ~seed) in
+  let rng = Xrand.create ~seed:(seed * 31) () in
+  let g = Graphgen.uniform ~rng ~vertices:64 ~edges:128 () in
+  Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let vertices = Array.of_list (Graphgen.vertex_ids g) in
+  let r =
+    Readscale.run c ~vertices ~readers:48 ~writers:8 ~duration:250_000.0 ~theta
+      ~warmup:50_000.0 ()
+  in
+  let ctr = Cluster.counters c in
+  let rt = Cluster.runtime c in
+  {
+    rp_goodput = r.Readscale.read_goodput;
+    rp_reads_err = r.Readscale.reads_err;
+    rp_writes = r.Readscale.write_throughput;
+    rp_read_p50 = Stats.percentile r.Readscale.read_latencies 50.0;
+    rp_read_p99 = Stats.percentile r.Readscale.read_latencies 99.0;
+    rp_installs = ctr.Runtime.repl_installs;
+    rp_routed = ctr.Runtime.repl_routed;
+    rp_updates = ctr.Runtime.repl_updates;
+    rp_fingerprint =
+      ( ( ctr.Runtime.tx_committed,
+          ctr.Runtime.tx_aborted,
+          ctr.Runtime.progs_completed,
+          ctr.Runtime.vertices_read ),
+        ( Weaver_sim.Net.messages_sent rt.Runtime.net,
+          ctr.Runtime.oracle_consults,
+          ctr.Runtime.nop_msgs ) );
+  }
+
+(* owner crash under fire: warm a replicated range, pin a read at a
+   follower-covered stamp, crash the owner, re-issue — same answer *)
+let repl_chaos ~seed =
+  let cfg =
+    {
+      (repl_bench_cfg ~factor:2 ~seed) with
+      Config.n_gatekeepers = 1;
+      vertex_read_cost = Config.default.Config.vertex_read_cost;
+    }
+  in
+  let c = mk_cluster cfg in
+  let client = Cluster.client c in
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:"hot" ());
+  ok_exn "replication chaos setup" (Client.commit client tx);
+  let owner = Cluster.shard_of_vertex c "hot" in
+  let ctr = Cluster.counters c in
+  let tries = ref 0 in
+  while ctr.Runtime.repl_routed = 0 && !tries < 300 do
+    incr tries;
+    ignore
+      (Client.run_program client ~prog:"get_node" ~params:Progval.Null
+         ~starts:[ "hot" ] ~consistency:`Weak ());
+    Cluster.run_for c 200.0
+  done;
+  if ctr.Runtime.repl_routed = 0 then
+    failwith "replication chaos: range never became replicated";
+  let tx = Client.Tx.begin_ client in
+  Client.Tx.set_vertex_prop tx ~vid:"hot" ~key:"v" ~value:"final";
+  ok_exn "replication chaos write" (Client.commit client tx);
+  Cluster.run_for c 6_000.0;
+  let ts = Cluster.gk_clock c 0 in
+  Cluster.run_for c 6_000.0;
+  let prop_v result =
+    match result with
+    | Progval.List [ s ] ->
+        Option.map Progval.to_str (Progval.assoc_opt "v" (Progval.assoc "props" s))
+    | _ -> failwith "replication chaos: unexpected get_node shape"
+  in
+  let read_at () =
+    ok_exn "replication chaos pinned read"
+      (Client.run_program client ~prog:"get_node" ~params:Progval.Null
+         ~starts:[ "hot" ] ~at:ts ())
+  in
+  let baseline = prop_v (read_at ()) in
+  if baseline <> Some "final" then
+    failwith "replication chaos: pinned read missed the write";
+  let crash_at = Cluster.now c +. 500.0 in
+  ignore
+    (Cluster.install_fault_plan c
+       (Weaver_sim.Fault.scripted
+          [ (crash_at, Weaver_sim.Fault.Crash (Weaver_sim.Fault.Shard owner)) ]));
+  Cluster.run_for c 1_000.0;
+  let after = prop_v (read_at ()) in
+  if after <> baseline then
+    failwith "replication chaos: covered read diverged after owner crash";
+  (owner, !tries)
+
+let replication () =
+  header "Replication: read scale-out from hot-range partial replication";
+  let factors = [ 0; 1; 2; 3 ] and thetas = [ 0.6; 0.9; 1.1 ] in
+  let runs =
+    List.map
+      (fun theta ->
+        (theta, List.map (fun f -> (f, repl_arm ~factor:f ~theta ~seed:repl_seed)) factors))
+      thetas
+  in
+  line "%-6s %-7s %9s %9s %9s %9s %9s %8s %8s" "theta" "factor" "reads/s"
+    "writes/s" "p50us" "p99us" "errs" "installs" "routed";
+  List.iter
+    (fun (theta, arms) ->
+      List.iter
+        (fun (f, r) ->
+          line "%-6.1f %-7d %9.0f %9.0f %9.0f %9.0f %9d %8d %8d" theta f
+            r.rp_goodput r.rp_writes r.rp_read_p50 r.rp_read_p99 r.rp_reads_err
+            r.rp_installs r.rp_routed)
+        arms)
+    runs;
+  let arm ~theta ~factor =
+    List.assoc factor (List.assoc theta runs)
+  in
+  let base = arm ~theta:0.9 ~factor:0 and best = arm ~theta:0.9 ~factor:3 in
+  let speedup = best.rp_goodput /. base.rp_goodput in
+  line "read goodput at theta 0.9: factor 0 -> 3 is %.2fx" speedup;
+  if speedup < 1.5 then
+    failwith
+      (Printf.sprintf "replication: %.2fx read scale-out below the 1.5x bar"
+         speedup);
+  if best.rp_writes < 0.95 *. base.rp_writes then
+    failwith
+      (Printf.sprintf
+         "replication: write throughput sagged %.0f -> %.0f (>5%%)"
+         base.rp_writes best.rp_writes);
+  let again = repl_arm ~factor:3 ~theta:0.9 ~seed:repl_seed in
+  let deterministic = again.rp_fingerprint = best.rp_fingerprint in
+  line "deterministic rerun: %b" deterministic;
+  if not deterministic then failwith "replication: rerun diverged";
+  let crashed_owner, warm_tries = repl_chaos ~seed:repl_seed in
+  line "chaos: covered pinned read survived crash of owner shard %d" crashed_owner;
+  let oc = open_out "BENCH_replication.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n  \"experiment\": \"replication\",\n  \"seed\": %d,\n" repl_seed;
+  j
+    "  \"workload\": {\"vertices\": 64, \"edges\": 128, \"readers\": 48, \
+     \"writers\": 8, \"duration_us\": 250000, \"warmup_us\": 50000, \
+     \"shards\": 4, \"gatekeepers\": 4, \"vertex_read_cost_us\": 40},\n";
+  j "  \"arms\": [\n";
+  let n_arms = List.length factors * List.length thetas in
+  let i = ref 0 in
+  List.iter
+    (fun (theta, arms) ->
+      List.iter
+        (fun (f, r) ->
+          incr i;
+          j
+            "    {\"theta\": %.1f, \"factor\": %d, \"read_goodput_per_s\": \
+             %.0f, \"write_throughput_per_s\": %.0f, \"read_p50_us\": %.0f, \
+             \"read_p99_us\": %.0f, \"read_errors\": %d, \"installs\": %d, \
+             \"routed\": %d, \"updates\": %d}%s\n"
+            theta f r.rp_goodput r.rp_writes r.rp_read_p50 r.rp_read_p99
+            r.rp_reads_err r.rp_installs r.rp_routed r.rp_updates
+            (if !i = n_arms then "" else ","))
+        arms)
+    runs;
+  j "  ],\n";
+  j "  \"read_scaleout_theta09_f3_vs_f0\": %.4f,\n" speedup;
+  j "  \"write_delta_theta09_f3_vs_f0\": %.4f,\n"
+    (best.rp_writes /. base.rp_writes);
+  j "  \"chaos\": {\"crashed_owner\": %d, \"warmup_reads\": %d, \
+     \"covered_read_survived\": true},\n"
+    crashed_owner warm_tries;
+  j "  \"deterministic_rerun\": %b\n}\n" deterministic;
+  close_out oc;
+  line "wrote BENCH_replication.json"
+
 let all =
   [
     ("table1", table1);
@@ -1860,4 +2065,5 @@ let all =
     ("snapshot", snapshot);
     ("skew", skew);
     ("rebalance", rebalance);
+    ("replication", replication);
   ]

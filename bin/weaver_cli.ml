@@ -12,7 +12,8 @@
      snapshot    pinned historical analytics vs live writes, snapshots off vs on
      heat        per-shard hottest vertices and per-range heat map under zipf load
      health      watchdog alerts across a mid-run gatekeeper crash
-     rebalance   live heat-driven rebalancing of a zipf hot spot, skew trajectory *)
+     rebalance   live heat-driven rebalancing of a zipf hot spot, skew trajectory
+     replication hot-range partial replication: installs, streams, routed reads *)
 
 open Cmdliner
 open Weaver_core
@@ -556,6 +557,116 @@ let rebalance_live gatekeepers shards tau seed clients duration_ms theta json =
       Printf.printf "  ... %d more moves\n" (List.length moves - 12)
   end
 
+(* Replication: the hot-range partial-replication pipeline end to end —
+   controller installs, owners seed and stream, gatekeepers route covered
+   weak reads to followers. Zipf readers concentrate load on a few ranges
+   so the quick-look shows the planner picking them up and the routed
+   fraction climbing. *)
+let replication_live gatekeepers shards seed clients duration_ms theta factor json =
+  let cfg =
+    Config.align_heat_ranges
+      {
+        Config.default with
+        Config.n_gatekeepers = gatekeepers;
+        Config.n_shards = shards;
+        Config.seed;
+        Config.enable_heat = true;
+        Config.enable_replication = factor > 0;
+        Config.replication_factor = factor;
+        Config.gc_period = 2_000.0;
+        Config.vertex_read_cost = 40.0;
+      }
+  in
+  let c = Cluster.create cfg in
+  Weaver_programs.Std_programs.Std.register_all (Cluster.registry c);
+  let rng = Weaver_util.Xrand.create ~seed () in
+  let g = Workloads.Graphgen.uniform ~rng ~prefix:"p" ~vertices:64 ~edges:128 () in
+  Workloads.Loader.fast_install c g;
+  Cluster.run_for c 5_000.0;
+  let vertices = Array.of_list (Workloads.Graphgen.vertex_ids g) in
+  let duration = duration_ms *. 1000.0 in
+  let r =
+    Workloads.Readscale.run c ~vertices ~readers:clients
+      ~writers:(max 1 (clients / 6))
+      ~duration ~theta ~warmup:(0.2 *. duration) ()
+  in
+  let ctr = Cluster.counters c in
+  let table_rows =
+    if factor = 0 then []
+    else
+      (* gatekeeper 0's copy: it carries the follower watermarks heard in
+         [Repl_cover] advertisements, which the controller's own table
+         does not *)
+      let t = Cluster.gk_repl_table c 0 in
+      List.map
+        (fun range ->
+          let followers = Weaver_repl.Repl.Table.followers t ~range in
+          ( range,
+            Option.value ~default:(-1) (Weaver_repl.Repl.Table.owner t ~range),
+            List.map fst followers,
+            List.length (List.filter (fun (_, wm) -> wm <> None) followers) ))
+        (Weaver_repl.Repl.Table.ranges t)
+  in
+  (* both counters span the whole run (warmup included), unlike goodput *)
+  let routed_frac =
+    float_of_int ctr.Runtime.repl_routed
+    /. float_of_int (max 1 ctr.Runtime.progs_completed)
+  in
+  if json then begin
+    let rows =
+      String.concat ", "
+        (List.map
+           (fun (range, owner, fs, covering) ->
+             Printf.sprintf
+               "{\"range\": %d, \"owner\": %d, \"followers\": [%s], \
+                \"advertising\": %d}"
+               range owner
+               (String.concat ", " (List.map string_of_int fs))
+               covering)
+           table_rows)
+    in
+    Printf.printf
+      "{\"experiment\": \"replication\", \"seed\": %d, \"shards\": %d, \
+       \"factor\": %d, \"theta\": %.2f, \"read_goodput_per_s\": %.0f, \
+       \"write_throughput_per_s\": %.0f, \"read_p50_us\": %.1f, \
+       \"read_p99_us\": %.1f, \"read_errors\": %d, \"rounds\": %d, \
+       \"installs\": %d, \"updates\": %d, \"resyncs\": %d, \"routed\": %d, \
+       \"routed_fraction\": %.3f, \"table\": [%s]}\n"
+      seed shards factor theta r.Workloads.Readscale.read_goodput
+      r.Workloads.Readscale.write_throughput
+      (Weaver_util.Stats.percentile r.Workloads.Readscale.read_latencies 50.0)
+      (Weaver_util.Stats.percentile r.Workloads.Readscale.read_latencies 99.0)
+      r.Workloads.Readscale.reads_err ctr.Runtime.repl_rounds
+      ctr.Runtime.repl_installs ctr.Runtime.repl_updates ctr.Runtime.repl_resyncs
+      ctr.Runtime.repl_routed routed_frac rows
+  end
+  else begin
+    Printf.printf
+      "hot-range replication (factor %d) under %d zipf readers (theta=%.2f, %d shards)\n\n"
+      factor clients theta shards;
+    Printf.printf "read goodput  %8.0f /s   (p50 %.0f us, p99 %.0f us, %d errors)\n"
+      r.Workloads.Readscale.read_goodput
+      (Weaver_util.Stats.percentile r.Workloads.Readscale.read_latencies 50.0)
+      (Weaver_util.Stats.percentile r.Workloads.Readscale.read_latencies 99.0)
+      r.Workloads.Readscale.reads_err;
+    Printf.printf "write rate    %8.0f /s\n\n" r.Workloads.Readscale.write_throughput;
+    Printf.printf
+      "controller: %d rounds, %d installs; owners streamed %d updates (%d resyncs)\n"
+      ctr.Runtime.repl_rounds ctr.Runtime.repl_installs ctr.Runtime.repl_updates
+      ctr.Runtime.repl_resyncs;
+    Printf.printf "gatekeepers routed %d reads to followers (%.1f%% of reads)\n"
+      ctr.Runtime.repl_routed (100.0 *. routed_frac);
+    if table_rows <> [] then begin
+      Printf.printf "\n%8s %6s %-16s %s\n" "range" "owner" "followers" "advertising";
+      List.iter
+        (fun (range, owner, fs, covering) ->
+          Printf.printf "%8d %6d %-16s %d/%d\n" range owner
+            (String.concat "," (List.map string_of_int fs))
+            covering (List.length fs))
+        table_rows
+    end
+  end
+
 let backup_demo gatekeepers shards tau seed =
   let c = mk_cluster ~gatekeepers ~shards ~tau ~seed () in
   let client = Cluster.client c in
@@ -969,6 +1080,34 @@ let rebalance_cmd =
       const rebalance_live $ gatekeepers $ shards $ tau $ seed $ clients $ duration
       $ theta $ json)
 
+let replication_cmd =
+  let clients =
+    Arg.(value & opt int 32 & info [ "c"; "clients" ] ~docv:"N" ~doc:"Concurrent readers.")
+  in
+  let duration =
+    Arg.(value & opt float 200.0 & info [ "d"; "duration" ] ~docv:"MS" ~doc:"Virtual ms.")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.9
+      & info [ "theta" ] ~docv:"T" ~doc:"Zipf skew of the readers.")
+  in
+  let factor =
+    Arg.(
+      value & opt int 2
+      & info [ "f"; "factor" ] ~docv:"N" ~doc:"Replication factor (0 disables).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit results and the routing table as JSON.") in
+  Cmd.v
+    (Cmd.info "replication"
+       ~doc:
+         "Hot-range partial replication quick-look: controller installs, \
+          owner update streams, and the fraction of weak reads served by \
+          follower copies")
+    Term.(
+      const replication_live $ gatekeepers $ shards $ seed $ clients $ duration
+      $ theta $ factor $ json)
+
 let backup_cmd =
   Cmd.v (Cmd.info "backup" ~doc:"Backup/restore demo")
     Term.(const backup_demo $ gatekeepers $ shards $ tau $ seed)
@@ -1061,6 +1200,7 @@ let () =
             heat_cmd;
             health_cmd;
             rebalance_cmd;
+            replication_cmd;
             backup_cmd;
             stats_cmd;
             trace_cmd;

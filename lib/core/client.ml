@@ -106,7 +106,12 @@ type t = {
   mutable timeout : float;
   mutable policy : retry_policy;
   mutable pinned : int option; (* tests: force every request to one gk *)
-  suspect_until : float array; (* per-gatekeeper suspicion expiry *)
+  (* per-server suspicion expiry, indexed by fixed server address
+     (gatekeepers, shards, replicas, manager). Only gatekeeper entries
+     steer [next_gk]; the rest exist so suspicion bookkeeping stays
+     address-safe when a timeout is attributed to a non-gatekeeper hop
+     (e.g. a read routed through a crashed replica). *)
+  suspect_until : float array;
   (* pending_tx values carry the attempt number that registered them, so a
      timeout event from a superseded attempt cannot fail a newer one
      registered under the same (reused) transaction id *)
@@ -139,8 +144,12 @@ let note_late t ~id ~result =
         ~result:("late:" ^ result)
   | None -> ()
 
+(* any fixed server (gatekeeper, shard, replica) that answered is not a
+   black hole: clear its entry. Client-to-client messages don't exist, but
+   the bounds check keeps this total over every [src] the net can carry. *)
 let clear_suspicion t src =
-  if Runtime.is_gk_addr t.rt src then t.suspect_until.(src) <- 0.0
+  if src >= 0 && src < Array.length t.suspect_until then
+    t.suspect_until.(src) <- 0.0
 
 let handle t ~src msg =
   match (msg : Msg.t) with
@@ -195,7 +204,7 @@ let create rt =
       timeout = 3_000_000.0;
       policy = default_policy;
       pinned = None;
-      suspect_until = Array.make rt.Runtime.cfg.Config.n_gatekeepers 0.0;
+      suspect_until = Array.make (Runtime.manager_addr rt + 1) 0.0;
       pending_tx = Hashtbl.create 16;
       pending_prog = Hashtbl.create 16;
       timed_out = Hashtbl.create 16;

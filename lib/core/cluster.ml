@@ -25,6 +25,7 @@ type t = {
   trace_ring : (float * int * int * string) Queue.t;
   health : Health.t option;  (* Some iff [Config.enable_health] *)
   mutable balancer : Balancer.t option;  (* Some iff [Config.enable_rebalance] *)
+  mutable replicator : Replicator.t option;  (* Some iff [Config.enable_replication] *)
 }
 
 let config t = t.rt.Runtime.cfg
@@ -48,6 +49,7 @@ let slow_log t = t.rt.Runtime.slowlog
 let heat t = t.rt.Runtime.heat
 let health t = t.health
 let balancer t = t.balancer
+let replicator t = t.replicator
 let actor_of_addr t a = Runtime.actor_of_addr t.rt a
 
 (* ------------------------------------------------------------------ *)
@@ -168,6 +170,7 @@ let create cfg =
          end
          else None);
       balancer = None;
+      replicator = None;
     }
   in
   cluster.gks <-
@@ -199,6 +202,17 @@ let create cfg =
      cluster.balancer <- Some b;
      Engine.every rt.Runtime.engine ~period:cfg.Config.rebalance_period (fun () ->
          Balancer.run_round b;
+         true)
+   end);
+  (* the hot-range replication controller: like the balancer, created only
+     when enabled so default-off runs schedule no extra events and keep
+     their fingerprints. Rounds share the watermark cadence — the stream
+     the installs start rides the same gossip *)
+  (if cfg.Config.enable_replication then begin
+     let r = Replicator.create rt in
+     cluster.replicator <- Some r;
+     Engine.every rt.Runtime.engine ~period:cfg.Config.gc_period (fun () ->
+         Replicator.run_round r;
          true)
    end);
   (* the health watchdog: a periodic check over the registry snapshot and
@@ -268,6 +282,7 @@ let shard_queue_depths t sid = Shard.queue_depths t.shards.(sid)
 let gk_tau t gid = Gatekeeper.current_tau t.gks.(gid)
 
 let gk_credits t ~gid ~shard = Gatekeeper.credits_available t.gks.(gid) shard
+let gk_repl_table t gid = Gatekeeper.repl_table t.gks.(gid)
 
 (* per-cluster ring buffer of recent messages, enabled on demand; composes
    with the observability hook so enabling the debug ring never silences
@@ -330,6 +345,14 @@ let report t =
       line "  rebalance: rounds %d, moves %d, skipped %d, in flight %d"
         c.Runtime.rebal_rounds c.Runtime.rebal_moves c.Runtime.rebal_skipped
         (Balancer.pending_moves b)
+  | None -> ());
+  (match t.replicator with
+  | Some r ->
+      line "  replication: rounds %d, ranges %d, installs %d, updates %d, resyncs %d, routed %d"
+        c.Runtime.repl_rounds
+        (Weaver_repl.Repl.Table.size (Replicator.table r))
+        c.Runtime.repl_installs c.Runtime.repl_updates c.Runtime.repl_resyncs
+        c.Runtime.repl_routed
   | None -> ());
   line "  net: dropped at dead endpoints %d"
     (Net.messages_dropped t.rt.Runtime.net);
@@ -415,6 +438,12 @@ let apply_fault t action =
       (* the dropped queues held Shard_txs whose flow-control credits will
          never be refunded: refill that column at every gatekeeper *)
       Array.iter (fun gk -> Gatekeeper.on_shard_restart gk s) t.gks;
+      (* the restart also dropped any follower copies the shard held:
+         owners streaming to it must mark it dirty and reseed at the next
+         watermark instead of resuming a broken stream *)
+      Array.iteri
+        (fun sid sh -> if sid <> s then Shard.on_peer_restart sh ~peer:s)
+        t.shards;
       Net.set_alive net (fault_addr t target) true
   | Fault.Restart (Fault.Replica { shard; replica } as target) ->
       Replica.reload t.replicas.(shard).(replica);

@@ -109,6 +109,10 @@ val gk_credits : t -> gid:int -> shard:int -> int
 (** Flow-control credits gatekeeper [gid] currently holds towards [shard]
     ([Config.shard_credits] when flow control is off); for tests. *)
 
+val gk_repl_table : t -> int -> Weaver_repl.Repl.Table.t
+(** Gatekeeper [i]'s hot-range routing table, with the follower
+    watermarks it has heard advertised (tests and quick-looks). *)
+
 val report : t -> string
 (** Multi-line operational summary: virtual time, epoch, and every
     {!Runtime.counters} field — the text a metrics endpoint would serve. *)
@@ -140,6 +144,10 @@ val health : t -> Weaver_obs.Health.t option
 val balancer : t -> Balancer.t option
 (** The live rebalancing planner (rounds every [Config.rebalance_period]
     µs); [Some] iff [Config.enable_rebalance]. *)
+
+val replicator : t -> Replicator.t option
+(** The hot-range replication controller (rounds every [Config.gc_period]
+    µs); [Some] iff [Config.enable_replication]. *)
 
 val actor_of_addr : t -> int -> string
 (** Name of the actor at a network address ("gk0", "shard2", ...) — the

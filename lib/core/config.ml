@@ -42,6 +42,9 @@ type t = {
   rebalance_max_moves : int;
   rebalance_hysteresis : float;
   net_batching : bool;
+  enable_replication : bool;
+  replication_factor : int;
+  repl_candidate_topk : int;
   seed : int;
 }
 
@@ -90,6 +93,9 @@ let default =
     rebalance_max_moves = 8;
     rebalance_hysteresis = 1.5;
     net_batching = false;
+    enable_replication = false;
+    replication_factor = 1;
+    repl_candidate_topk = 4;
     seed = 42;
   }
 
@@ -147,4 +153,13 @@ let validate t =
   (* the planner is sense -> plan -> act: without the heat sensor there is
      nothing to plan from *)
   req "enable_rebalance (requires enable_heat)"
-    ((not t.enable_rebalance) || t.enable_heat)
+    ((not t.enable_rebalance) || t.enable_heat);
+  req "replication_factor" (t.replication_factor >= 0);
+  req "repl_candidate_topk" (t.repl_candidate_topk >= 1);
+  (* candidate ranges come straight from the heat sketches *)
+  req "enable_replication (requires enable_heat)"
+    ((not t.enable_replication) || t.enable_heat);
+  (* followers advertise coverage at watermark boundaries, which only
+     exist while the GC gossip timer runs *)
+  req "enable_replication (requires gc_period > 0)"
+    ((not t.enable_replication) || t.gc_period > 0.0)

@@ -180,6 +180,24 @@ type t = {
           handlers never see [Msg.Batch]. Off by default: when off, sends
           bypass the buffers entirely and counter fingerprints are
           bit-identical to a build without the feature *)
+  enable_replication : bool;
+      (** timestamp-consistent partial replication of hot vertex ranges
+          ({!Weaver_repl.Repl}, {!Replicator}): a periodic cluster-owned
+          controller reads the {!Weaver_obs.Heat} top-K sketches, picks hot
+          ranges, and installs follower copies on the least-loaded live
+          shards. Owners stream applied updates to followers over ordinary
+          [Net] channels and stamp them with their gossiped GC watermarks;
+          gatekeepers then route reads at stamp [t] to any live follower
+          whose replication watermark covers [t] (owner otherwise), while
+          all writes stay on the owner. Requires [enable_heat] and
+          [gc_period > 0]. Off by default: no controller is created and no
+          messages are added, so baseline runs are bit-identical *)
+  replication_factor : int;
+      (** follower copies installed per replicated hot range (≥ 0; 0 keeps
+          the controller idle — useful to pin knob-neutrality) *)
+  repl_candidate_topk : int;
+      (** hot-vertex sketch entries per shard the controller considers as
+          replication candidates each round (≥ 1) *)
   seed : int;  (** master RNG seed; runs are deterministic per seed *)
 }
 

@@ -4,6 +4,8 @@ module Net = Weaver_sim.Net
 module Store = Weaver_store.Store
 module Mgraph = Weaver_graph.Mgraph
 module Flow = Weaver_flow.Flow
+module Heat = Weaver_obs.Heat
+module Repl = Weaver_repl.Repl
 
 type prog_run = {
   pr_client : int;
@@ -46,6 +48,12 @@ type t = {
   adm : Flow.Admission.t;
   credits : Flow.Credits.t;
   mutable next_replica : int; (* round-robin over read replicas (§6.4) *)
+  (* partial replication of hot ranges ([Config.enable_replication]): the
+     controller-installed range → owner/followers table with the coverage
+     watermarks the followers advertise. Empty (and never consulted) when
+     the subsystem is off. *)
+  repl : Repl.Table.t;
+  mutable repl_rr : int; (* round-robin over covering followers *)
   mutable cur_tau : float; (* current announce period (adaptive, §3.5) *)
   mutable requests_seen : int; (* client requests since the last window *)
   mutable retired : bool;
@@ -560,7 +568,83 @@ let handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak =
             ~start:(now t) ~stop:(now t) ~meta:[ ("memo", "hit") ] ();
           send t ~dst:client (Msg.Prog_reply { prog_id; result = Ok entry.m_result })
       | None ->
-          let ts = match at with Some ts -> ts | None -> tick t in
+          let n_replicas = (cfg t).Config.read_replicas in
+          let snapshot_routed = historical && (cfg t).Config.snapshot_reads in
+          (* Partial replication (ROADMAP item 3, [Weaver_repl]): when the
+             cluster has installed follower copies of hot ranges, read-only
+             work can be served by them instead of the owner. A follower is
+             safe for any stamp its replication watermark covers, so:
+             historical runs go to any live copy covering their pinned
+             stamp, and weak runs are re-stamped at the componentwise
+             minimum of the chosen followers' watermarks — a stamp every
+             one of them covers by construction. Fresh strong reads never
+             route here: a stamp minted now is never covered by a watermark
+             gossiped earlier, so they keep the legacy owner path. *)
+          let repl_heat =
+            if (cfg t).Config.enable_replication && Repl.Table.size t.repl > 0
+            then t.rt.Runtime.heat
+            else None
+          in
+          let alive_shard s =
+            Net.is_alive t.rt.Runtime.net (Runtime.shard_addr t.rt s)
+          in
+          let rotate l =
+            t.repl_rr <- t.repl_rr + 1;
+            List.nth l (t.repl_rr mod List.length l)
+          in
+          (* weak plan: one live, coverage-advertising follower per start
+             range — or None (any uncovered start falls back wholesale:
+             mixing re-stamped and fresh-stamped batches in one run would
+             not be one consistent cut) *)
+          let weak_choices =
+            match repl_heat with
+            | Some h when weak && not historical ->
+                let choices = Hashtbl.create 4 in
+                let ok =
+                  List.for_all
+                    (fun vid ->
+                      let range = Heat.range_of h vid in
+                      Hashtbl.mem choices range
+                      ||
+                      let live =
+                        List.filter_map
+                          (fun (f, wm) ->
+                            match wm with
+                            | Some wm
+                              when wm.Vclock.epoch = t.epoch && alive_shard f
+                              ->
+                                Some (f, wm)
+                            | _ -> None)
+                          (Repl.Table.followers t.repl ~range)
+                      in
+                      match live with
+                      | [] -> false
+                      | _ ->
+                          Hashtbl.replace choices range (rotate live);
+                          true)
+                    starts
+                in
+                if ok && Hashtbl.length choices > 0 then Some choices else None
+            | _ -> None
+          in
+          let ts =
+            match at with
+            | Some ts -> ts
+            | None -> (
+                match weak_choices with
+                | Some choices -> (
+                    match
+                      Hashtbl.fold
+                        (fun _ (_, wm) acc ->
+                          match acc with
+                          | None -> Some wm
+                          | Some m -> Some (Runtime.stamp_min m wm))
+                        choices None
+                    with
+                    | Some ts -> ts
+                    | None -> tick t)
+                | None -> tick t)
+          in
           let run =
             {
               pr_client = client;
@@ -577,49 +661,137 @@ let handle_prog_req t ~client ~prog_id ~prog ~params ~starts ~at ~weak =
             }
           in
           Hashtbl.replace t.active prog_id run;
-          let by_shard = Hashtbl.create 4 in
-          List.iter
-            (fun vid ->
-              let shard = Runtime.shard_of_vertex t.rt vid in
-              let l = try Hashtbl.find by_shard shard with Not_found -> [] in
-              Hashtbl.replace by_shard shard ((vid, params) :: l))
-            starts;
-          (* weak reads rotate across the primary and its read replicas,
-             so every replica adds read capacity (§6.4) — except historical
-             reads when snapshot serving is on: only primaries publish and
-             pin snapshots, so route those to the primary where they run
-             lock-free instead of against a replica's unversioned-floor
-             state *)
-          let n_replicas = (cfg t).Config.read_replicas in
-          let snapshot_routed = historical && (cfg t).Config.snapshot_reads in
-          let slot =
-            if weak && n_replicas > 0 && not snapshot_routed then begin
-              t.next_replica <- (t.next_replica + 1) mod (n_replicas + 1);
-              t.next_replica
-            end
-            else n_replicas (* the primary *)
+          let batch items =
+            Msg.Prog_batch
+              {
+                coord = t.addr;
+                prog_id;
+                ts;
+                prog;
+                historical;
+                items;
+                sent_at = now t;
+              }
           in
-          Hashtbl.iter
-            (fun shard items ->
-              run.pr_outstanding <- run.pr_outstanding + 1;
-              (counters t).Runtime.prog_batch_msgs <-
-                (counters t).Runtime.prog_batch_msgs + 1;
-              let dst =
-                if slot < n_replicas then Runtime.replica_addr t.rt ~shard ~replica:slot
-                else Runtime.shard_addr t.rt shard
+          (match (weak_choices, repl_heat) with
+          | Some choices, Some h ->
+              (* replication-routed weak run: every start range has a
+                 chosen follower; the whole run reads the re-stamped cut *)
+              let by_dst = Hashtbl.create 4 in
+              let routed = Hashtbl.create 4 in
+              List.iter
+                (fun vid ->
+                  let owner = Runtime.shard_of_vertex t.rt vid in
+                  let dst, is_follower =
+                    match Hashtbl.find_opt choices (Heat.range_of h vid) with
+                    | Some (f, _) -> (f, f <> owner)
+                    | None -> (owner, false)
+                  in
+                  let l = try Hashtbl.find by_dst dst with Not_found -> [] in
+                  Hashtbl.replace by_dst dst ((vid, params) :: l);
+                  if is_follower then Hashtbl.replace routed dst ())
+                starts;
+              Hashtbl.iter
+                (fun shard items ->
+                  run.pr_outstanding <- run.pr_outstanding + 1;
+                  (counters t).Runtime.prog_batch_msgs <-
+                    (counters t).Runtime.prog_batch_msgs + 1;
+                  if Hashtbl.mem routed shard then
+                    (counters t).Runtime.repl_routed <-
+                      (counters t).Runtime.repl_routed + 1;
+                  send t ~dst:(Runtime.shard_addr t.rt shard) (batch items))
+                by_dst
+          | None, Some h when historical && not snapshot_routed ->
+              (* pinned stamp: rotate each start over the live copies that
+                 cover it — owner plus covering followers. With the owner
+                 crashed, covered reads keep flowing to the survivors. *)
+              let by_dst = Hashtbl.create 4 in
+              let routed = Hashtbl.create 4 in
+              List.iter
+                (fun vid ->
+                  let owner = Runtime.shard_of_vertex t.rt vid in
+                  let range = Heat.range_of h vid in
+                  let covering =
+                    List.filter
+                      (fun f -> f <> owner && alive_shard f)
+                      (Repl.Table.covering t.repl ~range ~at:ts)
+                  in
+                  let cands =
+                    if alive_shard owner then owner :: covering else covering
+                  in
+                  let dst, is_follower =
+                    match cands with
+                    | [] -> (owner, false)
+                    | [ only ] -> (only, only <> owner)
+                    | _ ->
+                        let f = rotate cands in
+                        (f, f <> owner)
+                  in
+                  let l = try Hashtbl.find by_dst dst with Not_found -> [] in
+                  Hashtbl.replace by_dst dst ((vid, params) :: l);
+                  if is_follower then Hashtbl.replace routed dst ())
+                starts;
+              Hashtbl.iter
+                (fun shard items ->
+                  run.pr_outstanding <- run.pr_outstanding + 1;
+                  (counters t).Runtime.prog_batch_msgs <-
+                    (counters t).Runtime.prog_batch_msgs + 1;
+                  if Hashtbl.mem routed shard then
+                    (counters t).Runtime.repl_routed <-
+                      (counters t).Runtime.repl_routed + 1;
+                  send t ~dst:(Runtime.shard_addr t.rt shard) (batch items))
+                by_dst
+          | _ ->
+              let by_shard = Hashtbl.create 4 in
+              List.iter
+                (fun vid ->
+                  let shard = Runtime.shard_of_vertex t.rt vid in
+                  let l = try Hashtbl.find by_shard shard with Not_found -> [] in
+                  Hashtbl.replace by_shard shard ((vid, params) :: l))
+                starts;
+              (* weak reads rotate across the primary and its read replicas,
+                 so every replica adds read capacity (§6.4) — except
+                 historical reads when snapshot serving is on: only
+                 primaries publish and pin snapshots, so route those to the
+                 primary where they run lock-free instead of against a
+                 replica's unversioned-floor state *)
+              let slot =
+                if weak && n_replicas > 0 && not snapshot_routed then begin
+                  (* skip rotation slots with a crashed replica on any
+                     target shard: a read routed to a dead endpoint burns
+                     the client's whole timeout before it retries. The
+                     primary slot is always eligible, and with every
+                     replica alive the rotation is unchanged. *)
+                  let eligible slot =
+                    slot >= n_replicas
+                    || Hashtbl.fold
+                         (fun shard _ acc ->
+                           acc
+                           && Net.is_alive t.rt.Runtime.net
+                                (Runtime.replica_addr t.rt ~shard ~replica:slot))
+                         by_shard true
+                  in
+                  let rec advance tries =
+                    t.next_replica <- (t.next_replica + 1) mod (n_replicas + 1);
+                    if eligible t.next_replica || tries = 0 then t.next_replica
+                    else advance (tries - 1)
+                  in
+                  advance n_replicas
+                end
+                else n_replicas (* the primary *)
               in
-              send t ~dst
-                (Msg.Prog_batch
-                   {
-                     coord = t.addr;
-                     prog_id;
-                     ts;
-                     prog;
-                     historical;
-                     items;
-                     sent_at = now t;
-                   }))
-            by_shard;
+              Hashtbl.iter
+                (fun shard items ->
+                  run.pr_outstanding <- run.pr_outstanding + 1;
+                  (counters t).Runtime.prog_batch_msgs <-
+                    (counters t).Runtime.prog_batch_msgs + 1;
+                  let dst =
+                    if slot < n_replicas then
+                      Runtime.replica_addr t.rt ~shard ~replica:slot
+                    else Runtime.shard_addr t.rt shard
+                  in
+                  send t ~dst (batch items))
+                by_shard);
           if run.pr_outstanding = 0 then begin
             (* no live start vertices: answer immediately *)
             Hashtbl.remove t.active prog_id;
@@ -710,6 +882,10 @@ let handle_epoch_change t new_epoch =
     (* the barrier cleared every shard queue: outstanding Shard_txs (and
        the refunds they owed) are gone, so refill the credit ledger *)
     Flow.Credits.reset t.credits;
+    (* replication watermarks are pre-barrier stamps: they can never cover
+       a post-barrier read, and the followers re-advertise once their
+       owners reseed them in the new epoch *)
+    Repl.Table.clear_wms t.repl;
     (* in-flight programs are lost; clients re-submit (§4.3) *)
     Hashtbl.iter
       (fun prog_id run ->
@@ -861,6 +1037,18 @@ let handle t ~src:_ msg =
     | Msg.Prog_partial { prog_id; sent; acc; visited; error } ->
         handle_prog_partial t ~prog_id ~sent ~acc ~visited ~error
     | Msg.Epoch_change { epoch } -> handle_epoch_change t epoch
+    | Msg.Repl_install { range; owner; followers } ->
+        (* control-plane: the controller re-broadcasts its whole plan every
+           round to heal restarts, so only the first install may register —
+           re-installing would forget the followers' advertised watermarks
+           and stall routing until their next heartbeat *)
+        if not (Repl.Table.is_replicated t.repl ~range) then
+          Repl.Table.install t.repl ~range ~owner ~followers
+    | Msg.Repl_cover { range; follower; ts } ->
+        (* a follower advertises coverage through [ts]; stamps from an
+           older epoch can never cover post-barrier reads, so drop them *)
+        if ts.Vclock.epoch = t.epoch then
+          Repl.Table.set_wm t.repl ~range ~follower ts
     | _ -> ()
 
 let start_timers t =
@@ -962,6 +1150,8 @@ let spawn rt ~gid ~epoch =
         Flow.Credits.create ~peers:rt.Runtime.cfg.Config.n_shards
           ~credits:rt.Runtime.cfg.Config.shard_credits;
       next_replica = 0;
+      repl = Repl.Table.create ();
+      repl_rr = 0;
       cur_tau = rt.Runtime.cfg.Config.tau;
       requests_seen = 0;
       retired = false;
@@ -987,3 +1177,5 @@ let credits_available t shard = Flow.Credits.available t.credits shard
    in-flight Shard_txs carried will never be refunded — refill the column
    or admission towards that shard wedges shut permanently *)
 let on_shard_restart t shard = Flow.Credits.reset_peer t.credits shard
+
+let repl_table t = t.repl

@@ -68,6 +68,15 @@ type t =
   | Watermark of { gk : int; ts : Vclock.t }
   | Overloaded of { req_id : int; reason : string }
   | Credit of { shard : int; gk : int; n : int }
+  | Repl_install of { range : int; owner : int; followers : int list }
+  | Repl_update of { range : int; owner : int; ts : Vclock.t; ops : shard_op list }
+  | Repl_seed of {
+      range : int;
+      owner : int;
+      ts : Vclock.t;
+      vertices : (string * Weaver_graph.Mgraph.vertex) list;
+    }
+  | Repl_cover of { range : int; follower : int; ts : Vclock.t }
   | Batch of t list
 
 let rec pp fmt = function
@@ -104,6 +113,17 @@ let rec pp fmt = function
   | Overloaded { req_id; reason } ->
       Format.fprintf fmt "Overloaded(#%d,%s)" req_id reason
   | Credit { shard; gk; n } -> Format.fprintf fmt "Credit(s%d->gk%d,%d)" shard gk n
+  | Repl_install { range; owner; followers } ->
+      Format.fprintf fmt "Repl_install(r%d,s%d,%d followers)" range owner
+        (List.length followers)
+  | Repl_update { range; owner; ts; ops } ->
+      Format.fprintf fmt "Repl_update(r%d,s%d,%a,%d ops)" range owner Vclock.pp ts
+        (List.length ops)
+  | Repl_seed { range; owner; ts; vertices } ->
+      Format.fprintf fmt "Repl_seed(r%d,s%d,%a,%d vertices)" range owner Vclock.pp ts
+        (List.length vertices)
+  | Repl_cover { range; follower; ts } ->
+      Format.fprintf fmt "Repl_cover(r%d,s%d,%a)" range follower Vclock.pp ts
   | Batch items ->
       Format.fprintf fmt "Batch(%d:@[%a@])" (List.length items)
         (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@ ") pp)
@@ -125,7 +145,7 @@ let trace_of = function
   | Shard_tx { trace; _ } -> if trace = 0 then None else Some trace
   | Overloaded { req_id; _ } -> Some req_id
   | Announce _ | Heartbeat _ | Epoch_change _ | Epoch_ack _ | Watermark _ | Credit _
-  | Batch _ ->
+  | Repl_install _ | Repl_update _ | Repl_seed _ | Repl_cover _ | Batch _ ->
       None
 
 let kind = function
@@ -147,4 +167,8 @@ let kind = function
   | Watermark _ -> "Watermark"
   | Overloaded _ -> "Overloaded"
   | Credit _ -> "Credit"
+  | Repl_install _ -> "Repl_install"
+  | Repl_update _ -> "Repl_update"
+  | Repl_seed _ -> "Repl_seed"
+  | Repl_cover _ -> "Repl_cover"
   | Batch _ -> "Batch"

@@ -118,7 +118,42 @@ type t =
           signal *)
   | Credit of { shard : int; gk : int; n : int }
       (** shard → gatekeeper, control-plane: [n] forwarded transactions
-          were applied; return their flow-control credits *)
+          were applied; return their flow-control credits. Also reused
+          follower-shard → owner-shard under partial replication
+          ([Config.enable_replication]): [shard] is then the follower id
+          returning a replication-stream credit *)
+  | Repl_install of { range : int; owner : int; followers : int list }
+      (** replication controller → owner shard, follower shards, and all
+          gatekeepers: replicate hot range [range] (owned by [owner]) onto
+          [followers]. The owner starts streaming; followers await their
+          first [Repl_seed] before advertising coverage *)
+  | Repl_update of {
+      range : int;
+      owner : int;
+      ts : Weaver_vclock.Vclock.t;
+      ops : shard_op list;
+    }
+      (** owner shard → follower shard, over the ordinary FIFO channel:
+          [ops <> []] streams one applied transaction's writes to the range
+          with its commit stamp; [ops = []] is a watermark heartbeat — the
+          owner has applied everything at or below [ts], and FIFO order
+          guarantees the follower received those updates first *)
+  | Repl_seed of {
+      range : int;
+      owner : int;
+      ts : Weaver_vclock.Vclock.t;
+      vertices : (string * Weaver_graph.Mgraph.vertex) list;
+    }
+      (** owner shard → follower shard: full (re)seed of the range at
+          watermark [ts] — the owner's multi-version records verbatim
+          (immutable, so sharing is safe). Sent at the first watermark
+          after install and whenever the stream was interrupted (credit
+          exhaustion); subsequent [Repl_update]s apply cleanly on top
+          because FIFO order puts them after the seed *)
+  | Repl_cover of { range : int; follower : int; ts : Weaver_vclock.Vclock.t }
+      (** follower shard → all gatekeepers: this follower's copy of
+          [range] now covers every stamp componentwise at or below [ts]
+          ({!Weaver_repl.Repl.covers}) *)
   | Batch of t list
       (** [Config.net_batching] coalescing envelope: small control
           messages buffered for one (src, dst) pair within one engine

@@ -90,6 +90,13 @@ let execute_batch t ~coord ~prog_id ~ts ~prog ~historical ~items =
             if Mgraph.vertex_alive bf vertex ~at:ts then begin
               visited := vid :: !visited;
               (counters t).Runtime.vertices_read <- (counters t).Runtime.vertices_read + 1;
+              (* a replica-served read is load on this shard's partition all
+                 the same: without this touch the heat map only sees the
+                 owner's share of the reads, and under replica rotation a
+                 genuinely hot vertex looks (1 + replicas)× cooler than it
+                 is — starving the replication planner of its best
+                 candidates *)
+              Runtime.heat_read t.rt ~shard:t.sid vid;
               let ctx = { Nodeprog.vid; at = ts; before = bf; vertex } in
               let state = Hashtbl.find_opt states vid in
               cost_units := !cost_units +. (if state = None then 1.0 else 0.1);

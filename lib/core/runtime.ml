@@ -53,6 +53,11 @@ type counters = {
   mutable rebal_skipped : int;
   mutable batch_msgs : int;
   mutable batch_coalesced : int;
+  mutable repl_rounds : int;
+  mutable repl_installs : int;
+  mutable repl_updates : int;
+  mutable repl_resyncs : int;
+  mutable repl_routed : int;
 }
 
 type t = {
@@ -145,7 +150,12 @@ let register_counter_gauges metrics (c : counters) =
   g "rebal.moves" (fun () -> c.rebal_moves);
   g "rebal.skipped" (fun () -> c.rebal_skipped);
   g "msg.batch" (fun () -> c.batch_msgs);
-  g "msg.batch_coalesced" (fun () -> c.batch_coalesced)
+  g "msg.batch_coalesced" (fun () -> c.batch_coalesced);
+  g "repl.rounds" (fun () -> c.repl_rounds);
+  g "repl.installs" (fun () -> c.repl_installs);
+  g "repl.updates" (fun () -> c.repl_updates);
+  g "repl.resyncs" (fun () -> c.repl_resyncs);
+  g "repl.routed" (fun () -> c.repl_routed)
 
 (* the network tracer that feeds the causal trace collector: attribute
    every wire message to its request's trace id *)
@@ -218,6 +228,11 @@ let create cfg =
           rebal_skipped = 0;
           batch_msgs = 0;
           batch_coalesced = 0;
+          repl_rounds = 0;
+          repl_installs = 0;
+          repl_updates = 0;
+          repl_resyncs = 0;
+          repl_routed = 0;
         };
       metrics;
       tracer =

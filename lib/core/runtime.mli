@@ -86,6 +86,18 @@ type counters = {
   mutable batch_coalesced : int;
       (** control messages that rode inside a [Msg.Batch] envelope instead
           of paying their own wire message *)
+  mutable repl_rounds : int;
+      (** replication-controller planner rounds ([Config.enable_replication]) *)
+  mutable repl_installs : int;
+      (** hot ranges the controller placed follower copies for *)
+  mutable repl_updates : int;
+      (** owner→follower streamed update messages carrying applied ops *)
+  mutable repl_resyncs : int;
+      (** full range seeds shipped to followers (first sync after install,
+          and recovery from an interrupted stream after credit exhaustion) *)
+  mutable repl_routed : int;
+      (** node-program batches the gatekeepers routed to a covering
+          follower instead of the owning shard *)
 }
 
 type t = {

@@ -6,6 +6,9 @@ module Snapshot = Weaver_store.Snapshot
 module Oracle = Weaver_oracle.Oracle
 module Mgraph = Weaver_graph.Mgraph
 module Intern = Weaver_util.Intern
+module Flow = Weaver_flow.Flow
+module Heat = Weaver_obs.Heat
+module Repl = Weaver_repl.Repl
 
 type queued_tx = {
   q_seq : int;
@@ -36,6 +39,27 @@ type parked_prog = {
   p_since : float;  (* when this batch was parked *)
   p_snap : snap_graph Snapshot.entry option;
       (* pinned snapshot this batch reads from; None = live graph *)
+}
+
+(* Partial replication ([Config.enable_replication], ROADMAP item 3).
+   Owner side: per-range follower lists plus the set of followers whose
+   stream is interrupted (install just happened, or a credit column ran
+   dry) and who therefore need a wholesale reseed at the next watermark
+   boundary. Follower side: per-range owner and the monotone replication
+   watermark this copy is known to cover ([None] until the first seed). *)
+type repl_out = {
+  ro_followers : int list;
+  ro_dirty : (int, unit) Hashtbl.t;
+}
+
+type repl_in = {
+  rin_owner : int;
+  mutable rin_wm : Vclock.t option;
+  mutable rin_floor : Vclock.t option;
+      (* the cut of the last seed: the owner's records were compacted up
+         to it, so reads strictly below must miss (and chase the owner,
+         whose snapshot store may still cover them) instead of silently
+         reading post-compaction state *)
 }
 
 type t = {
@@ -82,6 +106,17 @@ type t = {
          below it are gone from the in-memory copies, so a historical read
          below it (with no pinned snapshot) must fail retryably instead of
          silently reading post-compaction state *)
+  repl_out : (int, repl_out) Hashtbl.t;  (* ranges owned here, replicated out *)
+  repl_in : (int, repl_in) Hashtbl.t;  (* ranges followed here *)
+  repl_graph : (string, Mgraph.vertex) Hashtbl.t;
+      (* follower copies of other owners' hot ranges, keyed by the vid
+         string and kept strictly apart from [graph]: these records are
+         never owned, never paged, never compacted here *)
+  repl_credits : Flow.Credits.t;
+      (* owner→follower stream credits (one column per peer shard, sized
+         by [Config.shard_credits]): a slow follower drains its column and
+         the stream is interrupted (dirty + reseed) instead of growing the
+         follower's queue without bound *)
   mutable retired : bool;
 }
 
@@ -113,6 +148,33 @@ let now t = Engine.now t.rt.Runtime.engine
    fresh oracle decisions; ties prefer the first argument (transactions
    before node programs, earlier writers before later ones) *)
 let before t a b = Runtime.before t.cache t.rt a b ~prefer_first_on_tie:true
+
+(* ------------------------------------------------------------------ *)
+(* Partial replication plumbing shared by the owner and follower roles. *)
+
+(* the heat range a vertex falls in; replication candidates and follower
+   copies are keyed by these ranges, so owner and controller must agree *)
+let repl_range t vid =
+  match t.rt.Runtime.heat with Some h -> Heat.range_of h vid | None -> -1
+
+let repl_followed_ranges t =
+  List.sort compare (Hashtbl.fold (fun r _ acc -> r :: acc) t.repl_in [])
+
+let repl_owned_ranges t =
+  List.sort compare (Hashtbl.fold (fun r _ acc -> r :: acc) t.repl_out [])
+
+(* follower-side lookup: serve a vertex from a followed range copy iff the
+   range's replication watermark covers the read stamp — then the copy has
+   every version the read could see, and the answer is bit-identical to
+   the owner's at the same cut *)
+let repl_lookup t vid at =
+  if Hashtbl.length t.repl_in = 0 then None
+  else
+    match Hashtbl.find_opt t.repl_in (repl_range t vid) with
+    | Some { rin_wm = Some wm; rin_floor = Some floor; _ }
+      when Repl.covers ~wm at && not (Vclock.precedes at floor) ->
+        Hashtbl.find_opt t.repl_graph vid
+    | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Demand paging (§6.1): vertices are fetched from the backing store on a
@@ -256,6 +318,41 @@ let apply_tx t ~gk (qt : queued_tx) =
         (Msg.Shard_tx
            { gk = 0; seq = qt.q_seq; ts = qt.q_ts; ops = qt.q_ops; trace = qt.q_trace })
     done;
+    (* partial replication: stream the ops that land in replicated hot
+       ranges to their followers, in this owner's execution order (FIFO
+       channels make in-order application converge, like the §6.4 replica
+       stream). A follower whose credit column ran dry is marked dirty and
+       skipped — it gets a wholesale reseed at the next watermark instead
+       of an unbounded queue. *)
+    if Hashtbl.length t.repl_out > 0 then begin
+      let by_range = Hashtbl.create 4 in
+      List.iter
+        (fun op ->
+          let r = repl_range t (op_vertex op) in
+          if Hashtbl.mem t.repl_out r then
+            Hashtbl.replace by_range r
+              (op :: Option.value ~default:[] (Hashtbl.find_opt by_range r)))
+        qt.q_ops;
+      Hashtbl.iter
+        (fun r rev_ops ->
+          let out = Hashtbl.find t.repl_out r in
+          let ops = List.rev rev_ops in
+          List.iter
+            (fun f ->
+              if not (Hashtbl.mem out.ro_dirty f) then
+                if Flow.Credits.exhausted t.repl_credits f then
+                  Hashtbl.replace out.ro_dirty f ()
+                else begin
+                  Flow.Credits.consume t.repl_credits f;
+                  (counters t).Runtime.repl_updates <-
+                    (counters t).Runtime.repl_updates + 1;
+                  send t
+                    ~dst:(Runtime.shard_addr t.rt f)
+                    (Msg.Repl_update { range = r; owner = t.sid; ts = qt.q_ts; ops })
+                end)
+            out.ro_followers)
+        by_range
+    end;
     (* flow control: return the credit this transaction spent at its
        gatekeeper. NOPs never carried one (control class). *)
     if (cfg t).Config.shard_credits > 0 then begin
@@ -263,6 +360,47 @@ let apply_tx t ~gk (qt : queued_tx) =
       send t ~dst:(Runtime.gk_addr t.rt gk) (Msg.Credit { shard = t.sid; gk; n = 1 })
     end
   end
+
+(* Apply one streamed op to a follower copy. Mirrors the owner's
+   [apply_op] onto [repl_graph]: same multi-version updates, but no heat
+   write attribution (the owner already recorded the touch when it applied
+   the transaction), no paging, no LRU. Ops for vertices the copy does not
+   hold are dropped — a later read of such a vertex misses the copy and is
+   forwarded to the owner, so incompleteness is never incorrectness. *)
+let repl_apply_op t ts (op : Msg.shard_op) =
+  let bf = before t in
+  let update vid f =
+    match Hashtbl.find_opt t.repl_graph vid with
+    | Some v -> Hashtbl.replace t.repl_graph vid (f v)
+    | None -> ()
+  in
+  match op with
+  | Msg.S_create_vertex vid ->
+      Hashtbl.replace t.repl_graph vid (Mgraph.create_vertex ~vid ~at:ts)
+  | Msg.S_delete_vertex vid -> update vid (fun v -> Mgraph.delete_vertex v ~at:ts)
+  | Msg.S_add_edge { src; eid; dst } ->
+      update src (fun v -> Mgraph.add_edge v ~eid ~dst ~at:ts)
+  | Msg.S_del_edge { src; eid } -> update src (fun v -> Mgraph.delete_edge v ~eid ~at:ts)
+  | Msg.S_set_vprop { vid; key; value } ->
+      update vid (fun v -> Mgraph.set_vertex_prop bf v ~key ~value ~at:ts)
+  | Msg.S_del_vprop { vid; key } ->
+      update vid (fun v -> Mgraph.del_vertex_prop bf v ~key ~at:ts)
+  | Msg.S_set_eprop { src; eid; key; value } ->
+      update src (fun v -> Mgraph.set_edge_prop bf v ~eid ~key ~value ~at:ts)
+  | Msg.S_del_eprop { src; eid; key } ->
+      update src (fun v -> Mgraph.del_edge_prop bf v ~eid ~key ~at:ts)
+  | Msg.S_migrate_in vid -> (
+      (* the vertex moved onto the owner: adopt the durable record, like
+         the owner itself does *)
+      match Store.get_now t.rt.Runtime.store (Runtime.vkey vid) with
+      | Some (Runtime.Vrec v) -> Hashtbl.replace t.repl_graph vid v
+      | _ -> ())
+  | Msg.S_migrate_out vid -> Hashtbl.remove t.repl_graph vid
+
+let advertise_cover t range ts =
+  for g = 0 to (cfg t).Config.n_gatekeepers - 1 do
+    send t ~dst:(Runtime.gk_addr t.rt g) (Msg.Repl_cover { range; follower = t.sid; ts })
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Node program execution (§4.1). *)
@@ -283,12 +421,24 @@ let execute_prog_batch t (p : parked_prog) =
      the versions it needs are gone from the in-memory copy, and reading
      post-compaction state would silently violate the query's timestamp.
      Fail the whole run retryably instead. *)
-  let gced =
+  let own_gced =
     p.p_historical
     && (match p.p_snap with None -> true | Some _ -> false)
     && match t.gc_floor with
        | Some floor -> Vclock.precedes p.p_ts floor
        | None -> false
+  in
+  (* ...but a follower batch whose items all live in other shards'
+     partitions never reads the compacted copy: followed-range lookups
+     carry their own seed floor ([repl_lookup]) and true misses are
+     forwarded to their owners. Only batches that would read *this*
+     partition fail wholesale; a hop that lands here aborts below. *)
+  let gced =
+    own_gced
+    && (Hashtbl.length t.repl_in = 0
+       || List.exists
+            (fun (vid, _) -> Runtime.shard_of_vertex t.rt vid = t.sid)
+            p.p_items)
   in
   if gced then
     send t ~dst:p.p_coord
@@ -345,13 +495,24 @@ let execute_prog_batch t (p : parked_prog) =
         let l = try Hashtbl.find remote hshard with Not_found -> [] in
         Hashtbl.replace remote hshard (item :: l)
       in
-      while not (Queue.is_empty work) do
+      let aborted = ref false in
+      while (not !aborted) && not (Queue.is_empty work) do
         let vid, params = Queue.pop work in
+        if own_gced && Runtime.shard_of_vertex t.rt vid = t.sid then
+          (* a hop landed on this shard's own compacted partition *)
+          aborted := true
+        else begin
         let h = Intern.id t.names vid in
         let vrec, pc =
           match pinned with
           | Some sg -> (Hashtbl.find_opt sg.sg_graph h, 0.0)
           | None -> lookup_vertex t h vid
+        in
+        (* not owned here: a followed hot-range copy whose replication
+           watermark covers the read stamp serves it in place of the
+           owner — this is where follower capacity becomes read capacity *)
+        let vrec =
+          match vrec with Some _ -> vrec | None -> repl_lookup t vid p.p_ts
         in
         page_cost := !page_cost +. pc;
         match vrec with
@@ -384,7 +545,19 @@ let execute_prog_batch t (p : parked_prog) =
                   else forward_item hshard (hvid, hparams))
                 hops
             end
+        end
       done;
+      if !aborted then
+        send t ~dst:p.p_coord
+          (Msg.Prog_partial
+             {
+               prog_id = p.p_id;
+               sent = 0;
+               acc = Progval.Null;
+               visited = [];
+               error = Some "snapshot-gced";
+             })
+      else begin
       let cost = ((cfg t).Config.vertex_read_cost *. !read_cost_units) +. !page_cost in
       let start = Float.max (Engine.now t.rt.Runtime.engine) t.busy_until in
       t.busy_until <- start +. cost;
@@ -418,6 +591,7 @@ let execute_prog_batch t (p : parked_prog) =
               (Msg.Prog_partial
                  { prog_id = p.p_id; sent; acc; visited; error = None })
           end)
+      end
 
 (* A node program may run once, for every gatekeeper, the next transaction
    is known to come after it — i.e. all preceding and concurrent
@@ -710,6 +884,15 @@ let handle_epoch_change t new_epoch =
     Snapshot.clear t.snaps;
     Hashtbl.reset t.pins;
     t.gc_floor <- None;
+    (* replication across the barrier: old-epoch watermarks can never
+       cover new-epoch reads, and in-flight stream traffic died with the
+       queues — stop advertising and reseed every follower *)
+    Hashtbl.iter (fun _ rin -> rin.rin_wm <- None) t.repl_in;
+    Hashtbl.iter
+      (fun _ out ->
+        List.iter (fun f -> Hashtbl.replace out.ro_dirty f ()) out.ro_followers)
+      t.repl_out;
+    Flow.Credits.reset t.repl_credits;
     reload_from_store t;
     send t ~dst:(Runtime.manager_addr t.rt)
       (Msg.Epoch_ack { server = t.addr; epoch = new_epoch })
@@ -790,7 +973,56 @@ let handle_watermark t gk ts =
         | Some v' -> Hashtbl.replace t.graph h v'
         | None -> doomed := h :: !doomed)
       t.graph;
-    List.iter (Hashtbl.remove t.graph) !doomed
+    List.iter (Hashtbl.remove t.graph) !doomed;
+    (* partial replication, owner side: advance followers at the watermark
+       boundary. Only once every transaction at or below [wm] has actually
+       been applied here (watermark gossip shares the gatekeeper FIFO with
+       Shard_tx, so covered transactions have *arrived*, but one may still
+       be queued behind an oracle consult — per-gatekeeper stamps are
+       monotone, so checking the heads suffices). Clean followers get a
+       watermark heartbeat: FIFO order guarantees they received every
+       streamed update below it first. Dirty followers get a wholesale
+       reseed of the owner's records at this cut — immutable, so sharing
+       is safe — after which the stream is clean again. *)
+    if Hashtbl.length t.repl_out > 0 then begin
+      let applied_through_wm =
+        Array.for_all
+          (fun q ->
+            match Queue.peek_opt q with
+            | None -> true
+            | Some (head : queued_tx) -> not (Repl.covers ~wm head.q_ts))
+          t.queues
+      in
+      if applied_through_wm then
+        List.iter
+          (fun range ->
+            let out = Hashtbl.find t.repl_out range in
+            let seed = lazy (
+              Hashtbl.fold
+                (fun h v acc ->
+                  let vid = Intern.name t.names h in
+                  if repl_range t vid = range then (vid, v) :: acc else acc)
+                t.graph [])
+            in
+            List.iter
+              (fun f ->
+                if Hashtbl.mem out.ro_dirty f then begin
+                  Hashtbl.remove out.ro_dirty f;
+                  Flow.Credits.reset_peer t.repl_credits f;
+                  (counters t).Runtime.repl_resyncs <-
+                    (counters t).Runtime.repl_resyncs + 1;
+                  send t
+                    ~dst:(Runtime.shard_addr t.rt f)
+                    (Msg.Repl_seed
+                       { range; owner = t.sid; ts = wm; vertices = Lazy.force seed })
+                end
+                else
+                  send t
+                    ~dst:(Runtime.shard_addr t.rt f)
+                    (Msg.Repl_update { range; owner = t.sid; ts = wm; ops = [] }))
+              out.ro_followers)
+          (repl_owned_ranges t)
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -861,6 +1093,67 @@ let handle t ~src:_ msg =
         | None -> ())
     | Msg.Watermark { gk; ts } -> handle_watermark t gk ts
     | Msg.Epoch_change { epoch } -> handle_epoch_change t epoch
+    | Msg.Repl_install { range; owner; followers } ->
+        (* idempotent: the controller re-broadcasts its plan every round so
+           a crash-restarted owner (whose streaming state died with it)
+           re-learns its ranges and reseeds; an already-known range is
+           left untouched *)
+        if owner = t.sid && not (Hashtbl.mem t.repl_out range) then begin
+          let dirty = Hashtbl.create 4 in
+          List.iter (fun f -> Hashtbl.replace dirty f ()) followers;
+          Hashtbl.replace t.repl_out range { ro_followers = followers; ro_dirty = dirty }
+        end;
+        if List.mem t.sid followers && not (Hashtbl.mem t.repl_in range) then
+          Hashtbl.replace t.repl_in range
+            { rin_owner = owner; rin_wm = None; rin_floor = None }
+    | Msg.Repl_update { range; owner; ts; ops } -> (
+        match Hashtbl.find_opt t.repl_in range with
+        | Some rin when rin.rin_wm <> None ->
+            if ops = [] then begin
+              (* watermark heartbeat: everything at or below [ts] has been
+                 streamed (FIFO), so this copy now covers it *)
+              rin.rin_wm <- Some ts;
+              advertise_cover t range ts
+            end
+            else begin
+              List.iter (repl_apply_op t ts) ops;
+              (* return the stream credit this update spent at the owner *)
+              if (cfg t).Config.shard_credits > 0 then begin
+                (counters t).Runtime.credit_msgs <-
+                  (counters t).Runtime.credit_msgs + 1;
+                send t
+                  ~dst:(Runtime.shard_addr t.rt owner)
+                  (Msg.Credit { shard = t.sid; gk = owner; n = 1 })
+              end
+            end
+        | _ -> () (* not following, or awaiting the first seed *))
+    | Msg.Repl_seed { range; owner; ts; vertices } ->
+        (* a seed is self-sufficient: it may arrive before the controller's
+           (re-)install broadcast after a restart, so create the follower
+           entry on the fly rather than dropping the sync *)
+        let rin =
+          match Hashtbl.find_opt t.repl_in range with
+          | Some rin -> rin
+          | None ->
+              let rin = { rin_owner = owner; rin_wm = None; rin_floor = None } in
+              Hashtbl.replace t.repl_in range rin;
+              rin
+        in
+        (* wholesale (re)sync: drop the stale copy of this range and adopt
+           the owner's records at the [ts] cut verbatim *)
+        let stale =
+          Hashtbl.fold
+            (fun vid _ acc -> if repl_range t vid = range then vid :: acc else acc)
+            t.repl_graph []
+        in
+        List.iter (Hashtbl.remove t.repl_graph) stale;
+        List.iter (fun (vid, v) -> Hashtbl.replace t.repl_graph vid v) vertices;
+        rin.rin_wm <- Some ts;
+        rin.rin_floor <- Some ts;
+        advertise_cover t range ts
+    | Msg.Credit { shard; gk = _; n } ->
+        (* a follower returning replication-stream credits *)
+        Flow.Credits.refund t.repl_credits shard n
     | _ -> ()
 
 let start_timers t =
@@ -904,6 +1197,12 @@ let spawn rt ~sid ~epoch =
       snaps = Snapshot.create ~retain:rt.Runtime.cfg.Config.snapshot_retain ();
       pins = Hashtbl.create 8;
       gc_floor = None;
+      repl_out = Hashtbl.create 8;
+      repl_in = Hashtbl.create 8;
+      repl_graph = Hashtbl.create 256;
+      repl_credits =
+        Flow.Credits.create ~peers:rt.Runtime.cfg.Config.n_shards
+          ~credits:rt.Runtime.cfg.Config.shard_credits;
       retired = false;
     }
   in
@@ -923,6 +1222,19 @@ let spawn rt ~sid ~epoch =
 let retire t = t.retired <- true
 
 let reload = reload_from_store
+
+(* A peer shard crash-restarted: any follower copies it held died with it,
+   so if it follows one of our replicated ranges, mark it dirty for a
+   wholesale reseed at the next watermark and refill its credit column
+   (stream credits it carried can never be refunded). *)
+let on_peer_restart t ~peer =
+  Hashtbl.iter
+    (fun _ out ->
+      if List.mem peer out.ro_followers then begin
+        Hashtbl.replace out.ro_dirty peer ();
+        Flow.Credits.reset_peer t.repl_credits peer
+      end)
+    t.repl_out
 
 (* Crash-restart within the current epoch (fault-plan [Restart] firing
    before the manager's failure detector noticed): queued work and FIFO
@@ -949,4 +1261,13 @@ let resync t =
   Snapshot.clear t.snaps;
   Hashtbl.reset t.pins;
   t.gc_floor <- None;
+  (* replication state died with the crash: as a follower, the copies and
+     watermarks are stale-but-safe at the gatekeepers (routed reads miss
+     here and chase the owner) until the controller's next re-broadcast
+     reinstalls us; as an owner, the re-broadcast re-marks every follower
+     dirty and the next watermark reseeds them *)
+  Hashtbl.reset t.repl_out;
+  Hashtbl.reset t.repl_in;
+  Hashtbl.reset t.repl_graph;
+  Flow.Credits.reset t.repl_credits;
   reload_from_store t

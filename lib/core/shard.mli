@@ -66,3 +66,24 @@ val resync : t -> unit
     restarts that revive a shard in place before the failure detector
     replaces it; must be called before the network endpoint is marked
     alive again. *)
+
+(** {1 Partial replication} ([Config.enable_replication])
+
+    Hot-range replication state ({!Weaver_repl.Repl}). As an {e owner},
+    the shard streams ops landing in its replicated ranges to followers
+    and advances them with watermark heartbeats (or wholesale seeds, when
+    the stream was interrupted). As a {e follower}, it keeps
+    timestamp-consistent copies of other owners' hot ranges and serves
+    node-program reads whose stamp its replication watermark covers. *)
+
+val repl_owned_ranges : t -> int list
+(** Ranges this shard owns and replicates out (sorted; tests/CLI). *)
+
+val repl_followed_ranges : t -> int list
+(** Ranges this shard follows copies of (sorted; tests/CLI). *)
+
+val on_peer_restart : t -> peer:int -> unit
+(** A peer shard crash-restarted, losing any follower copies it held: mark
+    it dirty in every replicated range it follows (reseeded at the next
+    watermark) and refill its stream-credit column. Called by the cluster
+    fault layer alongside the gatekeepers' [on_shard_restart]. *)

@@ -7,7 +7,8 @@ type priority = Control | Client_req
    exempted, which fails safe for liveness-critical control traffic. *)
 let priority_of_kind = function
   | "Announce" | "Shard_tx(nop)" | "Heartbeat" | "Commit_note" | "Credit"
-  | "Epoch_change" | "Epoch_ack" | "Watermark" | "Prog_gc" ->
+  | "Epoch_change" | "Epoch_ack" | "Watermark" | "Prog_gc"
+  | "Repl_install" | "Repl_update" | "Repl_seed" | "Repl_cover" ->
       Control
   | _ -> Client_req
 

@@ -1,0 +1,69 @@
+module Vclock = Weaver_vclock.Vclock
+
+let covers ~(wm : Vclock.t) (at : Vclock.t) =
+  wm.Vclock.epoch = at.Vclock.epoch
+  && Array.length wm.Vclock.clocks = Array.length at.Vclock.clocks
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i w -> if at.Vclock.clocks.(i) > w then ok := false)
+    wm.Vclock.clocks;
+  !ok
+
+module Table = struct
+  type entry = {
+    e_owner : int;
+    mutable e_followers : (int * Vclock.t option) list;  (* install order *)
+  }
+
+  type t = { entries : (int, entry) Hashtbl.t }
+
+  let create () = { entries = Hashtbl.create 16 }
+
+  let install t ~range ~owner ~followers =
+    Hashtbl.replace t.entries range
+      { e_owner = owner; e_followers = List.map (fun f -> (f, None)) followers }
+
+  let drop t ~range = Hashtbl.remove t.entries range
+  let is_replicated t ~range = Hashtbl.mem t.entries range
+
+  let owner t ~range =
+    match Hashtbl.find_opt t.entries range with
+    | Some e -> Some e.e_owner
+    | None -> None
+
+  let followers t ~range =
+    match Hashtbl.find_opt t.entries range with
+    | Some e -> e.e_followers
+    | None -> []
+
+  let set_wm t ~range ~follower wm =
+    match Hashtbl.find_opt t.entries range with
+    | None -> ()
+    | Some e ->
+        e.e_followers <-
+          List.map
+            (fun (f, old) -> if f = follower then (f, Some wm) else (f, old))
+            e.e_followers
+
+  let clear_wms t =
+    Hashtbl.iter
+      (fun _ e -> e.e_followers <- List.map (fun (f, _) -> (f, None)) e.e_followers)
+      t.entries
+
+  let covering t ~range ~at =
+    match Hashtbl.find_opt t.entries range with
+    | None -> []
+    | Some e ->
+        List.filter_map
+          (fun (f, wm) ->
+            match wm with
+            | Some wm when covers ~wm at -> Some f
+            | _ -> None)
+          e.e_followers
+
+  let ranges t =
+    List.sort compare (Hashtbl.fold (fun r _ acc -> r :: acc) t.entries [])
+
+  let size t = Hashtbl.length t.entries
+end

@@ -10,6 +10,7 @@ module Nodeprog = Weaver_core.Nodeprog
 module Backup = Weaver_core.Backup
 module Rebalance = Weaver_core.Rebalance
 module Balancer = Weaver_core.Balancer
+module Replicator = Weaver_core.Replicator
 
 (* standard node programs *)
 module Programs = Weaver_programs.Std_programs
@@ -38,6 +39,7 @@ module Partition = Weaver_partition.Partition
 module Engine = Weaver_sim.Engine
 module Net = Weaver_sim.Net
 module Flow = Weaver_flow.Flow
+module Repl = Weaver_repl.Repl
 module Metrics = Weaver_obs.Metrics
 module Trace = Weaver_obs.Trace
 module Heat = Weaver_obs.Heat

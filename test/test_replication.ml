@@ -1,0 +1,360 @@
+(* Tests for timestamp-consistent partial replication of hot ranges
+   (ROADMAP item 3): the coverage predicate and controller table, the
+   end-to-end install → seed → stream → route pipeline, survival of
+   covered reads across an owner crash, credit-starved stream resync,
+   control-plane invisibility at replication factor 0, and the two fixes
+   that ride along — replica-served reads feeding heat attribution, and
+   weak-read routing skipping dead replicas. *)
+
+open Weaver_core
+module Programs = Weaver_programs.Std_programs
+module Heat = Weaver_obs.Heat
+module Fault = Weaver_sim.Fault
+module Repl = Weaver_repl.Repl
+module Vclock = Runtime.Vclock
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "commit failed: %s" e
+
+let mk_cluster cfg =
+  let c = Cluster.create cfg in
+  Programs.Std.register_all (Cluster.registry c);
+  c
+
+let repl_cfg ?(factor = 2) seed =
+  {
+    Config.default with
+    Config.seed;
+    n_gatekeepers = 1;
+    enable_heat = true;
+    enable_replication = true;
+    replication_factor = factor;
+    gc_period = 2_000.0;
+  }
+
+let create_vertex client vid =
+  let tx = Client.Tx.begin_ client in
+  ignore (Client.Tx.create_vertex tx ~id:vid ());
+  ok (Client.commit client tx)
+
+let set_prop client vid key value =
+  let tx = Client.Tx.begin_ client in
+  Client.Tx.set_vertex_prop tx ~vid ~key ~value;
+  ok (Client.commit client tx)
+
+let weak_read client vid =
+  Client.run_program client ~prog:"get_node" ~params:Progval.Null ~starts:[ vid ]
+    ~consistency:`Weak ()
+
+(* the value of vertex prop [key] out of a [get_node] result *)
+let prop_of result key =
+  match result with
+  | Progval.List [ s ] -> Progval.assoc_opt key (Progval.assoc "props" s)
+  | _ -> Alcotest.fail "unexpected get_node result shape"
+
+(* ------------------------------------------------------------------ *)
+(* Coverage predicate and controller table. *)
+
+let vc clocks = Vclock.make ~epoch:0 ~origin:0 (Array.of_list clocks)
+
+let test_covers_and_table () =
+  let wm = vc [ 5; 3 ] in
+  Alcotest.(check bool) "equal stamp covered" true (Repl.covers ~wm (vc [ 5; 3 ]));
+  Alcotest.(check bool) "below covered" true (Repl.covers ~wm (vc [ 2; 3 ]));
+  Alcotest.(check bool) "one dim above" false (Repl.covers ~wm (vc [ 5; 4 ]));
+  Alcotest.(check bool) "epoch mismatch" false
+    (Repl.covers ~wm (Vclock.make ~epoch:1 ~origin:0 [| 1; 1 |]));
+  let t = Repl.Table.create () in
+  Alcotest.(check int) "empty" 0 (Repl.Table.size t);
+  Repl.Table.install t ~range:7 ~owner:1 ~followers:[ 2; 3 ];
+  Alcotest.(check bool) "replicated" true (Repl.Table.is_replicated t ~range:7);
+  Alcotest.(check (option int)) "owner" (Some 1) (Repl.Table.owner t ~range:7);
+  Alcotest.(check (list int)) "no coverage yet" []
+    (Repl.Table.covering t ~range:7 ~at:(vc [ 0; 0 ]));
+  Repl.Table.set_wm t ~range:7 ~follower:2 (vc [ 4; 4 ]);
+  Repl.Table.set_wm t ~range:7 ~follower:3 (vc [ 9; 9 ]);
+  Alcotest.(check (list int)) "both cover low stamp" [ 2; 3 ]
+    (Repl.Table.covering t ~range:7 ~at:(vc [ 1; 1 ]));
+  Alcotest.(check (list int)) "only the fresher covers" [ 3 ]
+    (Repl.Table.covering t ~range:7 ~at:(vc [ 6; 6 ]));
+  Repl.Table.clear_wms t;
+  Alcotest.(check (list int)) "epoch barrier clears coverage" []
+    (Repl.Table.covering t ~range:7 ~at:(vc [ 1; 1 ]));
+  Alcotest.(check bool) "install survives the barrier" true
+    (Repl.Table.is_replicated t ~range:7)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: replica-served reads must feed heat attribution.
+
+   With one legacy read replica, weak reads alternate between the primary
+   and the replica; before the fix only primary-side visits called
+   [Runtime.heat_read], so a vertex served half from its replica looked
+   half as hot to the balancer and the replication controller. *)
+
+let test_replica_reads_feed_heat () =
+  let cfg =
+    { Config.default with Config.n_shards = 1; read_replicas = 1; enable_heat = true }
+  in
+  let c = mk_cluster cfg in
+  let client = Cluster.client c in
+  create_vertex client "hh";
+  (* let the §6.4 replication stream deliver the create to the replica *)
+  Cluster.run_for c 5_000.0;
+  for _ = 1 to 20 do
+    match weak_read client "hh" with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "weak read failed: %s" e
+  done;
+  let ctr = Cluster.counters c in
+  let h = Option.get (Cluster.heat c) in
+  Alcotest.(check bool) "reads actually happened" true (ctr.Runtime.vertices_read >= 20);
+  Alcotest.(check int) "every visit attributed, replica-served included"
+    ctr.Runtime.vertices_read
+    (Heat.total h ~shard:0 ~kind:Heat.Read)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: weak-read routing must skip dead replicas.
+
+   Before the fix the gatekeeper's round-robin kept dealing weak reads to
+   a crashed replica, burning a timeout + client retry on every other
+   request; now the slot rotation checks replica liveness and falls
+   through to live slots (ultimately the primary). *)
+
+let test_dead_replica_routed_around () =
+  let cfg = { Config.default with Config.n_shards = 2; read_replicas = 1 } in
+  let c = mk_cluster cfg in
+  let client = Cluster.client c in
+  create_vertex client "wk";
+  Cluster.run_for c 5_000.0;
+  let shard = Cluster.shard_of_vertex c "wk" in
+  let crash_at = Cluster.now c +. 1_000.0 in
+  ignore
+    (Cluster.install_fault_plan c
+       (Fault.scripted
+          [ (crash_at, Fault.Crash (Fault.Replica { shard; replica = 0 })) ]));
+  Cluster.run_for c 2_000.0;
+  let ctr = Cluster.counters c in
+  let retries0 = ctr.Runtime.client_retries in
+  for _ = 1 to 10 do
+    match weak_read client "wk" with
+    | Ok (Progval.List [ s ]) ->
+        Alcotest.(check string) "served" "wk" (Progval.to_str (Progval.assoc "vid" s))
+    | Ok _ -> Alcotest.fail "unexpected result shape"
+    | Error e -> Alcotest.failf "weak read vs dead replica failed: %s" e
+  done;
+  Alcotest.(check int) "no timeouts, no retries" retries0 ctr.Runtime.client_retries
+
+(* ------------------------------------------------------------------ *)
+(* Tentpole: a hot range gets installed by the controller, seeded and
+   streamed by its owner, advertised by its followers, and weak reads get
+   routed to follower copies — which stay convergent with the owner. *)
+
+let test_install_stream_route_converge () =
+  let c = mk_cluster (repl_cfg 11) in
+  let client = Cluster.client c in
+  create_vertex client "hot";
+  let last = ref 0 in
+  for i = 1 to 120 do
+    (match weak_read client "hot" with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "weak read %d failed: %s" i e);
+    if i mod 10 = 0 then begin
+      set_prop client "hot" "v" (string_of_int i);
+      last := i
+    end;
+    Cluster.run_for c 200.0
+  done;
+  let ctr = Cluster.counters c in
+  Alcotest.(check bool) "controller installed a range" true
+    (ctr.Runtime.repl_installs >= 1);
+  Alcotest.(check bool) "owner streamed updates" true (ctr.Runtime.repl_updates >= 1);
+  Alcotest.(check bool) "gatekeeper routed reads to followers" true
+    (ctr.Runtime.repl_routed >= 1);
+  let r = Option.get (Cluster.replicator c) in
+  Alcotest.(check bool) "controller table non-empty" true
+    (Repl.Table.size (Replicator.table r) >= 1);
+  (* quiesce: the watermark passes the last write, follower copies cover
+     it, and a weak read — wherever it lands — sees the final value *)
+  Cluster.run_for c 20_000.0;
+  match weak_read client "hot" with
+  | Ok v ->
+      Alcotest.(check (option string)) "converged to the last write"
+        (Some (string_of_int !last))
+        (Option.map Progval.to_str (prop_of v "v"))
+  | Error e -> Alcotest.failf "post-quiesce weak read failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: once a follower covers a stamp, a read pinned at that stamp
+   survives the owner crashing — the gatekeeper routes it to a covering
+   survivor and the answer matches the pre-crash one. *)
+
+let test_owner_crash_covered_reads_survive () =
+  let c = mk_cluster (repl_cfg 13) in
+  let client = Cluster.client c in
+  create_vertex client "hot";
+  let owner = Cluster.shard_of_vertex c "hot" in
+  let ctr = Cluster.counters c in
+  (* hammer until the range is replicated and reads are being routed *)
+  let tries = ref 0 in
+  while ctr.Runtime.repl_routed = 0 && !tries < 300 do
+    incr tries;
+    ignore (weak_read client "hot");
+    Cluster.run_for c 200.0
+  done;
+  Alcotest.(check bool) "replication became active" true (ctr.Runtime.repl_routed > 0);
+  set_prop client "hot" "v" "final";
+  Cluster.run_for c 6_000.0;
+  let ts = Cluster.gk_clock c 0 in
+  (* two more watermark rounds: follower coverage passes [ts] *)
+  Cluster.run_for c 6_000.0;
+  let read_at () =
+    Client.run_program client ~prog:"get_node" ~params:Progval.Null ~starts:[ "hot" ]
+      ~at:ts ()
+  in
+  let baseline =
+    match read_at () with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "pinned read before crash failed: %s" e
+  in
+  Alcotest.(check (option string)) "pinned read sees the write" (Some "final")
+    (Option.map Progval.to_str (prop_of baseline "v"));
+  let crash_at = Cluster.now c +. 500.0 in
+  ignore
+    (Cluster.install_fault_plan c
+       (Fault.scripted [ (crash_at, Fault.Crash (Fault.Shard owner)) ]));
+  Cluster.run_for c 1_000.0;
+  match read_at () with
+  | Ok after ->
+      Alcotest.(check (option string)) "covered read survives the owner crash"
+        (Option.map Progval.to_str (prop_of baseline "v"))
+        (Option.map Progval.to_str (prop_of after "v"))
+  | Error e -> Alcotest.failf "pinned read after owner crash failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* A credit-starved stream degrades to a wholesale reseed, not a stall:
+   degrade the owner→follower link so refunds lag the write rate, burst
+   writes, and the owner must mark the follower dirty and reseed it at
+   the next watermark — after which the copy converges again. *)
+
+let test_credit_exhaustion_forces_resync () =
+  let cfg = { (repl_cfg ~factor:1 17) with Config.n_gatekeepers = 2; shard_credits = 1 } in
+  let c = mk_cluster cfg in
+  let client = Cluster.client c in
+  create_vertex client "hot";
+  let ctr = Cluster.counters c in
+  let tries = ref 0 in
+  while ctr.Runtime.repl_installs = 0 && !tries < 300 do
+    incr tries;
+    ignore (weak_read client "hot");
+    Cluster.run_for c 200.0
+  done;
+  Alcotest.(check bool) "range replicated" true (ctr.Runtime.repl_installs >= 1);
+  let owner = Cluster.shard_of_vertex c "hot" in
+  let r = Option.get (Cluster.replicator c) in
+  let h = Option.get (Cluster.heat c) in
+  let range = Heat.range_of h "hot" in
+  let followers = List.map fst (Repl.Table.followers (Replicator.table r) ~range) in
+  Alcotest.(check bool) "follower chosen" true (followers <> []);
+  (* slow the stream's return path: refunds now lag the burst *)
+  List.iter
+    (fun f ->
+      Cluster.apply_fault c
+        (Fault.Link_degrade
+           { src = Fault.Shard f; dst = Fault.Shard owner; factor = 50.0 }))
+    followers;
+  let pending = ref 0 in
+  let committed = ref [] in
+  for i = 0 to 9 do
+    let tx = Client.Tx.begin_ client in
+    Client.Tx.set_vertex_prop tx ~vid:"hot" ~key:("k" ^ string_of_int i) ~value:"x";
+    incr pending;
+    (* under 1-credit admission some burst commits may shed out their
+       retries — only the ones that committed must converge *)
+    Client.commit_async client tx ~on_result:(fun r ->
+        decr pending;
+        if Result.is_ok r then committed := i :: !committed)
+  done;
+  Cluster.run_for c 60_000.0;
+  Alcotest.(check int) "burst drained" 0 !pending;
+  Alcotest.(check bool) "burst made progress" true (List.length !committed >= 2);
+  Alcotest.(check bool) "stream interrupted and reseeded" true
+    (ctr.Runtime.repl_resyncs >= 1);
+  List.iter
+    (fun f ->
+      Cluster.apply_fault c
+        (Fault.Link_degrade
+           { src = Fault.Shard f; dst = Fault.Shard owner; factor = 1.0 }))
+    followers;
+  Cluster.run_for c 20_000.0;
+  match weak_read client "hot" with
+  | Ok v ->
+      List.iter
+        (fun i ->
+          Alcotest.(check (option string))
+            (Printf.sprintf "post-resync copy has k%d" i)
+            (Some "x")
+            (Option.map Progval.to_str (prop_of v ("k" ^ string_of_int i))))
+        !committed
+  | Error e -> Alcotest.failf "post-resync weak read failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Replication factor 0 keeps the control plane dark: same seed, same
+   workload, bit-identical counters with the subsystem enabled-but-idle
+   versus absent. *)
+
+let run_fixed_workload cfg =
+  let c = mk_cluster cfg in
+  let client = Cluster.client c in
+  for i = 0 to 7 do
+    create_vertex client (Printf.sprintf "fw%d" i)
+  done;
+  for round = 1 to 5 do
+    for i = 0 to 7 do
+      let vid = Printf.sprintf "fw%d" i in
+      set_prop client vid "r" (string_of_int round);
+      ignore (weak_read client vid);
+      ignore
+        (Client.run_program client ~prog:"count_edges" ~params:Progval.Null
+           ~starts:[ vid ] ())
+    done;
+    Cluster.run_for c 3_000.0
+  done;
+  Cluster.run_for c 10_000.0;
+  let ctr = Cluster.counters c in
+  let rt = Cluster.runtime c in
+  ( ( ctr.Runtime.tx_committed,
+      ctr.Runtime.tx_aborted,
+      ctr.Runtime.progs_completed,
+      ctr.Runtime.vertices_read ),
+    ( Weaver_sim.Net.messages_sent rt.Runtime.net,
+      Weaver_sim.Net.messages_delivered rt.Runtime.net,
+      ctr.Runtime.oracle_consults,
+      ctr.Runtime.nop_msgs ) )
+
+let test_factor_zero_invisible () =
+  let base = { Config.default with Config.seed = 23; enable_heat = true } in
+  let off = run_fixed_workload base in
+  let on_idle =
+    run_fixed_workload
+      { base with Config.enable_replication = true; replication_factor = 0 }
+  in
+  Alcotest.(check bool) "factor-0 control plane is bit-invisible" true (off = on_idle)
+
+let suites =
+  [
+    ( "replication",
+      [
+        Alcotest.test_case "coverage predicate and table" `Quick test_covers_and_table;
+        Alcotest.test_case "replica-served reads feed heat attribution" `Quick
+          test_replica_reads_feed_heat;
+        Alcotest.test_case "dead replica is routed around without retries" `Quick
+          test_dead_replica_routed_around;
+        Alcotest.test_case "install, stream, route, converge" `Quick
+          test_install_stream_route_converge;
+        Alcotest.test_case "owner crash: covered reads served by survivors" `Quick
+          test_owner_crash_covered_reads_survive;
+        Alcotest.test_case "credit exhaustion forces reseed, then converges" `Quick
+          test_credit_exhaustion_forces_resync;
+        Alcotest.test_case "replication factor 0 is invisible" `Quick
+          test_factor_zero_invisible;
+      ] );
+  ]

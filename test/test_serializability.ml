@@ -396,6 +396,147 @@ let test_snapshot_gate_neutral () =
   Alcotest.(check bool) "fingerprint identical with snapshot_reads on" true
     (run coalesce_cfg = run { coalesce_cfg with Config.snapshot_reads = true })
 
+(* The partial-replication gate must likewise be invisible while idle: with
+   the subsystem enabled but the factor at 0 the controller plans nothing,
+   owners stream nothing, gatekeepers route nothing — the forced-coalescing
+   race must replay to the identical counter fingerprint. *)
+let test_replication_gate_neutral () =
+  let base = { coalesce_cfg with Config.enable_heat = true } in
+  let run cfg =
+    let c, _, _ =
+      run_race ~cfg ~side_writers:6 ~pin_hub_writers:true ~seed:404 ~writers:3
+        ~readers:2 ~writes_per_writer:5 ()
+    in
+    coalesce_fingerprint c
+  in
+  Alcotest.(check bool) "fingerprint identical with idle replication on" true
+    (run base
+    = run
+        { base with Config.enable_replication = true; Config.replication_factor = 0 })
+
+(* The full race under live partial replication: hot-range installs, owner
+   streaming, and covered-read routing must not weaken the client-observable
+   history — strong reads stay strictly serializable and the final state is
+   exact. *)
+let test_race_with_replication seed () =
+  let cfg =
+    {
+      Config.default with
+      Config.n_shards = 4;
+      Config.enable_heat = true;
+      Config.enable_replication = true;
+      Config.replication_factor = 2;
+      Config.gc_period = 2_000.0;
+    }
+  in
+  let c, reads, writes =
+    run_race ~cfg ~seed ~writers:3 ~readers:2 ~writes_per_writer:5 ()
+  in
+  Alcotest.(check bool) "some reads observed" true (List.length reads > 3);
+  check_strict_serializability reads writes;
+  let client = Cluster.client c in
+  match
+    Client.run_program client ~prog:"count_edges" ~params:Progval.Null
+      ~starts:[ "hub" ] ()
+  with
+  | Ok (Progval.Int d) -> Alcotest.(check int) "final degree" 15 d
+  | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+  | Error e -> Alcotest.failf "final read: %s" e
+
+(* A pinned-stamp read against a replicated hot range: once follower
+   coverage passes the cut (and the owner's own compaction floor moves
+   beyond it), the read is served by a follower copy — and its answer must
+   equal the durable store's state at exactly that cut, every time. *)
+let test_replicated_pinned_cut () =
+  let cfg =
+    {
+      Config.default with
+      Config.seed = 31;
+      Config.n_gatekeepers = 1;
+      Config.n_shards = 4;
+      Config.enable_heat = true;
+      Config.enable_replication = true;
+      Config.replication_factor = 2;
+      Config.gc_period = 2_000.0;
+      Config.net_jitter = 0.0;
+    }
+  in
+  let c = Cluster.create cfg in
+  Programs.Std.register_all (Cluster.registry c);
+  let setup = Cluster.client c in
+  let tx = Client.Tx.begin_ setup in
+  ignore (Client.Tx.create_vertex tx ~id:"hub" ());
+  ignore (Client.Tx.create_vertex tx ~id:"leaf" ());
+  (match Client.commit setup tx with Ok () -> () | Error e -> Alcotest.failf "setup: %s" e);
+  for _ = 1 to 4 do
+    let tx = Client.Tx.begin_ setup in
+    ignore (Client.Tx.create_edge tx ~src:"hub" ~dst:"leaf");
+    match Client.commit setup tx with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "pre-cut write: %s" e
+  done;
+  (* make the hub hot; wait until its range is replicated and covered *)
+  let ctr = Cluster.counters c in
+  let budget = ref 300 in
+  while ctr.Runtime.repl_routed = 0 && !budget > 0 do
+    decr budget;
+    ignore
+      (Client.run_program setup ~prog:"count_edges" ~params:Progval.Null
+         ~starts:[ "hub" ] ~consistency:`Weak ());
+    Cluster.run_for c 200.0
+  done;
+  Alcotest.(check bool) "hub range replicated and covered" true
+    (ctr.Runtime.repl_routed > 0);
+  Cluster.run_for c 6_000.0;
+  let at0 = Cluster.gk_clock c 0 in
+  (* writers race past the cut *)
+  let stop = ref false in
+  for _ = 1 to 2 do
+    let w = Cluster.client c in
+    let rec next () =
+      if not !stop then begin
+        let tx = Client.Tx.begin_ w in
+        ignore (Client.Tx.create_edge tx ~src:"hub" ~dst:"leaf");
+        Client.commit_async w tx ~on_result:(fun _ -> next ())
+      end
+    in
+    next ()
+  done;
+  (* a few watermark rounds: follower coverage passes [at0] *)
+  Cluster.run_for c 8_000.0;
+  let routed0 = ctr.Runtime.repl_routed in
+  let expected =
+    match Cluster.stored_vertex c "hub" with
+    | Some v ->
+        List.length
+          (Weaver_graph.Mgraph.out_edges
+             (fun a b -> Weaver_vclock.Vclock.precedes a b)
+             v ~at:at0)
+    | None -> Alcotest.fail "hub missing from store"
+  in
+  Alcotest.(check int) "cut captured before the writers" 4 expected;
+  for i = 1 to 4 do
+    match
+      Client.run_program setup ~prog:"count_edges" ~params:Progval.Null
+        ~starts:[ "hub" ] ~at:at0 ()
+    with
+    | Ok (Progval.Int d) ->
+        Alcotest.(check int)
+          (Printf.sprintf "pinned read %d equals the store at the cut" i)
+          expected d
+    | Ok v -> Alcotest.failf "unexpected %s" (Progval.to_string v)
+    | Error e -> Alcotest.failf "pinned read %d: %s" i e
+  done;
+  stop := true;
+  Cluster.run_for c 20_000.0;
+  Alcotest.(check bool) "pinned reads served by followers" true
+    (ctr.Runtime.repl_routed > routed0);
+  match Cluster.stored_vertex c "hub" with
+  | Some v ->
+      Alcotest.(check bool) "writers advanced past the cut" true
+        (Array.length v.Weaver_graph.Mgraph.out > expected)
+  | None -> Alcotest.fail "hub missing from store"
+
 let test_write_skew_prevented () =
   (* two transactions each read both flags and flip one; under strict
      serializability at most... actually exactly one must abort because
@@ -441,6 +582,12 @@ let suites =
           test_snapshot_analytics_consistent_cut;
         Alcotest.test_case "snapshot gate neutral" `Quick
           test_snapshot_gate_neutral;
+        Alcotest.test_case "replication gate neutral" `Quick
+          test_replication_gate_neutral;
+        Alcotest.test_case "race with replication on" `Quick
+          (test_race_with_replication 909);
+        Alcotest.test_case "replicated pinned cut" `Quick
+          test_replicated_pinned_cut;
         Alcotest.test_case "write skew prevented" `Quick test_write_skew_prevented;
       ] );
   ]
